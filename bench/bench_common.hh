@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproduction benches: the evaluated
+ * design list, benchmark-scale configuration, and result printing.
+ *
+ * Every bench prints the same rows/series as the corresponding paper
+ * figure. Set SAM_QUICK=1 in the environment for a reduced-scale run
+ * (smaller tables; same shapes, less wall time).
+ */
+
+#ifndef SAM_BENCH_BENCH_COMMON_HH
+#define SAM_BENCH_BENCH_COMMON_HH
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/common/logging.hh"
+#include "src/common/table_printer.hh"
+#include "src/core/session.hh"
+#include "src/imdb/query.hh"
+
+namespace sam::bench {
+
+/** The designs of Figure 12, in the paper's bar order. */
+inline std::vector<DesignKind>
+figureDesigns()
+{
+    return {DesignKind::RcNvmBit, DesignKind::RcNvmWord,
+            DesignKind::GsDram,   DesignKind::GsDramEcc,
+            DesignKind::SamSub,   DesignKind::SamIo,
+            DesignKind::SamEn,    DesignKind::Ideal};
+}
+
+inline bool
+quickMode()
+{
+    const char *q = std::getenv("SAM_QUICK");
+    return q != nullptr && q[0] != '0';
+}
+
+/**
+ * Benchmark-scale configuration. The paper loads 10M records per
+ * table; we scale down (Ta 16K x 1KB = 16MB, Tb 64K x 128B = 8MB) --
+ * selectivity, projectivity, and layout alignment are preserved, so
+ * relative shapes hold (see DESIGN.md, Substitutions).
+ */
+inline SimConfig
+benchConfig()
+{
+    SimConfig cfg;
+    if (quickMode()) {
+        cfg.taRecords = 4096;
+        cfg.tbRecords = 8192;
+    } else {
+        cfg.taRecords = 16384;
+        cfg.tbRecords = 65536;
+    }
+    return cfg;
+}
+
+inline void
+printHeader(const std::string &title, const std::string &what)
+{
+    std::cout << "\n==== " << title << " ====\n" << what << "\n";
+    if (quickMode())
+        std::cout << "(SAM_QUICK reduced scale)\n";
+    std::cout << "\n";
+}
+
+} // namespace sam::bench
+
+#endif // SAM_BENCH_BENCH_COMMON_HH

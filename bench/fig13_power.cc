@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Figure 13 reproduction: memory power (mW, split into
+ * Background / RD-WR / ACT like the paper's stacked bars) and
+ * normalized energy efficiency, for the four query categories:
+ * read-type Q (Q1-Q10), write-type Q (Q11-Q12), read-type Qs
+ * (Qs1-Qs4), write-type Qs (Qs5-Qs6).
+ *
+ * Paper reference points: SAM-IO read-Q power ~1.8x baseline but
+ * energy efficiency 2.4x; SAM-en power near baseline; NVM designs show
+ * low read power (no background) but high write power; on Qs all
+ * DRAM-based designs look like the baseline (regular mode).
+ */
+
+#include "bench/bench_common.hh"
+
+int
+main()
+{
+    using namespace sam;
+    using namespace sam::bench;
+    setQuietLogging(true);
+
+    printHeader("Figure 13",
+                "Power (mW) and energy efficiency (normalized to "
+                "row-store) by query category");
+
+    Session session(benchConfig());
+    const auto designs = figureDesigns();
+
+    const auto qq = benchmarkQQueries();
+    const auto qs = benchmarkQsQueries();
+    struct Category
+    {
+        std::string name;
+        std::vector<Query> queries;
+    };
+    std::vector<Category> cats(4);
+    cats[0].name = "Read (Q1-Q10)";
+    cats[1].name = "Write (Q11,Q12)";
+    cats[2].name = "Read (Qs1-Qs4)";
+    cats[3].name = "Write (Qs5,Qs6)";
+    for (std::size_t i = 0; i < qq.size(); ++i)
+        cats[i < 10 ? 0 : 1].queries.push_back(qq[i]);
+    for (std::size_t i = 0; i < qs.size(); ++i)
+        cats[i < 4 ? 2 : 3].queries.push_back(qs[i]);
+
+    for (const Category &cat : cats) {
+        std::cout << "-- " << cat.name << " --\n";
+        TablePrinter tp;
+        tp.header({"design", "background mW", "RD/WR mW", "ACT mW",
+                   "total mW", "energy eff."});
+
+        // Aggregate energy and elapsed time over the category.
+        auto aggregate = [&](DesignKind d) {
+            PowerBreakdown sum;
+            for (const Query &q : cat.queries) {
+                const RunStats r = session.run(d, q);
+                sum.actEnergyPj += r.power.actEnergyPj;
+                sum.rdwrEnergyPj += r.power.rdwrEnergyPj;
+                sum.backgroundEnergyPj += r.power.backgroundEnergyPj;
+                sum.refreshEnergyPj += r.power.refreshEnergyPj;
+                sum.elapsedNs += r.power.elapsedNs;
+            }
+            return sum;
+        };
+
+        const PowerBreakdown base = aggregate(DesignKind::Baseline);
+        {
+            TablePrinter &t = tp;
+            t.row({"baseline", fmtNum(base.backgroundPowerMw(), 1),
+                   fmtNum(base.rdwrPowerMw(), 1),
+                   fmtNum(base.actPowerMw(), 1),
+                   fmtNum(base.totalPowerMw(), 1), fmtNum(1.0)});
+        }
+        for (DesignKind d : designs) {
+            if (d == DesignKind::Ideal)
+                continue; // the paper's ideal bar is layout, not power
+            const PowerBreakdown p = aggregate(d);
+            const double eff = p.totalEnergyPj() > 0
+                ? base.totalEnergyPj() / p.totalEnergyPj()
+                : 0.0;
+            tp.row({designName(d), fmtNum(p.backgroundPowerMw(), 1),
+                    fmtNum(p.rdwrPowerMw(), 1),
+                    fmtNum(p.actPowerMw(), 1),
+                    fmtNum(p.totalPowerMw(), 1), fmtNum(eff)});
+        }
+        tp.print(std::cout);
+        std::cout << "\n";
+    }
+    return 0;
+}

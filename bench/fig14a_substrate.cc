@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Figure 14(a) reproduction: performance of the RC-NVM and SAM designs
+ * when both are built on the NVM (RRAM) substrate vs the DRAM
+ * substrate; gmean speedup over all queries (Q and Qs).
+ *
+ * Paper reference: RC-NVM-wd and SAM-sub are nearly equal on the same
+ * substrate; RC-NVM always falls behind SAM-IO / SAM-en regardless of
+ * substrate; DRAM beats RRAM for every design (writes especially).
+ */
+
+#include "bench/bench_common.hh"
+#include "src/sim/system.hh"
+
+int
+main()
+{
+    using namespace sam;
+    using namespace sam::bench;
+    setQuietLogging(true);
+
+    printHeader("Figure 14(a)",
+                "Gmean speedup of RC-NVM / SAM designs on NVM vs DRAM "
+                "substrates (all queries, normalized to row-store "
+                "DRAM)");
+
+    const SimConfig base_cfg = benchConfig();
+
+    auto all_queries = benchmarkQQueries();
+    const auto qs = benchmarkQsQueries();
+    all_queries.insert(all_queries.end(), qs.begin(), qs.end());
+
+    // Baseline: commodity DRAM row-store.
+    SimConfig bcfg = base_cfg;
+    bcfg.design = DesignKind::Baseline;
+    System baseline(bcfg);
+    std::map<std::string, Cycle> base_cycles;
+    for (const Query &q : all_queries)
+        base_cycles[q.name] = baseline.runQuery(q).cycles;
+
+    const std::vector<DesignKind> designs = {
+        DesignKind::RcNvmWord, DesignKind::SamSub, DesignKind::SamIo,
+        DesignKind::SamEn};
+
+    TablePrinter tp;
+    tp.header({"design", "NVM substrate", "DRAM substrate"});
+    for (DesignKind d : designs) {
+        std::vector<std::string> row{designName(d)};
+        for (MemTech tech : {MemTech::RRAM, MemTech::DRAM}) {
+            SimConfig cfg = base_cfg;
+            cfg.design = d;
+            cfg.overrideTech = true;
+            cfg.tech = tech;
+            System sys(cfg);
+            std::vector<double> sp;
+            for (const Query &q : all_queries) {
+                const RunStats r = sys.runQuery(q);
+                sp.push_back(static_cast<double>(base_cycles[q.name]) /
+                             static_cast<double>(r.cycles));
+            }
+            row.push_back(fmtNum(geometricMean(sp)));
+        }
+        tp.row(row);
+    }
+    tp.print(std::cout);
+    return 0;
+}

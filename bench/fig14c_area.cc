@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Figure 14(c) reproduction: area / storage overhead of every design,
+ * with the Section 6.1 component-level accounting itemised.
+ *
+ * Paper reference totals: SAM-sub ~7.2%, SAM-IO <0.01%, SAM-en ~0.7%,
+ * RC-NVM-bit ~15% (+2 metal layers), RC-NVM-wd ~33% (+2 layers),
+ * GS-DRAM-ecc 12.5% storage.
+ */
+
+#include "bench/bench_common.hh"
+#include "src/area/area_model.hh"
+
+int
+main()
+{
+    using namespace sam;
+    using namespace sam::bench;
+    setQuietLogging(true);
+
+    printHeader("Figure 14(c)",
+                "Area and storage overhead per design (analytical "
+                "model, Section 6.1 accounting)");
+
+    TablePrinter tp;
+    tp.header({"design", "area overhead", "storage overhead",
+               "extra metal layers"});
+    for (DesignKind d : figureDesigns()) {
+        if (d == DesignKind::Ideal)
+            continue;
+        const AreaReport r = AreaModel::report(d);
+        tp.row({designName(d), fmtPercent(r.areaOverhead(), 2),
+                fmtPercent(r.storageOverhead, 1),
+                std::to_string(r.extraMetalLayers)});
+    }
+    tp.print(std::cout);
+
+    std::cout << "\nComponent breakdown (Section 6.1):\n";
+    for (DesignKind d :
+         {DesignKind::SamSub, DesignKind::SamIo, DesignKind::SamEn,
+          DesignKind::RcNvmWord}) {
+        const AreaReport r = AreaModel::report(d);
+        std::cout << "  " << designName(d) << ":\n";
+        for (const AreaComponent &c : r.areaComponents) {
+            std::cout << "    " << fmtPercent(c.fraction, 2) << "  "
+                      << c.name << "\n";
+        }
+    }
+    return 0;
+}

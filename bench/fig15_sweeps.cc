@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Figure 15 reproduction: speedup (normalized to row-store) of
+ * RC-NVM-wd, GS-DRAM-ecc, SAM-en, and the ideal store on the
+ * parameterized arithmetic and aggregate queries:
+ *
+ *   (a)-(c) arithmetic query, selectivity sweep at 8 / 64 / all
+ *           projected fields;
+ *   (d)-(f) arithmetic query, projectivity sweep at 10% / 50% / 100%
+ *           selectivity;
+ *   (g)     aggregate query, selectivity sweep at 8 projected fields;
+ *   (h)     aggregate query, projectivity sweep at 100% selectivity;
+ *   (i)     record-size sweep at 100% selectivity and projectivity.
+ *
+ * Paper reference shapes: speedup rises with selectivity and falls
+ * with projectivity (the row store catches up); the aggregate query
+ * lifts RC-NVM-wd to SAM-en's level (field-major processing removes
+ * its field-switch penalty); in (i) only RC-NVM-wd degrades as records
+ * grow (its vertical alignment thrashes rows on full scans).
+ */
+
+#include "bench/bench_common.hh"
+#include "src/sim/system.hh"
+
+using namespace sam;
+using namespace sam::bench;
+
+namespace {
+
+const std::vector<DesignKind> kPanelDesigns = {
+    DesignKind::RcNvmWord, DesignKind::GsDramEcc, DesignKind::SamEn,
+    DesignKind::Ideal};
+
+SimConfig
+sweepConfig()
+{
+    SimConfig cfg = benchConfig();
+    cfg.taRecords = quickMode() ? 2048 : 8192;
+    cfg.tbRecords = 2048; // unused by the Ta-only sweeps
+    return cfg;
+}
+
+/** Run one parameterized query on all panel designs via a session. */
+void
+panelRow(Session &session, const Query &q, TablePrinter &tp,
+         const std::string &x_label)
+{
+    std::vector<std::string> row{x_label};
+    for (DesignKind d : kPanelDesigns) {
+        const Comparison c = session.compare(d, q);
+        session.checkResult(q, c.design);
+        row.push_back(fmtNum(c.speedup));
+    }
+    tp.row(row);
+}
+
+std::vector<std::string>
+panelHeader(const std::string &x_name)
+{
+    std::vector<std::string> head{x_name};
+    for (DesignKind d : kPanelDesigns)
+        head.push_back(designName(d));
+    return head;
+}
+
+} // namespace
+
+int
+main()
+{
+    setQuietLogging(true);
+    printHeader("Figure 15",
+                "Speedup sweeps of the arithmetic / aggregate queries "
+                "over selectivity, projectivity, and record size");
+
+    const SimConfig cfg = sweepConfig();
+    Session session(cfg);
+    const unsigned nf = cfg.taFields;
+    const std::vector<double> sels = {0.1, 0.2, 0.3, 0.4, 0.5,
+                                      0.6, 0.7, 0.8, 0.9, 1.0};
+    const std::vector<unsigned> projs = {2, 4, 8, 16, 32, 64, nf};
+
+    // ----- (a)-(c): arithmetic, selectivity sweeps -------------------
+    for (unsigned proj : {8u, 64u, nf}) {
+        std::cout << "-- (a-c) arithmetic query, " << proj
+                  << " fields projected, selectivity sweep --\n";
+        TablePrinter tp;
+        tp.header(panelHeader("selectivity"));
+        for (double sel : sels) {
+            panelRow(session, arithQuery(proj, sel, nf), tp,
+                     fmtPercent(sel, 0));
+        }
+        tp.print(std::cout);
+        std::cout << "\n";
+    }
+
+    // ----- (d)-(f): arithmetic, projectivity sweeps ------------------
+    for (double sel : {0.1, 0.5, 1.0}) {
+        std::cout << "-- (d-f) arithmetic query, "
+                  << fmtPercent(sel, 0)
+                  << " records selected, projectivity sweep --\n";
+        TablePrinter tp;
+        tp.header(panelHeader("fields"));
+        for (unsigned proj : projs) {
+            panelRow(session, arithQuery(proj, sel, nf), tp,
+                     std::to_string(proj));
+        }
+        tp.print(std::cout);
+        std::cout << "\n";
+    }
+
+    // ----- (g): aggregate, selectivity sweep -------------------------
+    {
+        std::cout << "-- (g) aggregate query, 8 fields projected, "
+                     "selectivity sweep --\n";
+        TablePrinter tp;
+        tp.header(panelHeader("selectivity"));
+        for (double sel : sels) {
+            panelRow(session, aggrQuery(8, sel, nf), tp,
+                     fmtPercent(sel, 0));
+        }
+        tp.print(std::cout);
+        std::cout << "\n";
+    }
+
+    // ----- (h): aggregate, projectivity sweep ------------------------
+    {
+        std::cout << "-- (h) aggregate query, 100% records selected, "
+                     "projectivity sweep --\n";
+        TablePrinter tp;
+        tp.header(panelHeader("fields"));
+        for (unsigned proj : projs) {
+            panelRow(session, aggrQuery(proj, 1.0, nf), tp,
+                     std::to_string(proj));
+        }
+        tp.print(std::cout);
+        std::cout << "\n";
+    }
+
+    // ----- (i): record-size sweep ------------------------------------
+    {
+        std::cout << "-- (i) record-size sweep, 100% selectivity and "
+                     "projectivity --\n";
+        TablePrinter tp;
+        tp.header(panelHeader("record"));
+        for (unsigned fields : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
+            SimConfig scfg = cfg;
+            scfg.taFields = fields;
+            // Keep the scanned volume roughly constant.
+            scfg.taRecords = std::max<std::uint64_t>(
+                1024, cfg.taRecords * nf / fields / 4);
+            Session ssession(scfg);
+            const Query q = aggrQuery(fields, 1.0, fields);
+            std::vector<std::string> row{std::to_string(fields * 8) +
+                                         "B"};
+            for (DesignKind d : kPanelDesigns) {
+                const Comparison c = ssession.compare(d, q);
+                ssession.checkResult(q, c.design);
+                row.push_back(fmtNum(c.speedup));
+            }
+            tp.row(row);
+        }
+        tp.print(std::cout);
+    }
+    return 0;
+}

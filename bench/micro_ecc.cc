@@ -1,0 +1,125 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the ECC stack: Reed-Solomon
+ * encode/decode throughput per chipkill geometry, SEC-DED, and the
+ * rank-level ECC engine on clean and chip-failed lines.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "src/common/random.hh"
+#include "src/ecc/ecc_engine.hh"
+#include "src/ecc/reed_solomon.hh"
+#include "src/ecc/secded.hh"
+
+namespace {
+
+using namespace sam;
+
+void
+BM_RsEncode(benchmark::State &state)
+{
+    const unsigned n = static_cast<unsigned>(state.range(0));
+    const unsigned k = static_cast<unsigned>(state.range(1));
+    const ReedSolomon rs(n, k);
+    Rng rng(1);
+    std::vector<std::uint8_t> data(k);
+    for (auto &b : data)
+        b = static_cast<std::uint8_t>(rng.below(256));
+    for (auto _ : state) {
+        auto cw = rs.encode(data);
+        benchmark::DoNotOptimize(cw);
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            k);
+}
+BENCHMARK(BM_RsEncode)->Args({18, 16})->Args({36, 32})->Args({72, 64});
+
+void
+BM_RsDecodeClean(benchmark::State &state)
+{
+    const ReedSolomon rs(static_cast<unsigned>(state.range(0)),
+                         static_cast<unsigned>(state.range(1)));
+    Rng rng(2);
+    std::vector<std::uint8_t> data(rs.k());
+    for (auto &b : data)
+        b = static_cast<std::uint8_t>(rng.below(256));
+    const auto cw = rs.encode(data);
+    for (auto _ : state) {
+        auto c = cw;
+        benchmark::DoNotOptimize(rs.decode(c));
+    }
+}
+BENCHMARK(BM_RsDecodeClean)->Args({18, 16})->Args({36, 32});
+
+void
+BM_RsDecodeCorrect(benchmark::State &state)
+{
+    const ReedSolomon rs(static_cast<unsigned>(state.range(0)),
+                         static_cast<unsigned>(state.range(1)));
+    Rng rng(3);
+    std::vector<std::uint8_t> data(rs.k());
+    for (auto &b : data)
+        b = static_cast<std::uint8_t>(rng.below(256));
+    auto cw = rs.encode(data);
+    cw[5] ^= 0x5a; // one symbol error
+    for (auto _ : state) {
+        auto c = cw;
+        benchmark::DoNotOptimize(rs.decode(c));
+    }
+}
+BENCHMARK(BM_RsDecodeCorrect)->Args({18, 16})->Args({36, 32});
+
+void
+BM_SecDedEncode(benchmark::State &state)
+{
+    std::uint64_t data = 0x123456789abcdef0ULL;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(SecDed::encode(data));
+        data = data * 6364136223846793005ULL + 1;
+    }
+}
+BENCHMARK(BM_SecDedEncode);
+
+void
+BM_EccEngineLine(benchmark::State &state)
+{
+    const auto scheme = static_cast<EccScheme>(state.range(0));
+    const EccEngine engine(scheme);
+    Rng rng(4);
+    std::vector<std::uint8_t> line(kCachelineBytes);
+    for (auto &b : line)
+        b = static_cast<std::uint8_t>(rng.below(256));
+    const auto blob = engine.encodeLine(line);
+    for (auto _ : state) {
+        auto b = blob;
+        benchmark::DoNotOptimize(engine.decodeLine(b));
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            kCachelineBytes);
+}
+BENCHMARK(BM_EccEngineLine)
+    ->Arg(static_cast<int>(EccScheme::SecDed))
+    ->Arg(static_cast<int>(EccScheme::Ssc))
+    ->Arg(static_cast<int>(EccScheme::SscDsd));
+
+void
+BM_EccEngineChipkillCorrection(benchmark::State &state)
+{
+    const EccEngine engine(EccScheme::SscDsd);
+    Rng rng(5);
+    std::vector<std::uint8_t> line(kCachelineBytes);
+    for (auto &b : line)
+        b = static_cast<std::uint8_t>(rng.below(256));
+    auto blob = engine.encodeLine(line);
+    engine.corruptChip(blob, 7);
+    for (auto _ : state) {
+        auto b = blob;
+        benchmark::DoNotOptimize(engine.decodeLine(b));
+    }
+}
+BENCHMARK(BM_EccEngineChipkillCorrection);
+
+} // namespace
+
+BENCHMARK_MAIN();

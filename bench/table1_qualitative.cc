@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Table 1 reproduction: the qualitative comparison of designs for
+ * strided access across system support, interface, and memory-device
+ * dimensions, generated from the DesignSpec traits.
+ */
+
+#include "bench/bench_common.hh"
+#include "src/designs/design.hh"
+
+namespace {
+
+std::string
+mark(bool good)
+{
+    return good ? "yes" : "no";
+}
+
+std::string
+rate(int r)
+{
+    return r > 0 ? "good" : (r == 0 ? "fair" : "poor");
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace sam;
+    using namespace sam::bench;
+    setQuietLogging(true);
+
+    printHeader("Table 1",
+                "Qualitative comparison of designs for strided access "
+                "(from DesignSpec traits)");
+
+    const std::vector<DesignKind> designs = {
+        DesignKind::RcNvmBit, DesignKind::RcNvmWord, DesignKind::GsDram,
+        DesignKind::SamSub,   DesignKind::SamIo,     DesignKind::SamEn};
+
+    TablePrinter tp;
+    std::vector<std::string> head{"dimension"};
+    for (DesignKind d : designs)
+        head.push_back(designName(d));
+    tp.header(head);
+
+    auto row = [&](const std::string &name, auto &&get) {
+        std::vector<std::string> cells{name};
+        for (DesignKind d : designs)
+            cells.push_back(get(makeDesign(d)));
+        tp.row(cells);
+    };
+
+    row("database alignment", [](const DesignSpec &s) {
+        return mark(s.traits.needsDbAlignment);
+    });
+    row("ISA extension", [](const DesignSpec &s) {
+        return mark(s.traits.needsIsaExtension);
+    });
+    row("sector/MDA cache", [](const DesignSpec &s) {
+        return mark(s.traits.needsSectorCache);
+    });
+    tp.separator();
+    row("memory controller mods", [](const DesignSpec &s) {
+        return mark(s.traits.modifiesMemController);
+    });
+    row("command interface mods", [](const DesignSpec &s) {
+        return mark(s.traits.modifiesCommandInterface);
+    });
+    row("critical-word-first", [](const DesignSpec &s) {
+        return mark(s.traits.criticalWordFirst);
+    });
+    tp.separator();
+    row("performance", [](const DesignSpec &s) {
+        return rate(s.traits.performance);
+    });
+    row("power", [](const DesignSpec &s) {
+        return rate(s.traits.powerRating);
+    });
+    row("area", [](const DesignSpec &s) {
+        return rate(s.traits.areaRating);
+    });
+    row("chipkill reliability", [](const DesignSpec &s) {
+        return mark(s.traits.reliable);
+    });
+    row("mode switch cost", [](const DesignSpec &s) {
+        return rate(s.traits.modeSwitchRating);
+    });
+    tp.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * HTAP scenario (Section 3.1): a hybrid workload mixing OLAP-style
+ * analytical scans (column-preferring Q queries) with OLTP-style
+ * transactional operations (row-preferring Qs queries) on the *same*
+ * tables. Neither a pure row store nor a pure column store serves both
+ * well -- the software "ideal" must pick one layout per table, while
+ * SAM serves both access patterns from a single row-store-aligned
+ * layout.
+ *
+ * This example runs a 6-query HTAP mix and reports per-phase and
+ * end-to-end time for the baseline, the two software layouts, and
+ * SAM-en.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "src/common/logging.hh"
+#include "src/core/session.hh"
+
+int
+main()
+{
+    using namespace sam;
+    setQuietLogging(true);
+
+    SimConfig cfg;
+    cfg.taRecords = 4096;
+    cfg.tbRecords = 8192;
+    Session session(cfg);
+
+    // The HTAP mix: analytics over Ta/Tb interleaved with
+    // transactional reads and updates.
+    const auto qq = benchmarkQQueries();
+    const auto qs = benchmarkQsQueries();
+    std::vector<Query> mix = {
+        qq[2],  // Q3  SUM(f9) over Ta           (OLAP)
+        qs[2],  // Qs3 SELECT * over Ta          (OLTP read)
+        qq[5],  // Q6  AVG(f1) over Tb           (OLAP)
+        qq[10], // Q11 UPDATE Tb f3,f4           (OLTP write)
+        qq[0],  // Q1  SELECT f3,f4 over Ta      (OLAP)
+        qs[5],  // Qs6 INSERT INTO Tb            (OLTP write)
+    };
+
+    struct Contender
+    {
+        DesignKind design;
+        const char *note;
+    };
+    const std::vector<Contender> contenders = {
+        {DesignKind::Baseline, "commodity DRAM, row store"},
+        {DesignKind::Ideal, "software dual layout (per-query best)"},
+        {DesignKind::SamEn, "SAM-en, one layout, sload/sstore"},
+    };
+
+    std::printf("HTAP mix (%zu queries), cycles per phase:\n\n",
+                mix.size());
+    std::printf("%-8s", "query");
+    for (const auto &c : contenders)
+        std::printf("%16s", designName(c.design).c_str());
+    std::printf("\n");
+
+    std::vector<std::uint64_t> total(contenders.size(), 0);
+    for (const Query &q : mix) {
+        std::printf("%-8s", q.name.c_str());
+        for (std::size_t i = 0; i < contenders.size(); ++i) {
+            const RunStats r = session.run(contenders[i].design, q);
+            session.checkResult(q, r);
+            total[i] += r.cycles;
+            std::printf("%16llu",
+                        static_cast<unsigned long long>(r.cycles));
+        }
+        std::printf("\n");
+    }
+    std::printf("%-8s", "TOTAL");
+    for (std::size_t i = 0; i < contenders.size(); ++i)
+        std::printf("%16llu",
+                    static_cast<unsigned long long>(total[i]));
+    std::printf("\n\n");
+    for (std::size_t i = 0; i < contenders.size(); ++i) {
+        std::printf("  %-10s %-42s %.2fx vs baseline\n",
+                    designName(contenders[i].design).c_str(),
+                    contenders[i].note,
+                    static_cast<double>(total[0]) /
+                        static_cast<double>(total[i]));
+    }
+    std::printf(
+        "\nNote: the software dual layout pays storage duplication and"
+        "\nsynchronization in practice (Section 1); SAM achieves HTAP"
+        "\nperformance from a single copy with chipkill intact.\n");
+    return 0;
+}

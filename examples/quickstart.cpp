@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Quickstart: simulate one IMDB query (Q1: SELECT f3, f4 FROM Ta WHERE
+ * f10 > x) on the SAM-en design and on the commodity row-store
+ * baseline, and print the speedup, power, and ECC summary.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "src/common/logging.hh"
+#include "src/core/session.hh"
+
+int
+main()
+{
+    using namespace sam;
+    setQuietLogging(true);
+
+    // Scale the paper's 10M-record tables down for a quick demo.
+    SimConfig cfg;
+    cfg.taRecords = 4096;
+    cfg.tbRecords = 4096;
+
+    Session session(cfg);
+    const Query q1 = benchmarkQQueries()[0];
+
+    std::printf("running %s on SAM-en and baseline...\n",
+                q1.name.c_str());
+    const Comparison cmp = session.compare(DesignKind::SamEn, q1);
+    session.checkResult(q1, cmp.design); // functional result verified
+
+    std::printf("\n  %-22s %14s %14s\n", "", "baseline", "SAM-en");
+    std::printf("  %-22s %14llu %14llu\n", "cycles",
+                static_cast<unsigned long long>(cmp.baseline.cycles),
+                static_cast<unsigned long long>(cmp.design.cycles));
+    std::printf("  %-22s %14llu %14llu\n", "memory reads",
+                static_cast<unsigned long long>(cmp.baseline.memReads),
+                static_cast<unsigned long long>(cmp.design.memReads));
+    std::printf("  %-22s %14llu %14llu\n", "stride reads (sload)",
+                static_cast<unsigned long long>(
+                    cmp.baseline.strideReads),
+                static_cast<unsigned long long>(cmp.design.strideReads));
+    std::printf("  %-22s %13.1f%% %13.1f%%\n", "row-buffer hit rate",
+                cmp.baseline.rowHitRate() * 100.0,
+                cmp.design.rowHitRate() * 100.0);
+    std::printf("  %-22s %14.1f %14.1f\n", "power (mW)",
+                cmp.baseline.power.totalPowerMw(),
+                cmp.design.power.totalPowerMw());
+    std::printf("\n  speedup            : %.2fx\n", cmp.speedup);
+    std::printf("  energy efficiency  : %.2fx\n", cmp.energyEfficiency);
+    std::printf("  query result       : %llu rows, checksum %llu "
+                "(verified against reference)\n",
+                static_cast<unsigned long long>(cmp.design.result.rows),
+                static_cast<unsigned long long>(
+                    cmp.design.result.checksum));
+    return 0;
+}

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Reliability demonstration (the paper's core differentiator, Sections
+ * 1-3): inject a whole-chip failure into the simulated rank and run an
+ * analytical query whose strided accesses traverse the failed chip.
+ *
+ *  - SAM-en (SSC-DSD chipkill): every corrupted codeword is corrected
+ *    on the fly; the query result is exact.
+ *  - GS-DRAM (chipkill-incompatible layout): the corruption flows
+ *    silently into the query result.
+ *  - Baseline with SEC-DED: the failure is (at best) detected but not
+ *    correctable -- a crash/data-loss event on a real server.
+ */
+
+#include <cstdio>
+
+#include "src/common/logging.hh"
+#include "src/core/session.hh"
+#include "src/sim/system.hh"
+
+int
+main()
+{
+    using namespace sam;
+    setQuietLogging(true);
+
+    const Query q3 = benchmarkQQueries()[2]; // SUM(f9) FROM Ta WHERE...
+
+    struct Scenario
+    {
+        const char *label;
+        DesignKind design;
+        EccScheme ecc;
+    };
+    const Scenario scenarios[] = {
+        {"SAM-en + SSC-DSD chipkill", DesignKind::SamEn,
+         EccScheme::SscDsd},
+        {"SAM-en + SSC chipkill", DesignKind::SamEn, EccScheme::Ssc},
+        {"SAM-en + Bamboo-72 (ext.)", DesignKind::SamEn,
+         EccScheme::Bamboo72},
+        {"GS-DRAM (no compatible ECC)", DesignKind::GsDram,
+         EccScheme::None},
+        {"baseline + SEC-DED only", DesignKind::Baseline,
+         EccScheme::SecDed},
+    };
+
+    std::printf("Injecting a whole-chip failure (chip 5) and running "
+                "%s on each design:\n\n",
+                q3.name.c_str());
+    std::printf("%-30s %14s %14s %12s %12s  %s\n", "configuration",
+                "SUM (got)", "SUM (expect)", "corrected",
+                "uncorrectable", "verdict");
+
+    for (const Scenario &sc : scenarios) {
+        SimConfig cfg;
+        cfg.taRecords = 2048;
+        cfg.tbRecords = 2048;
+        cfg.design = sc.design;
+        cfg.ecc = sc.ecc;
+        System sys(cfg);
+
+        sys.runQuery(q3); // materialize tables, warm run
+        sys.dataPath().failChip(5);
+        const RunStats r = sys.runQuery(q3);
+        const QueryResult expect =
+            referenceResult(q3, sys.taSchema(), sys.tbSchema());
+
+        const bool exact = r.result == expect;
+        const char *verdict =
+            exact ? (r.eccCorrectedLines > 0 ? "CORRECTED" : "clean")
+                  : (r.eccUncorrectable > 0 ? "DETECTED-FATAL"
+                                            : "SILENT CORRUPTION");
+        std::printf("%-30s %14llu %14llu %12llu %12llu  %s\n",
+                    sc.label,
+                    static_cast<unsigned long long>(r.result.aggregate),
+                    static_cast<unsigned long long>(expect.aggregate),
+                    static_cast<unsigned long long>(
+                        r.eccCorrectedLines),
+                    static_cast<unsigned long long>(r.eccUncorrectable),
+                    verdict);
+    }
+
+    std::printf(
+        "\nSAM keeps the strided data consistent with the chipkill"
+        "\ncodeword (Section 4.1): strided reads survive a dead chip"
+        "\nexactly like regular reads. GS-DRAM's gathered layout cannot"
+        "\nkeep a codeword together, so server-class reliability is"
+        "\nlost -- the paper's motivating comparison.\n");
+    return 0;
+}

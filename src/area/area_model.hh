@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Analytical area / storage overhead model (Section 6.1 "Area" and
+ * Figure 14(c)). Overheads are composed from the paper's published
+ * wiring-track and peripheral-logic accounting; the totals drive the
+ * timing derating of Section 6.1 ("other latency parameters ... are
+ * increased proportionally to the area overhead").
+ */
+
+#ifndef SAM_AREA_AREA_MODEL_HH
+#define SAM_AREA_AREA_MODEL_HH
+
+#include <string>
+#include <vector>
+
+#include "src/common/types.hh"
+
+namespace sam {
+
+/** One contributor to a design's overhead. */
+struct AreaComponent
+{
+    std::string name;
+    double fraction;  ///< Of baseline die area (or capacity for storage).
+};
+
+/** Full overhead report for one design. */
+struct AreaReport
+{
+    DesignKind design;
+    std::vector<AreaComponent> areaComponents;
+    double storageOverhead = 0.0;   ///< Capacity lost (GS-DRAM-ecc).
+    unsigned extraMetalLayers = 0;  ///< RC-NVM's routing layers.
+
+    /** Sum of area components. */
+    double areaOverhead() const;
+};
+
+/** The overhead accounting for every evaluated design. */
+class AreaModel
+{
+  public:
+    /** Per-design report with itemised components. */
+    static AreaReport report(DesignKind design);
+
+    /** Total die-area overhead used for timing derating. */
+    static double areaOverhead(DesignKind design);
+
+    /** Storage (capacity) overhead. */
+    static double storageOverhead(DesignKind design);
+};
+
+} // namespace sam
+
+#endif // SAM_AREA_AREA_MODEL_HH

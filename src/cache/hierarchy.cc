@@ -1,0 +1,295 @@
+#include "src/cache/hierarchy.hh"
+
+#include <cstring>
+
+#include "src/common/logging.hh"
+
+namespace sam {
+
+CacheHierarchy::CacheHierarchy(const CacheParams &l1,
+                               const CacheParams &l2,
+                               const CacheParams &llc,
+                               MemBackend &backend)
+    : l1_(l1), l2_(l2), llc_(llc), backend_(backend)
+{
+    levels_ = {&l1_, &l2_, &llc_};
+    sam_assert(l1.sectorBytes == l2.sectorBytes &&
+                   l2.sectorBytes == llc.sectorBytes,
+               "all levels must share the sector size");
+}
+
+void
+CacheHierarchy::fillLevel(unsigned lvl, Addr line, std::uint8_t mask,
+                          const std::uint8_t *data64,
+                          std::uint8_t dirty_mask)
+{
+    auto victim = levels_[lvl]->fill(line, mask, data64,
+                                     dirty_mask != 0);
+    // fill() marks all inserted sectors dirty when dirty=true; tighten
+    // to the actual dirty mask by re-merging is unnecessary at this
+    // fidelity (over-writeback of a few clean sectors is harmless: the
+    // data is identical).
+    if (!victim)
+        return;
+    if (lvl + 1 < levels_.size()) {
+        fillLevel(lvl + 1, victim->line, victim->validMask,
+                  victim->data.data(), victim->dirtyMask);
+    } else {
+        backend_.writeback(*victim);
+    }
+}
+
+std::uint8_t
+CacheHierarchy::collect(Addr line, std::uint8_t &dirty_mask,
+                        std::uint8_t *data64)
+{
+    std::uint8_t valid = 0;
+    dirty_mask = 0;
+    const unsigned sector_bytes = l1_.params().sectorBytes;
+    for (auto *cache : levels_) {
+        auto wb = cache->extract(line);
+        if (!wb)
+            continue;
+        for (unsigned s = 0; s < l1_.sectorsPerLine(); ++s) {
+            const std::uint8_t bit = static_cast<std::uint8_t>(1u << s);
+            if ((wb->validMask & bit) && !(valid & bit)) {
+                std::memcpy(data64 + s * sector_bytes,
+                            wb->data.data() + s * sector_bytes,
+                            sector_bytes);
+                valid |= bit;
+            }
+        }
+        dirty_mask |= wb->dirtyMask;
+    }
+    return valid;
+}
+
+HierResult
+CacheHierarchy::ensureLine(Addr line, std::uint8_t mask)
+{
+    HierResult res;
+    for (unsigned lvl = 0; lvl < levels_.size(); ++lvl) {
+        if (levels_[lvl]->lookup(line, mask)) {
+            res.delay = levels_[lvl]->params().hitLatency;
+            if (lvl > 0) {
+                // Exclusive promotion to L1.
+                std::uint8_t data[kCachelineBytes];
+                std::uint8_t dirty = 0;
+                const std::uint8_t valid = collect(line, dirty, data);
+                fillLevel(0, line, valid, data, dirty);
+            }
+            return res;
+        }
+    }
+
+    // Full miss (or sector miss): fetch the whole line, overlaying any
+    // resident sectors (which may be dirtier than memory).
+    std::uint8_t cached[kCachelineBytes];
+    std::uint8_t dirty = 0;
+    const std::uint8_t cached_valid = collect(line, dirty, cached);
+
+    const auto fresh = backend_.fetchLine(line);
+    sam_assert(fresh.size() == kCachelineBytes, "short line fetch");
+    std::uint8_t merged[kCachelineBytes];
+    std::memcpy(merged, fresh.data(), kCachelineBytes);
+    const unsigned sector_bytes = l1_.params().sectorBytes;
+    for (unsigned s = 0; s < l1_.sectorsPerLine(); ++s) {
+        if (cached_valid & (1u << s)) {
+            std::memcpy(merged + s * sector_bytes,
+                        cached + s * sector_bytes, sector_bytes);
+        }
+    }
+    fillLevel(0, line, l1_.fullMask(), merged, dirty);
+    res.delay = llc_.params().hitLatency;
+    res.memTouched = true;
+    return res;
+}
+
+HierResult
+CacheHierarchy::read(Addr addr, unsigned bytes, std::uint8_t *out)
+{
+    const Addr line = addr & ~Addr{kCachelineBytes - 1};
+    const unsigned offset = static_cast<unsigned>(addr - line);
+    const HierResult res = ensureLine(line, l1_.maskFor(offset, bytes));
+    l1_.readBytes(line, offset, bytes, out);
+    return res;
+}
+
+HierResult
+CacheHierarchy::write(Addr addr, const std::uint8_t *src, unsigned bytes)
+{
+    const Addr line = addr & ~Addr{kCachelineBytes - 1};
+    const unsigned offset = static_cast<unsigned>(addr - line);
+    const unsigned sector_bytes = l1_.params().sectorBytes;
+
+    const bool sector_aligned = offset % sector_bytes == 0 &&
+                                bytes % sector_bytes == 0;
+    if (sector_aligned) {
+        // The write fully covers its sectors: allocate without fetching
+        // (a sector-cache benefit; plain caches never take this path
+        // for sub-line stores since their only sector is the line).
+        std::uint8_t dirty = 0;
+        std::uint8_t cached[kCachelineBytes];
+        const std::uint8_t valid = collect(line, dirty, cached);
+        // Overlay previous content, then the new store.
+        std::uint8_t merged[kCachelineBytes] = {};
+        for (unsigned s = 0; s < l1_.sectorsPerLine(); ++s) {
+            if (valid & (1u << s)) {
+                std::memcpy(merged + s * sector_bytes,
+                            cached + s * sector_bytes, sector_bytes);
+            }
+        }
+        std::memcpy(merged + offset, src, bytes);
+        const std::uint8_t store_mask = l1_.maskFor(offset, bytes);
+        fillLevel(0, line, static_cast<std::uint8_t>(valid | store_mask),
+                  merged,
+                  static_cast<std::uint8_t>(dirty | store_mask));
+        return {l1_.params().hitLatency, false};
+    }
+
+    // Partial-sector store: read-for-ownership then merge.
+    HierResult res = ensureLine(line, l1_.maskFor(offset, bytes));
+    l1_.writeBytes(line, offset, bytes, src);
+    return res;
+}
+
+HierResult
+CacheHierarchy::strideRead(const GatherPlan &plan, unsigned unit,
+                           std::uint8_t *out64)
+{
+    const std::uint8_t sector_bit =
+        static_cast<std::uint8_t>(1u << plan.sector);
+    const unsigned g = static_cast<unsigned>(plan.lines.size());
+    sam_assert(g * unit == kCachelineBytes, "bad gather geometry");
+
+    bool all_hit = true;
+    Cycle worst = 0;
+    for (Addr line : plan.lines) {
+        bool hit = false;
+        for (auto *cache : levels_) {
+            if (cache->lookup(line, sector_bit)) {
+                worst = std::max(worst, cache->params().hitLatency);
+                hit = true;
+                break;
+            }
+        }
+        all_hit = all_hit && hit;
+        if (!all_hit)
+            break;
+    }
+
+    if (all_hit) {
+        for (unsigned i = 0; i < g; ++i) {
+            for (auto *cache : levels_) {
+                if (cache->lookup(plan.lines[i], sector_bit)) {
+                    cache->readBytes(plan.lines[i], plan.sector * unit,
+                                     unit, out64 + i * unit);
+                    break;
+                }
+            }
+        }
+        return {worst, false};
+    }
+
+    // One sload fetches all G chunks; overlay any dirtier cached chunk.
+    const auto fetched = backend_.fetchStride(plan);
+    sam_assert(fetched.size() == kCachelineBytes, "short stride fetch");
+    std::memcpy(out64, fetched.data(), kCachelineBytes);
+
+    for (unsigned i = 0; i < g; ++i) {
+        const Addr line = plan.lines[i];
+        std::uint8_t dirty = 0;
+        std::uint8_t cached[kCachelineBytes];
+        const std::uint8_t valid = collect(line, dirty, cached);
+        std::uint8_t buf[kCachelineBytes] = {};
+        std::uint8_t valid_now = valid;
+        const unsigned sector_bytes = l1_.params().sectorBytes;
+        for (unsigned s = 0; s < l1_.sectorsPerLine(); ++s) {
+            if (valid & (1u << s)) {
+                std::memcpy(buf + s * sector_bytes,
+                            cached + s * sector_bytes, sector_bytes);
+            }
+        }
+        if (dirty & sector_bit) {
+            // Cache is newer than memory for this chunk.
+            std::memcpy(out64 + i * unit, buf + plan.sector * unit,
+                        unit);
+        } else {
+            std::memcpy(buf + plan.sector * unit, out64 + i * unit,
+                        unit);
+            valid_now |= sector_bit;
+        }
+        fillLevel(0, line, static_cast<std::uint8_t>(valid_now |
+                                                     sector_bit),
+                  buf, dirty);
+    }
+    return {llc_.params().hitLatency, true};
+}
+
+HierResult
+CacheHierarchy::strideWrite(const GatherPlan &plan, unsigned unit,
+                            const std::uint8_t *src64)
+{
+    const std::uint8_t sector_bit =
+        static_cast<std::uint8_t>(1u << plan.sector);
+    const unsigned g = static_cast<unsigned>(plan.lines.size());
+    const unsigned sector_bytes = l1_.params().sectorBytes;
+    sam_assert(unit == sector_bytes,
+               "stride writes require sector-granular caches");
+
+    for (unsigned i = 0; i < g; ++i) {
+        const Addr line = plan.lines[i];
+        std::uint8_t dirty = 0;
+        std::uint8_t cached[kCachelineBytes];
+        const std::uint8_t valid = collect(line, dirty, cached);
+        std::uint8_t buf[kCachelineBytes] = {};
+        for (unsigned s = 0; s < l1_.sectorsPerLine(); ++s) {
+            if (valid & (1u << s)) {
+                std::memcpy(buf + s * sector_bytes,
+                            cached + s * sector_bytes, sector_bytes);
+            }
+        }
+        std::memcpy(buf + plan.sector * unit, src64 + i * unit, unit);
+        // Written through below: this sector is clean in the caches.
+        fillLevel(0, line,
+                  static_cast<std::uint8_t>(valid | sector_bit), buf,
+                  static_cast<std::uint8_t>(dirty &
+                                            ~unsigned{sector_bit}));
+    }
+    backend_.writeStride(plan, src64);
+    return {l1_.params().hitLatency, true};
+}
+
+HierResult
+CacheHierarchy::writeAllocate(Addr addr, const std::uint8_t *src,
+                              unsigned bytes)
+{
+    const Addr line = addr & ~Addr{kCachelineBytes - 1};
+    const unsigned offset = static_cast<unsigned>(addr - line);
+    std::uint8_t dirty = 0;
+    std::uint8_t cached[kCachelineBytes];
+    const std::uint8_t valid = collect(line, dirty, cached);
+    std::uint8_t merged[kCachelineBytes] = {};
+    const unsigned sector_bytes = l1_.params().sectorBytes;
+    for (unsigned s = 0; s < l1_.sectorsPerLine(); ++s) {
+        if (valid & (1u << s)) {
+            std::memcpy(merged + s * sector_bytes,
+                        cached + s * sector_bytes, sector_bytes);
+        }
+    }
+    std::memcpy(merged + offset, src, bytes);
+    fillLevel(0, line, l1_.fullMask(), merged, l1_.fullMask());
+    return {l1_.params().hitLatency, false};
+}
+
+void
+CacheHierarchy::flush()
+{
+    std::vector<Writeback> wbs;
+    for (auto *cache : levels_)
+        cache->flush(wbs);
+    for (const auto &wb : wbs)
+        backend_.writeback(wb);
+}
+
+} // namespace sam

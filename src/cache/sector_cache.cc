@@ -1,0 +1,207 @@
+#include "src/cache/sector_cache.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/common/bitops.hh"
+#include "src/common/logging.hh"
+
+namespace sam {
+
+void
+CacheStats::registerIn(StatGroup &group) const
+{
+    group.addCounter("hits", hits);
+    group.addCounter("misses", misses);
+    group.addCounter("sectorMisses", sectorMisses,
+                     "line present, sector invalid");
+    group.addCounter("evictions", evictions);
+    group.addCounter("dirtyEvictions", dirtyEvictions);
+}
+
+SectorCache::SectorCache(const CacheParams &params)
+    : params_(params)
+{
+    sam_assert(params.sectorBytes > 0 &&
+                   kCachelineBytes % params.sectorBytes == 0,
+               "bad sector size ", params.sectorBytes);
+    sectorsPerLine_ = kCachelineBytes / params.sectorBytes;
+    sam_assert(sectorsPerLine_ <= 8, "at most 8 sectors per line");
+    fullMask_ = static_cast<std::uint8_t>((1u << sectorsPerLine_) - 1);
+
+    const std::uint64_t lines = params.sizeBytes / kCachelineBytes;
+    sam_assert(lines >= params.assoc, "cache smaller than one set");
+    numSets_ = lines / params.assoc;
+    sam_assert(isPowerOf2(numSets_), "set count must be a power of two");
+    sets_.resize(numSets_);
+}
+
+std::uint8_t
+SectorCache::maskFor(unsigned offset, unsigned bytes) const
+{
+    sam_assert(offset + bytes <= kCachelineBytes, "span exceeds line");
+    sam_assert(bytes > 0, "empty span");
+    const unsigned first = offset / params_.sectorBytes;
+    const unsigned last = (offset + bytes - 1) / params_.sectorBytes;
+    std::uint8_t mask = 0;
+    for (unsigned s = first; s <= last; ++s)
+        mask |= static_cast<std::uint8_t>(1u << s);
+    return mask;
+}
+
+std::size_t
+SectorCache::setIndex(Addr line) const
+{
+    return (line / kCachelineBytes) & (numSets_ - 1);
+}
+
+SectorCache::Entry *
+SectorCache::find(Addr line)
+{
+    for (auto &e : sets_[setIndex(line)]) {
+        if (e.line == line)
+            return &e;
+    }
+    return nullptr;
+}
+
+const SectorCache::Entry *
+SectorCache::find(Addr line) const
+{
+    for (const auto &e : sets_[setIndex(line)]) {
+        if (e.line == line)
+            return &e;
+    }
+    return nullptr;
+}
+
+bool
+SectorCache::lookup(Addr line, std::uint8_t mask)
+{
+    Entry *e = find(line);
+    if (e == nullptr) {
+        ++stats_.misses;
+        return false;
+    }
+    if ((e->validMask & mask) != mask) {
+        ++stats_.misses;
+        ++stats_.sectorMisses;
+        return false;
+    }
+    e->lru = ++lruClock_;
+    ++stats_.hits;
+    return true;
+}
+
+void
+SectorCache::readBytes(Addr line, unsigned offset, unsigned bytes,
+                       std::uint8_t *out) const
+{
+    const Entry *e = find(line);
+    sam_assert(e != nullptr, "readBytes on absent line");
+    std::memcpy(out, e->data.data() + offset, bytes);
+}
+
+void
+SectorCache::writeBytes(Addr line, unsigned offset, unsigned bytes,
+                        const std::uint8_t *src)
+{
+    Entry *e = find(line);
+    sam_assert(e != nullptr, "writeBytes on absent line");
+    std::memcpy(e->data.data() + offset, src, bytes);
+    const std::uint8_t mask = maskFor(offset, bytes);
+    e->dirtyMask |= mask;
+    e->validMask |= mask;
+    e->lru = ++lruClock_;
+}
+
+std::optional<Writeback>
+SectorCache::fill(Addr line, std::uint8_t mask,
+                  const std::uint8_t *data64, bool dirty)
+{
+    Entry *e = find(line);
+    if (e != nullptr) {
+        // Merge into the resident line, sector by sector.
+        for (unsigned s = 0; s < sectorsPerLine_; ++s) {
+            if (mask & (1u << s)) {
+                std::memcpy(e->data.data() + s * params_.sectorBytes,
+                            data64 + s * params_.sectorBytes,
+                            params_.sectorBytes);
+            }
+        }
+        e->validMask |= mask;
+        if (dirty)
+            e->dirtyMask |= mask;
+        e->lru = ++lruClock_;
+        return std::nullopt;
+    }
+
+    auto &set = sets_[setIndex(line)];
+    std::optional<Writeback> victim;
+    if (set.size() >= params_.assoc) {
+        auto lru_it = std::min_element(
+            set.begin(), set.end(),
+            [](const Entry &a, const Entry &b) { return a.lru < b.lru; });
+        ++stats_.evictions;
+        if (lru_it->dirtyMask != 0) {
+            ++stats_.dirtyEvictions;
+            victim = Writeback{lru_it->line, lru_it->dirtyMask,
+                               lru_it->validMask, std::move(lru_it->data)};
+        }
+        set.erase(lru_it);
+    }
+
+    Entry fresh;
+    fresh.line = line;
+    fresh.validMask = mask;
+    fresh.dirtyMask = dirty ? mask : 0;
+    fresh.lru = ++lruClock_;
+    fresh.data.resize(kCachelineBytes);
+    for (unsigned s = 0; s < sectorsPerLine_; ++s) {
+        if (mask & (1u << s)) {
+            std::memcpy(fresh.data.data() + s * params_.sectorBytes,
+                        data64 + s * params_.sectorBytes,
+                        params_.sectorBytes);
+        }
+    }
+    set.push_back(std::move(fresh));
+    return victim;
+}
+
+std::optional<Writeback>
+SectorCache::extract(Addr line)
+{
+    auto &set = sets_[setIndex(line)];
+    for (auto it = set.begin(); it != set.end(); ++it) {
+        if (it->line == line) {
+            Writeback wb{it->line, it->dirtyMask, it->validMask,
+                         std::move(it->data)};
+            set.erase(it);
+            return wb;
+        }
+    }
+    return std::nullopt;
+}
+
+void
+SectorCache::flush(std::vector<Writeback> &out)
+{
+    for (auto &set : sets_) {
+        for (auto &e : set) {
+            if (e.dirtyMask != 0) {
+                out.push_back(Writeback{e.line, e.dirtyMask, e.validMask,
+                                        std::move(e.data)});
+            }
+        }
+        set.clear();
+    }
+}
+
+void
+SectorCache::clear()
+{
+    for (auto &set : sets_)
+        set.clear();
+}
+
+} // namespace sam

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Set-associative write-back sector cache (Section 5.1.1). Each 64B
+ * line is divided into sectors of the configured stride unit; every
+ * sector has its own valid and dirty bit so stride-mode fills can cache
+ * one chunk of each of G lines without fabricating the rest.
+ */
+
+#ifndef SAM_CACHE_SECTOR_CACHE_HH
+#define SAM_CACHE_SECTOR_CACHE_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/common/stats.hh"
+#include "src/common/types.hh"
+
+namespace sam {
+
+/** Geometry and latency of one cache level. */
+struct CacheParams
+{
+    std::uint64_t sizeBytes = 32 * 1024;
+    unsigned assoc = 8;
+    /** Sector size in bytes; 64 disables sectoring. */
+    unsigned sectorBytes = 64;
+    /** Hit latency in memory-bus cycles. */
+    Cycle hitLatency = 1;
+};
+
+/** A dirty line leaving the hierarchy toward memory. */
+struct Writeback
+{
+    Addr line = 0;
+    std::uint8_t dirtyMask = 0;
+    std::uint8_t validMask = 0;
+    std::vector<std::uint8_t> data;  ///< 64B (garbage in invalid sectors).
+};
+
+/** Per-cache counters. */
+struct CacheStats
+{
+    Counter hits;
+    Counter misses;
+    Counter sectorMisses;  ///< Line present but sector invalid.
+    Counter evictions;
+    Counter dirtyEvictions;
+
+    void registerIn(StatGroup &group) const;
+};
+
+/**
+ * One cache level. Stores real data bytes; LRU replacement; write-back.
+ * The hierarchy above it handles fills and eviction cascades.
+ */
+class SectorCache
+{
+  public:
+    explicit SectorCache(const CacheParams &params);
+
+    const CacheParams &params() const { return params_; }
+    unsigned sectorsPerLine() const { return sectorsPerLine_; }
+    std::uint8_t fullMask() const { return fullMask_; }
+
+    /** Sector mask covering bytes [offset, offset + bytes) of a line. */
+    std::uint8_t maskFor(unsigned offset, unsigned bytes) const;
+
+    /**
+     * Look up `line`; true if present with all `mask` sectors valid.
+     * Updates LRU on hit. Line-present-but-sector-invalid counts as a
+     * sector miss.
+     */
+    bool lookup(Addr line, std::uint8_t mask);
+
+    /** Read bytes from a resident line (must be valid per lookup). */
+    void readBytes(Addr line, unsigned offset, unsigned bytes,
+                   std::uint8_t *out) const;
+
+    /** Write bytes into a resident line and mark its sectors dirty. */
+    void writeBytes(Addr line, unsigned offset, unsigned bytes,
+                    const std::uint8_t *src);
+
+    /**
+     * Insert or merge `mask` sectors of `line`. Returns the evicted
+     * victim if an allocation displaced a line.
+     */
+    std::optional<Writeback> fill(Addr line, std::uint8_t mask,
+                                  const std::uint8_t *data64,
+                                  bool dirty);
+
+    /** Remove `line` (for exclusive-hierarchy promotion). */
+    std::optional<Writeback> extract(Addr line);
+
+    /** Drain every line; dirty ones are appended to `out`. */
+    void flush(std::vector<Writeback> &out);
+
+    /** Drop all contents without writebacks (cold reset). */
+    void clear();
+
+    const CacheStats &stats() const { return stats_; }
+
+  private:
+    struct Entry
+    {
+        Addr line = kInvalidAddr;
+        std::uint8_t validMask = 0;
+        std::uint8_t dirtyMask = 0;
+        std::uint64_t lru = 0;
+        std::vector<std::uint8_t> data;
+    };
+
+    std::size_t setIndex(Addr line) const;
+    Entry *find(Addr line);
+    const Entry *find(Addr line) const;
+
+    CacheParams params_;
+    unsigned sectorsPerLine_;
+    std::uint8_t fullMask_;
+    std::size_t numSets_;
+    std::vector<std::vector<Entry>> sets_;
+    std::uint64_t lruClock_ = 0;
+    CacheStats stats_;
+};
+
+} // namespace sam
+
+#endif // SAM_CACHE_SECTOR_CACHE_HH

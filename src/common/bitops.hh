@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Bit-manipulation helpers used by address mapping and the ECC codecs.
+ */
+
+#ifndef SAM_COMMON_BITOPS_HH
+#define SAM_COMMON_BITOPS_HH
+
+#include <bit>
+#include <cstdint>
+
+namespace sam {
+
+/** Extract `len` bits of `value` starting at bit `first` (LSB = 0). */
+constexpr std::uint64_t
+bits(std::uint64_t value, unsigned first, unsigned len)
+{
+    if (len == 0)
+        return 0;
+    if (len >= 64)
+        return value >> first;
+    return (value >> first) & ((std::uint64_t{1} << len) - 1);
+}
+
+/** Replace `len` bits of `value` starting at bit `first` with `field`. */
+constexpr std::uint64_t
+insertBits(std::uint64_t value, unsigned first, unsigned len,
+           std::uint64_t field)
+{
+    const std::uint64_t mask =
+        (len >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << len) - 1))
+        << first;
+    return (value & ~mask) | ((field << first) & mask);
+}
+
+/** log2 of a power-of-two value. */
+constexpr unsigned
+floorLog2(std::uint64_t value)
+{
+    return value == 0 ? 0
+                      : 63 - static_cast<unsigned>(std::countl_zero(value));
+}
+
+/** True iff `value` is a non-zero power of two. */
+constexpr bool
+isPowerOf2(std::uint64_t value)
+{
+    return value != 0 && (value & (value - 1)) == 0;
+}
+
+/** Round `value` up to the next multiple of power-of-two `align`. */
+constexpr std::uint64_t
+roundUp(std::uint64_t value, std::uint64_t align)
+{
+    return (value + align - 1) & ~(align - 1);
+}
+
+/** Round `value` down to a multiple of power-of-two `align`. */
+constexpr std::uint64_t
+roundDown(std::uint64_t value, std::uint64_t align)
+{
+    return value & ~(align - 1);
+}
+
+/** Integer ceiling division. */
+constexpr std::uint64_t
+divCeil(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace sam
+
+#endif // SAM_COMMON_BITOPS_HH

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * A planned stride gather: the G source line addresses and the chunk
+ * slot to take from each. Shared by the IMDB layout planner, the cache
+ * hierarchy, and the design request expander.
+ */
+
+#ifndef SAM_COMMON_GATHER_HH
+#define SAM_COMMON_GATHER_HH
+
+#include <vector>
+
+#include "src/common/types.hh"
+
+namespace sam {
+
+struct GatherPlan
+{
+    std::vector<Addr> lines;
+    unsigned sector = 0;
+};
+
+} // namespace sam
+
+#endif // SAM_COMMON_GATHER_HH

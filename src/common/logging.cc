@@ -1,0 +1,53 @@
+#include "src/common/logging.hh"
+
+#include <cstdio>
+#include <exception>
+#include <stdexcept>
+
+namespace sam {
+
+namespace detail {
+
+bool quiet = false;
+
+[[noreturn]] void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::fflush(stderr);
+    // Throw rather than abort() so unit tests can observe panics with
+    // EXPECT_THROW; uncaught, it still terminates the process.
+    throw std::logic_error("panic: " + msg);
+}
+
+[[noreturn]] void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::fflush(stderr);
+    throw std::runtime_error("fatal: " + msg);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    if (!quiet)
+        std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+informImpl(const std::string &msg)
+{
+    if (!quiet)
+        std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+} // namespace detail
+
+void
+setQuietLogging(bool quiet)
+{
+    detail::quiet = quiet;
+}
+
+} // namespace sam

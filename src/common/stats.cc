@@ -1,0 +1,47 @@
+#include "src/common/stats.hh"
+
+#include <iomanip>
+
+namespace sam {
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    for (const auto &entry : counters_) {
+        os << name_ << '.' << std::left << std::setw(28) << entry.name
+           << ' ' << std::right << std::setw(14) << entry.stat->value();
+        if (!entry.desc.empty())
+            os << "  # " << entry.desc;
+        os << '\n';
+    }
+    for (const auto &entry : accums_) {
+        os << name_ << '.' << std::left << std::setw(28) << entry.name
+           << ' ' << std::right << std::setw(14) << std::fixed
+           << std::setprecision(2) << entry.stat->value();
+        if (!entry.desc.empty())
+            os << "  # " << entry.desc;
+        os << '\n';
+    }
+}
+
+std::uint64_t
+StatGroup::counterValue(const std::string &stat_name) const
+{
+    for (const auto &entry : counters_) {
+        if (entry.name == stat_name)
+            return entry.stat->value();
+    }
+    return 0;
+}
+
+double
+StatGroup::accumValue(const std::string &stat_name) const
+{
+    for (const auto &entry : accums_) {
+        if (entry.name == stat_name)
+            return entry.stat->value();
+    }
+    return 0.0;
+}
+
+} // namespace sam

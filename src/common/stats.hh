@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Lightweight named-statistics registry.
+ *
+ * Components register Counter/Scalar stats into a StatGroup; the System
+ * aggregates groups and dumps them at end of simulation. The design
+ * mirrors gem5's stats package at a much smaller scale.
+ */
+
+#ifndef SAM_COMMON_STATS_HH
+#define SAM_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace sam {
+
+/** A monotonically increasing event counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    Counter &operator++() { ++value_; return *this; }
+    Counter &operator+=(std::uint64_t n) { value_ += n; return *this; }
+    void reset() { value_ = 0; }
+
+    std::uint64_t value() const { return value_; }
+    operator std::uint64_t() const { return value_; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** A floating-point accumulator (e.g., energy in pJ). */
+class Accum
+{
+  public:
+    Accum() = default;
+
+    Accum &operator+=(double v) { value_ += v; return *this; }
+    void reset() { value_ = 0.0; }
+
+    double value() const { return value_; }
+    operator double() const { return value_; }
+
+  private:
+    double value_ = 0.0;
+};
+
+/**
+ * A named collection of statistics belonging to one component.
+ *
+ * Stats are registered by reference; the group does not own them. The
+ * owning component must outlive the group's last dump.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
+
+    void
+    addCounter(const std::string &stat_name, const Counter &counter,
+               const std::string &desc = "")
+    {
+        counters_.push_back({stat_name, &counter, desc});
+    }
+
+    void
+    addAccum(const std::string &stat_name, const Accum &accum,
+             const std::string &desc = "")
+    {
+        accums_.push_back({stat_name, &accum, desc});
+    }
+
+    const std::string &name() const { return name_; }
+
+    /** Write `group.stat value  # desc` lines to `os`. */
+    void dump(std::ostream &os) const;
+
+    /** Look up a counter value by name; returns 0 if absent. */
+    std::uint64_t counterValue(const std::string &stat_name) const;
+
+    /** Look up an accumulator value by name; returns 0 if absent. */
+    double accumValue(const std::string &stat_name) const;
+
+  private:
+    struct CounterEntry
+    {
+        std::string name;
+        const Counter *stat;
+        std::string desc;
+    };
+
+    struct AccumEntry
+    {
+        std::string name;
+        const Accum *stat;
+        std::string desc;
+    };
+
+    std::string name_;
+    std::vector<CounterEntry> counters_;
+    std::vector<AccumEntry> accums_;
+};
+
+} // namespace sam
+
+#endif // SAM_COMMON_STATS_HH

@@ -1,0 +1,93 @@
+#include "src/common/table_printer.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <iomanip>
+
+namespace sam {
+
+void
+TablePrinter::header(std::vector<std::string> cells)
+{
+    header_ = std::move(cells);
+}
+
+void
+TablePrinter::row(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+void
+TablePrinter::separator()
+{
+    separators_.push_back(rows_.size());
+}
+
+void
+TablePrinter::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths;
+    auto grow = [&](const std::vector<std::string> &cells) {
+        if (cells.size() > widths.size())
+            widths.resize(cells.size(), 0);
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    grow(header_);
+    for (const auto &cells : rows_)
+        grow(cells);
+
+    auto print_rule = [&]() {
+        for (std::size_t i = 0; i < widths.size(); ++i) {
+            os << std::string(widths[i] + 2, '-');
+            os << (i + 1 < widths.size() ? "+" : "");
+        }
+        os << '\n';
+    };
+    auto print_row = [&](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < widths.size(); ++i) {
+            const std::string &cell = i < cells.size() ? cells[i] : "";
+            // Left-align the first column (labels), right-align numbers.
+            if (i == 0) {
+                os << ' ' << std::left << std::setw(widths[i]) << cell
+                   << ' ';
+            } else {
+                os << ' ' << std::right << std::setw(widths[i]) << cell
+                   << ' ';
+            }
+            os << (i + 1 < widths.size() ? "|" : "");
+        }
+        os << '\n';
+    };
+
+    if (!header_.empty()) {
+        print_row(header_);
+        print_rule();
+    }
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+        if (std::find(separators_.begin(), separators_.end(), i) !=
+            separators_.end()) {
+            print_rule();
+        }
+        print_row(rows_[i]);
+    }
+}
+
+std::string
+fmtNum(double value, int prec)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", prec, value);
+    return buf;
+}
+
+std::string
+fmtPercent(double fraction, int prec)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", prec, fraction * 100.0);
+    return buf;
+}
+
+} // namespace sam

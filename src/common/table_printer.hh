@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Column-aligned ASCII table output for the benchmark harness. Each bench
+ * binary prints the same rows/series as the corresponding paper figure.
+ */
+
+#ifndef SAM_COMMON_TABLE_PRINTER_HH
+#define SAM_COMMON_TABLE_PRINTER_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace sam {
+
+/**
+ * Accumulates rows of string cells and prints them with aligned columns.
+ * Numeric formatting is the caller's responsibility (use fmtNum helpers).
+ */
+class TablePrinter
+{
+  public:
+    /** Set the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Append one data row. */
+    void row(std::vector<std::string> cells);
+
+    /** Insert a horizontal separator line after the current last row. */
+    void separator();
+
+    /** Render the table. */
+    void print(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+    std::vector<std::size_t> separators_;
+};
+
+/** Format a double with `prec` digits after the decimal point. */
+std::string fmtNum(double value, int prec = 2);
+
+/** Format a value as a percentage string, e.g.\ "7.2%". */
+std::string fmtPercent(double fraction, int prec = 1);
+
+} // namespace sam
+
+#endif // SAM_COMMON_TABLE_PRINTER_HH

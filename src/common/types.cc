@@ -1,0 +1,75 @@
+#include "src/common/types.hh"
+
+#include "src/common/logging.hh"
+
+namespace sam {
+
+std::string
+designName(DesignKind kind)
+{
+    switch (kind) {
+      case DesignKind::Baseline:  return "baseline";
+      case DesignKind::RcNvmBit:  return "RC-NVM-bit";
+      case DesignKind::RcNvmWord: return "RC-NVM-wd";
+      case DesignKind::GsDram:    return "GS-DRAM";
+      case DesignKind::GsDramEcc: return "GS-DRAM-ecc";
+      case DesignKind::SamSub:    return "SAM-sub";
+      case DesignKind::SamIo:     return "SAM-IO";
+      case DesignKind::SamEn:     return "SAM-en";
+      case DesignKind::Ideal:     return "ideal";
+    }
+    panic("unknown DesignKind");
+}
+
+std::string
+memTechName(MemTech tech)
+{
+    switch (tech) {
+      case MemTech::DRAM: return "DRAM";
+      case MemTech::RRAM: return "RRAM";
+    }
+    panic("unknown MemTech");
+}
+
+std::string
+eccSchemeName(EccScheme scheme)
+{
+    switch (scheme) {
+      case EccScheme::None:   return "none";
+      case EccScheme::SecDed: return "SEC-DED";
+      case EccScheme::Ssc:    return "SSC";
+      case EccScheme::SscDsd: return "SSC-DSD";
+      case EccScheme::Ssc32:  return "SSC-32";
+      case EccScheme::Bamboo72: return "Bamboo-72";
+    }
+    panic("unknown EccScheme");
+}
+
+unsigned
+strideGranularityBits(EccScheme scheme)
+{
+    switch (scheme) {
+      case EccScheme::None:
+      case EccScheme::SecDed:
+      case EccScheme::Ssc:
+      case EccScheme::Bamboo72: return 8;
+      case EccScheme::SscDsd:   return 4;
+      case EccScheme::Ssc32:    return 16;
+    }
+    panic("unknown EccScheme");
+}
+
+unsigned
+strideUnitBytes(EccScheme scheme)
+{
+    // 16 data chips, each contributing `granularity` bits per codeword.
+    return strideGranularityBits(scheme) * 16 / 8;
+}
+
+unsigned
+gatherFactor(EccScheme scheme)
+{
+    return kCachelineBytes / strideUnitBytes(scheme);
+}
+
+} // namespace sam

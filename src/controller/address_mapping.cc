@@ -1,0 +1,101 @@
+#include "src/controller/address_mapping.hh"
+
+#include "src/common/bitops.hh"
+#include "src/common/logging.hh"
+
+namespace sam {
+
+AddressMapping::AddressMapping(const Geometry &geom)
+    : geom_(geom)
+{
+    sam_assert(isPowerOf2(geom.channels) && isPowerOf2(geom.ranks) &&
+                   isPowerOf2(geom.bankGroups) &&
+                   isPowerOf2(geom.banksPerGroup) &&
+                   isPowerOf2(geom.rowBytes),
+               "geometry fields must be powers of two");
+    offsetBits_ = floorLog2(kCachelineBytes);
+    columnBits_ = floorLog2(geom.linesPerRow());
+    channelBits_ = floorLog2(geom.channels);
+    bankBits_ = floorLog2(geom.banksPerGroup);
+    groupBits_ = floorLog2(geom.bankGroups);
+    rankBits_ = floorLog2(geom.ranks);
+}
+
+MappedAddr
+AddressMapping::decompose(Addr addr) const
+{
+    MappedAddr m;
+    unsigned shift = offsetBits_;
+    m.column = static_cast<unsigned>(bits(addr, shift, columnBits_));
+    shift += columnBits_;
+    m.channel = static_cast<unsigned>(bits(addr, shift, channelBits_));
+    shift += channelBits_;
+    std::uint64_t sel = bits(addr, shift, bankSelBits());
+    shift += bankSelBits();
+    m.row = bits(addr, shift, 64 - shift);
+    m.bank = static_cast<unsigned>(bits(sel, 0, bankBits_));
+    m.bankGroup = static_cast<unsigned>(bits(sel, bankBits_,
+                                             groupBits_));
+    m.rank = static_cast<unsigned>(
+        bits(sel, bankBits_ + groupBits_, rankBits_));
+    return m;
+}
+
+Addr
+AddressMapping::compose(const MappedAddr &m) const
+{
+    std::uint64_t sel = m.bank;
+    sel = insertBits(sel, bankBits_, groupBits_, m.bankGroup);
+    sel = insertBits(sel, bankBits_ + groupBits_, rankBits_, m.rank);
+
+    Addr addr = 0;
+    unsigned shift = offsetBits_;
+    addr = insertBits(addr, shift, columnBits_, m.column);
+    shift += columnBits_;
+    addr = insertBits(addr, shift, channelBits_, m.channel);
+    shift += channelBits_;
+    addr = insertBits(addr, shift, bankSelBits(), sel);
+    shift += bankSelBits();
+    addr = insertBits(addr, shift, 64 - shift, m.row);
+    return addr;
+}
+
+Addr
+AddressMapping::strideRemap(Addr vaddr, unsigned gather,
+                            unsigned unit) const
+{
+    sam_assert(isPowerOf2(gather) && isPowerOf2(unit) &&
+                   gather * unit == kCachelineBytes,
+               "bad stride geometry: G=", gather, " unit=", unit);
+    const unsigned u = floorLog2(unit);       // chunk offset bits
+    const unsigned s = floorLog2(gather);     // swapped segment width
+    // Figure 10: the chunk-select field of the page offset trades
+    // places with the line-select field, so a virtually-contiguous
+    // strided walk lands on chunk slot `sector` of G consecutive
+    // physical lines.
+    const std::uint64_t f1 = bits(vaddr, u, s);
+    const std::uint64_t f2 = bits(vaddr, u + s, s);
+    Addr out = insertBits(vaddr, u, s, f2);
+    out = insertBits(out, u + s, s, f1);
+    return out;
+}
+
+GatherPlan
+AddressMapping::strideGather(Addr vaddr, unsigned gather,
+                             unsigned unit) const
+{
+    sam_assert(vaddr % kCachelineBytes == 0,
+               "sload address must be line-aligned");
+    GatherPlan plan;
+    plan.lines.reserve(gather);
+    for (unsigned i = 0; i < gather; ++i) {
+        const Addr p = strideRemap(vaddr + i * unit, gather, unit);
+        plan.lines.push_back(p & ~Addr{kCachelineBytes - 1});
+        if (i == 0)
+            plan.sector = static_cast<unsigned>(
+                (p % kCachelineBytes) / unit);
+    }
+    return plan;
+}
+
+} // namespace sam

@@ -1,0 +1,164 @@
+#include "src/controller/controller.hh"
+
+#include <algorithm>
+
+#include "src/common/logging.hh"
+
+namespace sam {
+
+void
+ControllerStats::registerIn(StatGroup &group) const
+{
+    group.addCounter("readsServed", readsServed);
+    group.addCounter("writesServed", writesServed);
+    group.addCounter("strideReadsServed", strideReadsServed);
+    group.addCounter("strideWritesServed", strideWritesServed);
+    group.addCounter("frRowHitPicks", frRowHitPicks,
+                     "FR-FCFS row-hit first picks");
+    group.addCounter("fcfsPicks", fcfsPicks, "oldest-first picks");
+    group.addAccum("totalReadLatency", totalReadLatency,
+                   "sum of read latencies (cycles)");
+}
+
+MemoryController::MemoryController(Device &device, DataPath &data_path,
+                                   const AddressMapping &mapping,
+                                   ControllerParams params,
+                                   bool functional)
+    : device_(device), dataPath_(data_path), mapping_(mapping),
+      params_(params), functional_(functional)
+{
+}
+
+void
+MemoryController::push(MemRequest req)
+{
+    sam_assert(!req.gatherLines.empty(),
+               "request not expanded by a design model");
+    if (isWrite(req.type))
+        writeQ_.push_back(std::move(req));
+    else
+        readQ_.push_back(std::move(req));
+}
+
+std::size_t
+MemoryController::pickFrFcfs(const std::deque<MemRequest> &q)
+{
+    // Prefer the oldest *eligible* (arrived) row-hit request; fall back
+    // to the oldest arrived request; if nothing has arrived yet, the
+    // earliest-arriving one.
+    std::size_t best_hit = q.size();
+    std::size_t best_arrived = q.size();
+    std::size_t earliest = 0;
+    for (std::size_t i = 0; i < q.size(); ++i) {
+        const MemRequest &r = q[i];
+        if (r.arrival < q[earliest].arrival)
+            earliest = i;
+        if (r.arrival > now_)
+            continue;
+        if (best_arrived == q.size())
+            best_arrived = i;
+        const MappedAddr &a = r.device.addr;
+        if (best_hit == q.size() && device_.rowOpen(a) &&
+            device_.openRow(a) == a.row) {
+            best_hit = i;
+        }
+    }
+    if (best_hit != q.size()) {
+        ++stats_.frRowHitPicks;
+        return best_hit;
+    }
+    if (best_arrived != q.size()) {
+        ++stats_.fcfsPicks;
+        return best_arrived;
+    }
+    ++stats_.fcfsPicks;
+    return earliest;
+}
+
+Completion
+MemoryController::serve(MemRequest req)
+{
+    // The scheduling clock models command-bus occupancy only (one slot
+    // per PRE/ACT/CAS); array timing legality is the device's job.
+    // Serialising requests behind each other's tRCD here would deny the
+    // bank-level parallelism a real FR-FCFS controller exploits.
+    const Cycle earliest = std::max(now_, req.arrival);
+    const AccessResult r = device_.access(req.device, earliest);
+    now_ = earliest + 1 + 2 * r.activates;
+
+    Completion c;
+    c.id = req.id;
+    c.coreId = req.coreId;
+    c.isRead = !isWrite(req.type);
+    c.done = r.done + params_.pipelineLatency;
+
+    switch (req.type) {
+      case AccessType::Read:
+        if (functional_)
+            c.outcome = dataPath_.readLine(req.gatherLines[0]);
+        ++stats_.readsServed;
+        stats_.totalReadLatency += static_cast<double>(c.done -
+                                                       req.arrival);
+        break;
+      case AccessType::StrideRead:
+        if (functional_)
+            c.outcome = dataPath_.strideRead(req.gatherLines, req.sector,
+                                             req.strideUnit);
+        ++stats_.strideReadsServed;
+        stats_.totalReadLatency += static_cast<double>(c.done -
+                                                       req.arrival);
+        break;
+      case AccessType::Write:
+        if (functional_) {
+            sam_assert(req.writeData.size() == kCachelineBytes,
+                       "write without a full-line payload");
+            dataPath_.writeLine(req.gatherLines[0], req.writeData);
+        }
+        ++stats_.writesServed;
+        break;
+      case AccessType::StrideWrite:
+        if (functional_) {
+            sam_assert(req.writeData.size() == kCachelineBytes,
+                       "stride write without a full-line payload");
+            dataPath_.strideWrite(req.gatherLines, req.sector,
+                                  req.strideUnit, req.writeData);
+        }
+        ++stats_.strideWritesServed;
+        break;
+    }
+    return c;
+}
+
+std::optional<Completion>
+MemoryController::serviceNext()
+{
+    if (readQ_.empty() && writeQ_.empty())
+        return std::nullopt;
+
+    // Write-drain policy: writes are posted and only drained when the
+    // queue is pressurised or there is nothing else to do.
+    if (drainingWrites_ && writeQ_.size() <= params_.writeLowWatermark)
+        drainingWrites_ = false;
+    if (!drainingWrites_ && writeQ_.size() >= params_.writeHighWatermark)
+        drainingWrites_ = true;
+
+    const bool serve_write =
+        !writeQ_.empty() && (drainingWrites_ || readQ_.empty());
+
+    auto &q = serve_write ? writeQ_ : readQ_;
+    const std::size_t idx = pickFrFcfs(q);
+    MemRequest req = std::move(q[idx]);
+    q.erase(q.begin() + static_cast<std::ptrdiff_t>(idx));
+    return serve(std::move(req));
+}
+
+Cycle
+MemoryController::drainAll()
+{
+    Cycle last = now_;
+    while (auto c = serviceNext())
+        last = std::max(last, c->done);
+    return last;
+}
+
+} // namespace sam

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Memory requests exchanged between the cache hierarchy / query engine
+ * and the memory controller.
+ */
+
+#ifndef SAM_CONTROLLER_REQUEST_HH
+#define SAM_CONTROLLER_REQUEST_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/types.hh"
+#include "src/dram/data_path.hh"
+#include "src/dram/device.hh"
+
+namespace sam {
+
+/**
+ * The request types visible above the controller. StrideRead and
+ * StrideWrite correspond to the paper's sload / sstore ISA extension
+ * (Section 5.1.2); the request type is how the "instruction" informs
+ * the controller to drive the stride mode.
+ */
+enum class AccessType { Read, Write, StrideRead, StrideWrite };
+
+inline bool
+isWrite(AccessType t)
+{
+    return t == AccessType::Write || t == AccessType::StrideWrite;
+}
+
+inline bool
+isStride(AccessType t)
+{
+    return t == AccessType::StrideRead || t == AccessType::StrideWrite;
+}
+
+/** One line-granular (or stride-line-granular) memory request. */
+struct MemRequest
+{
+    AccessType type = AccessType::Read;
+
+    /**
+     * Line address for regular accesses; gather-group base address
+     * (aligned to G lines) for stride accesses.
+     */
+    Addr addr = 0;
+
+    /** Chunk slot within each source line for stride accesses. */
+    unsigned sector = 0;
+
+    /** Write payload (64B) for Write / StrideWrite. */
+    std::vector<std::uint8_t> writeData;
+
+    Cycle arrival = 0;
+    unsigned coreId = 0;
+    std::uint64_t id = 0;
+
+    // ----- Filled by the design model before enqueue --------------
+    /** Timing view: the device access this request performs. */
+    DeviceAccess device;
+    /** Functional view: source lines (1 for regular, G for stride). */
+    std::vector<Addr> gatherLines;
+    /** Stride chunk size in bytes (unused for regular accesses). */
+    unsigned strideUnit = 0;
+};
+
+/** Completion record returned by the controller. */
+struct Completion
+{
+    std::uint64_t id = 0;
+    unsigned coreId = 0;
+    Cycle done = 0;
+    bool isRead = false;
+    ReadOutcome outcome;  ///< Data + ECC flags for reads.
+};
+
+} // namespace sam
+
+#endif // SAM_CONTROLLER_REQUEST_HH

@@ -1,0 +1,75 @@
+#include "src/core/session.hh"
+
+#include <cmath>
+
+#include "src/common/logging.hh"
+
+namespace sam {
+
+Session::Session(SimConfig base)
+    : base_(std::move(base))
+{
+}
+
+System &
+Session::system(DesignKind design)
+{
+    auto it = systems_.find(design);
+    if (it == systems_.end()) {
+        SimConfig cfg = base_;
+        cfg.design = design;
+        it = systems_.emplace(design,
+                              std::make_unique<System>(cfg)).first;
+    }
+    return *it->second;
+}
+
+RunStats
+Session::run(DesignKind design, const Query &query)
+{
+    return system(design).runQuery(query);
+}
+
+Comparison
+Session::compare(DesignKind design, const Query &query)
+{
+    Comparison cmp;
+    cmp.design = run(design, query);
+    cmp.baseline = run(DesignKind::Baseline, query);
+    sam_assert(cmp.design.cycles > 0 && cmp.baseline.cycles > 0,
+               "query produced no work");
+    cmp.speedup = static_cast<double>(cmp.baseline.cycles) /
+                  static_cast<double>(cmp.design.cycles);
+    const double e_design = cmp.design.power.totalEnergyPj();
+    const double e_base = cmp.baseline.power.totalEnergyPj();
+    cmp.energyEfficiency = e_design > 0 ? e_base / e_design : 0.0;
+    return cmp;
+}
+
+void
+Session::checkResult(const Query &query, const RunStats &stats) const
+{
+    const QueryResult expect = referenceResult(
+        query, TableSchema{"Ta", base_.taFields, base_.taRecords},
+        TableSchema{"Tb", base_.tbFields, base_.tbRecords});
+    sam_assert(stats.result == expect,
+               "functional result mismatch on ", query.name,
+               ": rows ", stats.result.rows, " vs ", expect.rows,
+               ", agg ", stats.result.aggregate, " vs ",
+               expect.aggregate, ", checksum ", stats.result.checksum,
+               " vs ", expect.checksum);
+}
+
+double
+geometricMean(const std::vector<double> &values)
+{
+    sam_assert(!values.empty(), "geometric mean of nothing");
+    double log_sum = 0.0;
+    for (double v : values) {
+        sam_assert(v > 0.0, "geometric mean needs positive values");
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+} // namespace sam

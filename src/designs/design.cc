@@ -1,0 +1,116 @@
+#include "src/designs/design.hh"
+
+#include "src/area/area_model.hh"
+#include "src/common/logging.hh"
+
+namespace sam {
+
+std::string
+layoutName(LayoutKind kind)
+{
+    switch (kind) {
+      case LayoutKind::RowStore:      return "row-store";
+      case LayoutKind::ColumnStore:   return "column-store";
+      case LayoutKind::SamAligned:    return "SAM-aligned";
+      case LayoutKind::VerticalGroup: return "vertical-group";
+      case LayoutKind::GsSegmented:   return "GS-segmented";
+    }
+    panic("unknown LayoutKind");
+}
+
+DesignSpec
+makeDesign(DesignKind kind, EccScheme ecc, MemTech tech_override,
+           bool use_tech_override)
+{
+    DesignSpec d;
+    d.kind = kind;
+    d.ecc = ecc;
+    d.areaOverhead = AreaModel::areaOverhead(kind);
+
+    switch (kind) {
+      case DesignKind::Baseline:
+      case DesignKind::Ideal:
+        d.layout = LayoutKind::RowStore; // ideal swaps per query
+        d.traits.performance = kind == DesignKind::Ideal ? 1 : -1;
+        d.traits.powerRating = 1;
+        d.traits.areaRating = 1;
+        d.traits.modeSwitchRating = 1;
+        break;
+
+      case DesignKind::RcNvmBit:
+        d.tech = MemTech::RRAM;
+        d.supportsStride = true;
+        d.strideAcrossRows = true;
+        // Bit-level crossbar symmetry: a word-granularity field must be
+        // assembled from multiple bit-column accesses (Section 6.2);
+        // one extra column access per gather models the sub-field
+        // collection overhead.
+        d.strideCollectBursts = 1;
+        d.layout = LayoutKind::VerticalGroup;
+        d.traits = {true, true, true, false, false, true,
+                    -1, 0, -1, true, 0};
+        break;
+
+      case DesignKind::RcNvmWord:
+        d.tech = MemTech::RRAM;
+        d.supportsStride = true;
+        d.strideAcrossRows = true;
+        d.layout = LayoutKind::VerticalGroup;
+        d.traits = {true, true, true, false, false, true,
+                    -1, 0, -1, true, 0};
+        break;
+
+      case DesignKind::GsDram:
+      case DesignKind::GsDramEcc:
+        d.supportsStride = true;
+        d.zeroModeSwitchCost = true; // widened command interface
+        d.embeddedEcc = kind == DesignKind::GsDramEcc;
+        d.ecc = EccScheme::None;     // chipkill-incompatible layout
+        d.layout = LayoutKind::GsSegmented;
+        d.traits = {true, true, true, true, true, false,
+                    1, 1, 1, false, 1};
+        break;
+
+      case DesignKind::SamSub:
+        d.supportsStride = true;
+        d.strideAcrossRows = true;
+        d.layout = LayoutKind::VerticalGroup;
+        d.power.background = 1.02; // extra decoding and SA logic
+        d.traits = {true, true, true, false, false, true,
+                    0, 1, 0, true, 0};
+        break;
+
+      case DesignKind::SamIo:
+        d.supportsStride = true;
+        d.layout = LayoutKind::SamAligned;
+        // Stride reads fetch all four I/O buffers (288B internally for
+        // the 72B sent on the channel). The surcharge is bounded by the
+        // x16-mode read current, ~2.5x the x4 mode (array fetch
+        // quadruples but the I/O driver share is unchanged).
+        d.power.strideBurst = 2.5;
+        // Transposed codeword layout (Figure 4(c)): no critical-word
+        // first, and the whole 8-beat interval must elapse before a
+        // codeword is checkable (Section 4.2.2, "<1%" impact).
+        d.strideReadLatency = kBurstLength;
+        d.traits = {true, true, true, false, false, false,
+                    1, 0, 1, true, 0};
+        break;
+
+      case DesignKind::SamEn:
+        d.supportsStride = true;
+        d.layout = LayoutKind::SamAligned;
+        // Option 1 (fine-grained activation) trims activation energy in
+        // stride mode; option 2 (2-D buffer) restores the default
+        // layout, so no transposed fetch surcharge either.
+        d.power.strideAct = 0.5;
+        d.traits = {true, true, true, false, false, true,
+                    1, 1, 1, true, 0};
+        break;
+    }
+
+    if (use_tech_override)
+        d.tech = tech_override;
+    return d;
+}
+
+} // namespace sam

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Per-design specification: substrate technology, stride capability,
+ * layout constraints, power adjustments, and the qualitative traits of
+ * the paper's Table 1. One DesignSpec fully determines how the system
+ * simulator instantiates and drives the memory system for that design.
+ */
+
+#ifndef SAM_DESIGNS_DESIGN_HH
+#define SAM_DESIGNS_DESIGN_HH
+
+#include <string>
+
+#include "src/common/types.hh"
+#include "src/power/power_model.hh"
+
+namespace sam {
+
+/** How the IMDB lays records out in physical memory (Section 5.4.1). */
+enum class LayoutKind {
+    RowStore,       ///< Records contiguous (baseline, ideal-for-Qs).
+    ColumnStore,    ///< Fields contiguous (ideal-for-Q software layout).
+    SamAligned,     ///< Row-store with G-record groups aligned to
+                    ///< sub-rows (SAM-IO / SAM-en, Figure 11(a)).
+    VerticalGroup,  ///< Records of a group spread across G rows of one
+                    ///< bank (SAM-sub / RC-NVM alignment).
+    GsSegmented,    ///< 64B-segment transposed groups (GS-DRAM,
+                    ///< Figure 11(b)).
+};
+
+std::string layoutName(LayoutKind kind);
+
+/** Table 1 qualitative traits (printed by bench/table1_qualitative). */
+struct QualTraits
+{
+    bool needsDbAlignment = false;
+    bool needsIsaExtension = false;
+    bool needsSectorCache = false;
+    bool modifiesMemController = false;
+    bool modifiesCommandInterface = false;
+    bool criticalWordFirst = true;
+    int performance = 0;        ///< -1 poor, 0 fair, +1 good.
+    int powerRating = 0;
+    int areaRating = 0;
+    bool reliable = true;       ///< Chipkill-class protection retained.
+    int modeSwitchRating = 0;
+};
+
+/** Everything the simulator needs to instantiate one design. */
+struct DesignSpec
+{
+    DesignKind kind = DesignKind::Baseline;
+    MemTech tech = MemTech::DRAM;
+    EccScheme ecc = EccScheme::SscDsd;
+
+    bool supportsStride = false;
+    /**
+     * Stride gathers span G rows of a column-wise subarray (SAM-sub,
+     * RC-NVM) rather than sub-rows of one open row (SAM-IO/en,
+     * GS-DRAM).
+     */
+    bool strideAcrossRows = false;
+    /** GS-DRAM widened the command bus: no mode-switch penalty. */
+    bool zeroModeSwitchCost = false;
+    /**
+     * Extra same-row bursts every stride access pays to collect
+     * bit-level sub-fields (RC-NVM-bit, Section 6.2).
+     */
+    unsigned strideCollectBursts = 0;
+    /** Embedded in-page ECC (GS-DRAM-ecc): extra ECC-line bursts. */
+    bool embeddedEcc = false;
+    /**
+     * Response-path cycles added to stride reads (SAM-IO's transposed
+     * layout cannot deliver critical-word-first; the impact is small,
+     * Section 4.2.2).
+     */
+    unsigned strideReadLatency = 0;
+
+    /** Physical record layout this design requires. */
+    LayoutKind layout = LayoutKind::RowStore;
+
+    double areaOverhead = 0.0;  ///< Derates array timing (Section 6.1).
+    PowerAdjust power;
+    QualTraits traits;
+
+    std::string name() const { return designName(kind); }
+};
+
+/**
+ * Build the spec for a design under a given ECC scheme (the scheme sets
+ * the strided granularity; GS-DRAM forces EccScheme::None since it is
+ * incompatible with chipkill). `tech_override` re-bases a design on the
+ * other technology for the Figure 14(a) experiment.
+ */
+DesignSpec makeDesign(DesignKind kind,
+                      EccScheme ecc = EccScheme::SscDsd,
+                      MemTech tech_override = MemTech::DRAM,
+                      bool use_tech_override = false);
+
+} // namespace sam
+
+#endif // SAM_DESIGNS_DESIGN_HH

@@ -1,0 +1,151 @@
+#include "src/designs/design_model.hh"
+
+#include "src/common/logging.hh"
+
+namespace sam {
+
+namespace {
+
+/** High tag bit marking synthetic column-subarray rows. */
+constexpr std::uint64_t kColRowTag = std::uint64_t{1} << 62;
+
+/** Data lines covered by one embedded-ECC line (8 x 8B per 64B). */
+constexpr unsigned kEccCoverage = 8;
+
+} // namespace
+
+DesignModel::DesignModel(const DesignSpec &spec,
+                         const AddressMapping &mapping,
+                         unsigned stride_unit)
+    : spec_(spec), mapping_(mapping), strideUnit_(stride_unit)
+{
+    sam_assert(stride_unit > 0 && kCachelineBytes % stride_unit == 0,
+               "bad stride unit ", stride_unit);
+}
+
+unsigned
+DesignModel::embeddedEccBursts(const MappedAddr &m, Addr line_addr,
+                               bool is_write)
+{
+    if (!spec_.embeddedEcc)
+        return 0;
+    // The controller keeps a small per-bank cache of recently fetched
+    // embedded-ECC lines (each covers 8 data lines); a miss costs one
+    // extra burst, and writes cost an ECC write-back burst.
+    const unsigned bank = m.flatBank(mapping_.geometry());
+    const Addr ecc_line = line_addr / (kEccCoverage * kCachelineBytes);
+    unsigned bursts = 0;
+    auto &recent = lastEccLine_[bank];
+    bool hit = false;
+    for (std::size_t i = 0; i < recent.size(); ++i) {
+        if (recent[i] == ecc_line) {
+            hit = true;
+            recent.erase(recent.begin() +
+                         static_cast<std::ptrdiff_t>(i));
+            break;
+        }
+    }
+    if (!hit)
+        bursts += 1; // fetch the ECC line
+    recent.push_back(ecc_line);
+    if (recent.size() > 4)
+        recent.erase(recent.begin());
+    if (is_write)
+        bursts += 1; // write the updated ECC back
+    return bursts;
+}
+
+std::uint64_t
+DesignModel::columnRowId(const MappedAddr &m, unsigned sector) const
+{
+    const Geometry &geom = mapping_.geometry();
+    // The column-wise subarray buffers one field-chunk column of a
+    // whole subarray: scanning down the subarray at a fixed chunk
+    // column keeps hitting it; switching field (chunk column) or
+    // crossing into the next subarray re-activates.
+    const std::uint64_t subarray = m.row / geom.rowsPerSubarray();
+    const std::uint64_t chunk_col =
+        (static_cast<std::uint64_t>(m.column) * kCachelineBytes) /
+            strideUnit_ + sector;
+    return kColRowTag | (subarray << 24) | chunk_col;
+}
+
+MemRequest
+DesignModel::lineRequest(AccessType type, Addr line_addr, Cycle arrival,
+                         unsigned core_id)
+{
+    sam_assert(!isStride(type), "lineRequest given a stride type");
+    sam_assert(line_addr % kCachelineBytes == 0, "unaligned line");
+
+    MemRequest req;
+    req.type = type;
+    req.addr = line_addr;
+    req.arrival = arrival;
+    req.coreId = core_id;
+    req.gatherLines = {line_addr};
+    req.device.addr = mapping_.decompose(line_addr);
+    req.device.isWrite = isWrite(type);
+    req.device.mode = AccessMode::Regular;
+    req.device.extraBursts =
+        embeddedEccBursts(req.device.addr, line_addr, isWrite(type));
+    return req;
+}
+
+MemRequest
+DesignModel::strideRequest(AccessType type, const GatherPlan &plan,
+                           Cycle arrival, unsigned core_id)
+{
+    sam_assert(isStride(type), "strideRequest given a regular type");
+    sam_assert(spec_.supportsStride,
+               spec_.name(), " does not support stride accesses");
+    sam_assert(plan.lines.size() == gatherFactor(),
+               "gather plan has ", plan.lines.size(), " lines, expected ",
+               gatherFactor());
+
+    MemRequest req;
+    req.type = type;
+    req.addr = plan.lines[0];
+    req.sector = plan.sector;
+    req.strideUnit = strideUnit_;
+    req.arrival = arrival;
+    req.coreId = core_id;
+    req.gatherLines = plan.lines;
+    req.device.isWrite = isWrite(type);
+
+    MappedAddr m = mapping_.decompose(plan.lines[0]);
+    if (spec_.strideAcrossRows) {
+        // SAM-sub / RC-NVM: the gather opens a column-wise subarray.
+        // Synthesise its row id; the bank sees a distinct "row" per
+        // (subarray, field column).
+        req.device.columnActivate = true;
+        m.row = columnRowId(m, plan.sector);
+    } else {
+        // SAM-IO / SAM-en / GS-DRAM: all source lines live in one
+        // physical row (sub-row alignment, Section 5.2).
+        const MappedAddr last = mapping_.decompose(plan.lines.back());
+        sam_assert(last.sameRow(mapping_.decompose(plan.lines[0])),
+                   "sub-row gather crosses a DRAM row");
+    }
+    req.device.addr = m;
+    // GS-DRAM's widened command interface avoids the mode register
+    // round-trip; SAM pays tRTR on mode change (Section 5.3).
+    req.device.mode = spec_.zeroModeSwitchCost ? AccessMode::Regular
+                                               : AccessMode::Stride;
+    // RC-NVM-bit's sub-field collection: the extra bit-column access
+    // overlaps the burst transfer roughly half of the time, so charge
+    // the collection burst on alternating gathers.
+    unsigned collect = 0;
+    if (spec_.strideCollectBursts > 0) {
+        collectToggle_ = !collectToggle_;
+        if (collectToggle_)
+            collect = spec_.strideCollectBursts;
+    }
+    req.device.extraBursts = collect +
+                             embeddedEccBursts(m, plan.lines[0],
+                                               isWrite(type));
+    if (!isWrite(type))
+        req.device.extraLatency = spec_.strideReadLatency;
+    return req;
+}
+
+} // namespace sam

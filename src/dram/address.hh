@@ -1,0 +1,60 @@
+/**
+ * @file
+ * A physical address decomposed into DRAM coordinates.
+ */
+
+#ifndef SAM_DRAM_ADDRESS_HH
+#define SAM_DRAM_ADDRESS_HH
+
+#include <cstdint>
+
+#include "src/common/types.hh"
+#include "src/dram/timing.hh"
+
+namespace sam {
+
+/**
+ * DRAM coordinates of one cacheline-sized column access. Produced by the
+ * controller's AddressMapping from a flat physical address.
+ */
+struct MappedAddr
+{
+    unsigned channel = 0;
+    unsigned rank = 0;
+    unsigned bankGroup = 0;
+    unsigned bank = 0;      ///< Bank index within its group.
+    std::uint64_t row = 0;
+    unsigned column = 0;    ///< 64B line index within the row.
+
+    /** Flat bank id within the rank. */
+    unsigned
+    bankInRank(const Geometry &geom) const
+    {
+        return bankGroup * geom.banksPerGroup + bank;
+    }
+
+    /** Flat bank id across the whole system. */
+    unsigned
+    flatBank(const Geometry &geom) const
+    {
+        return (channel * geom.ranks + rank) * geom.banksPerRank() +
+               bankInRank(geom);
+    }
+
+    bool
+    sameBank(const MappedAddr &o) const
+    {
+        return channel == o.channel && rank == o.rank &&
+               bankGroup == o.bankGroup && bank == o.bank;
+    }
+
+    bool
+    sameRow(const MappedAddr &o) const
+    {
+        return sameBank(o) && row == o.row;
+    }
+};
+
+} // namespace sam
+
+#endif // SAM_DRAM_ADDRESS_HH

@@ -1,0 +1,49 @@
+#include "src/dram/backing_store.hh"
+
+#include "src/common/logging.hh"
+
+namespace sam {
+
+std::vector<std::uint8_t>
+BackingStore::readLine(Addr line_addr) const
+{
+    sam_assert(line_addr % kCachelineBytes == 0,
+               "unaligned line read: ", line_addr);
+    auto it = lines_.find(line_addr);
+    if (it == lines_.end())
+        return std::vector<std::uint8_t>(blobBytes_, 0);
+    return it->second;
+}
+
+void
+BackingStore::writeLine(Addr line_addr,
+                        const std::vector<std::uint8_t> &blob)
+{
+    sam_assert(line_addr % kCachelineBytes == 0,
+               "unaligned line write: ", line_addr);
+    sam_assert(blob.size() == blobBytes_,
+               "blob size mismatch: ", blob.size(), " vs ", blobBytes_);
+    lines_[line_addr] = blob;
+}
+
+bool
+BackingStore::contains(Addr line_addr) const
+{
+    return lines_.find(line_addr) != lines_.end();
+}
+
+void
+BackingStore::corruptLine(Addr line_addr,
+                          const std::vector<std::uint8_t> &xor_mask)
+{
+    sam_assert(xor_mask.size() == blobBytes_, "mask size mismatch");
+    auto it = lines_.find(line_addr);
+    if (it == lines_.end()) {
+        lines_[line_addr] = xor_mask;
+        return;
+    }
+    for (std::size_t i = 0; i < blobBytes_; ++i)
+        it->second[i] ^= xor_mask[i];
+}
+
+} // namespace sam

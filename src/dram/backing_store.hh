@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Sparse functional byte storage for the simulated memory.
+ *
+ * Lines are stored ECC-encoded (data + parity blob) exactly as a real
+ * rank would hold them, so chip-failure injection corrupts stored state
+ * and the ECC engine's correction is exercised on the actual data path.
+ */
+
+#ifndef SAM_DRAM_BACKING_STORE_HH
+#define SAM_DRAM_BACKING_STORE_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/types.hh"
+
+namespace sam {
+
+/**
+ * Sparse page-granular byte store addressed by flat physical address.
+ * Unwritten bytes read as zero.
+ */
+class BackingStore
+{
+  public:
+    /** @param blob_bytes Stored bytes per 64B line (data + parity). */
+    explicit BackingStore(unsigned blob_bytes)
+        : blobBytes_(blob_bytes)
+    {}
+
+    unsigned blobBytes() const { return blobBytes_; }
+
+    /**
+     * Read the stored blob for the line containing `line_addr` (must be
+     * 64B aligned in data-address space).
+     */
+    std::vector<std::uint8_t> readLine(Addr line_addr) const;
+
+    /** Store a blob for an aligned line address. */
+    void writeLine(Addr line_addr, const std::vector<std::uint8_t> &blob);
+
+    /** True if the line was ever written. */
+    bool contains(Addr line_addr) const;
+
+    /** XOR a mask into stored bytes of a line (error injection). */
+    void corruptLine(Addr line_addr,
+                     const std::vector<std::uint8_t> &xor_mask);
+
+    /** Number of distinct lines stored. */
+    std::size_t lineCount() const { return lines_.size(); }
+
+  private:
+    unsigned blobBytes_;
+    std::unordered_map<Addr, std::vector<std::uint8_t>> lines_;
+};
+
+} // namespace sam
+
+#endif // SAM_DRAM_BACKING_STORE_HH

@@ -1,0 +1,125 @@
+#include "src/dram/data_path.hh"
+
+#include "src/common/logging.hh"
+#include "src/dram/io_buffer.hh"
+
+namespace sam {
+
+void
+EccStats::registerIn(StatGroup &group) const
+{
+    group.addCounter("linesChecked", linesChecked, "lines ECC-checked");
+    group.addCounter("correctedLines", correctedLines,
+                     "lines with corrected errors");
+    group.addCounter("correctedSymbols", correctedSymbols,
+                     "total symbols corrected");
+    group.addCounter("uncorrectable", uncorrectable,
+                     "detected uncorrectable lines");
+}
+
+DataPath::DataPath(EccScheme scheme)
+    : ecc_(scheme),
+      store_(kCachelineBytes + EccEngine(scheme).parityBytesPerLine())
+{
+}
+
+ReadOutcome
+DataPath::fetchDecoded(Addr line_addr)
+{
+    auto blob = store_.readLine(line_addr);
+    for (unsigned chip : failedChips_)
+        ecc_.corruptChip(blob, chip);
+
+    const EccLineResult r = ecc_.decodeLine(blob);
+    ++stats_.linesChecked;
+    if (r.corrected) {
+        ++stats_.correctedLines;
+        stats_.correctedSymbols += r.symbolsCorrected;
+    }
+    if (r.uncorrectable)
+        ++stats_.uncorrectable;
+
+    ReadOutcome out;
+    out.corrected = r.corrected;
+    out.uncorrectable = r.uncorrectable;
+    blob.resize(kCachelineBytes);
+    out.data = std::move(blob);
+    return out;
+}
+
+ReadOutcome
+DataPath::readLine(Addr line_addr)
+{
+    return fetchDecoded(line_addr);
+}
+
+void
+DataPath::writeLine(Addr line_addr, const std::vector<std::uint8_t> &data)
+{
+    store_.writeLine(line_addr, ecc_.encodeLine(data));
+}
+
+ReadOutcome
+DataPath::strideRead(const std::vector<Addr> &line_addrs, unsigned sector,
+                     unsigned unit)
+{
+    std::vector<std::vector<std::uint8_t>> lines;
+    lines.reserve(line_addrs.size());
+    ReadOutcome out;
+    for (Addr a : line_addrs) {
+        ReadOutcome one = fetchDecoded(a);
+        out.corrected = out.corrected || one.corrected;
+        out.uncorrectable = out.uncorrectable || one.uncorrectable;
+        lines.push_back(std::move(one.data));
+    }
+    out.data = StrideGather::gather(lines, sector, unit);
+    return out;
+}
+
+void
+DataPath::strideWrite(const std::vector<Addr> &line_addrs, unsigned sector,
+                      unsigned unit,
+                      const std::vector<std::uint8_t> &stride_line)
+{
+    // Read-modify-write: decode each target line, patch the chunk,
+    // re-encode. Mirrors SAM's requirement that strided writes keep
+    // every touched codeword consistent.
+    std::vector<std::vector<std::uint8_t>> lines;
+    lines.reserve(line_addrs.size());
+    for (Addr a : line_addrs)
+        lines.push_back(fetchDecoded(a).data);
+
+    StrideGather::scatter(stride_line, lines, sector, unit);
+
+    for (std::size_t i = 0; i < line_addrs.size(); ++i)
+        store_.writeLine(line_addrs[i], ecc_.encodeLine(lines[i]));
+}
+
+void
+DataPath::writePartial(Addr line_addr,
+                       const std::vector<std::uint8_t> &data,
+                       std::uint8_t sector_mask, unsigned sector_bytes)
+{
+    sam_assert(data.size() >= kCachelineBytes, "short partial write");
+    sam_assert(sector_bytes > 0 && kCachelineBytes % sector_bytes == 0,
+               "bad sector size");
+    std::vector<std::uint8_t> line = fetchDecoded(line_addr).data;
+    const unsigned sectors = kCachelineBytes / sector_bytes;
+    for (unsigned s = 0; s < sectors; ++s) {
+        if (sector_mask & (1u << s)) {
+            std::copy(data.begin() + s * sector_bytes,
+                      data.begin() + (s + 1) * sector_bytes,
+                      line.begin() + s * sector_bytes);
+        }
+    }
+    store_.writeLine(line_addr, ecc_.encodeLine(line));
+}
+
+void
+DataPath::failChip(unsigned chip)
+{
+    sam_assert(chip < ecc_.numChips(), "chip ", chip, " out of range");
+    failedChips_.insert(chip);
+}
+
+} // namespace sam

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Functional data path of one channel: ECC-encoded backing storage,
+ * chip-failure injection, and the stride gather/scatter performed by the
+ * SAM I/O structures. Timing lives in Device; this class moves the
+ * actual bytes so simulated queries compute real results through real
+ * codewords.
+ */
+
+#ifndef SAM_DRAM_DATA_PATH_HH
+#define SAM_DRAM_DATA_PATH_HH
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "src/common/stats.hh"
+#include "src/common/types.hh"
+#include "src/dram/backing_store.hh"
+#include "src/ecc/ecc_engine.hh"
+
+namespace sam {
+
+/** ECC event counters for one channel. */
+struct EccStats
+{
+    Counter linesChecked;
+    Counter correctedLines;
+    Counter correctedSymbols;
+    Counter uncorrectable;
+
+    void registerIn(StatGroup &group) const;
+};
+
+/** Outcome of a functional read. */
+struct ReadOutcome
+{
+    std::vector<std::uint8_t> data;  ///< 64 corrected data bytes.
+    bool corrected = false;
+    bool uncorrectable = false;
+};
+
+class DataPath
+{
+  public:
+    explicit DataPath(EccScheme scheme);
+
+    const EccEngine &ecc() const { return ecc_; }
+    EccScheme scheme() const { return ecc_.scheme(); }
+
+    /** Read and ECC-check the 64B line at `line_addr` (64B aligned). */
+    ReadOutcome readLine(Addr line_addr);
+
+    /** Encode and store a full 64B line. */
+    void writeLine(Addr line_addr, const std::vector<std::uint8_t> &data);
+
+    /**
+     * Stride-mode read: gather chunk `sector` of each source line into
+     * one 64B strided line (Section 4.2). Sources are ECC-checked; a
+     * failed chip is corrected exactly as in regular mode, which is
+     * SAM's chipkill-compatibility property.
+     */
+    ReadOutcome strideRead(const std::vector<Addr> &line_addrs,
+                           unsigned sector, unsigned unit);
+
+    /**
+     * Stride-mode write: scatter the chunks of `stride_line` into chunk
+     * slot `sector` of each source line (read-modify-write with
+     * re-encode).
+     */
+    void strideWrite(const std::vector<Addr> &line_addrs, unsigned sector,
+                     unsigned unit,
+                     const std::vector<std::uint8_t> &stride_line);
+
+    /**
+     * Partial line write (a sector-cache writeback with only some
+     * sectors dirty): read-modify-write the masked sectors.
+     */
+    void writePartial(Addr line_addr, const std::vector<std::uint8_t> &data,
+                      std::uint8_t sector_mask, unsigned sector_bytes);
+
+    /**
+     * Mark a chip as permanently failed: every subsequent read sees its
+     * contribution inverted (stuck-at-complement fault model).
+     */
+    void failChip(unsigned chip);
+
+    /** Clear injected chip failures. */
+    void clearChipFailures() { failedChips_.clear(); }
+
+    const std::set<unsigned> &failedChips() const { return failedChips_; }
+
+    const EccStats &stats() const { return stats_; }
+    BackingStore &store() { return store_; }
+
+  private:
+    /** Fetch blob with failures applied, decode, account stats. */
+    ReadOutcome fetchDecoded(Addr line_addr);
+
+    EccEngine ecc_;
+    BackingStore store_;
+    std::set<unsigned> failedChips_;
+    EccStats stats_;
+};
+
+} // namespace sam
+
+#endif // SAM_DRAM_DATA_PATH_HH

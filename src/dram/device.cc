@@ -1,0 +1,236 @@
+#include "src/dram/device.hh"
+
+#include <algorithm>
+
+#include "src/common/logging.hh"
+
+namespace sam {
+
+void
+DeviceStats::registerIn(StatGroup &group) const
+{
+    group.addCounter("activates", activates, "row activations");
+    group.addCounter("columnActivates", columnActivates,
+                     "column-wise subarray activations");
+    group.addCounter("precharges", precharges, "bank precharges");
+    group.addCounter("reads", reads, "regular read bursts");
+    group.addCounter("writes", writes, "regular write bursts");
+    group.addCounter("strideReads", strideReads, "stride-mode reads");
+    group.addCounter("strideWrites", strideWrites, "stride-mode writes");
+    group.addCounter("extraBursts", extraBursts,
+                     "additional bursts (ECC fetch / sub-field)");
+    group.addCounter("rowHits", rowHits, "row-buffer hits");
+    group.addCounter("rowMisses", rowMisses, "row-buffer misses");
+    group.addCounter("modeSwitches", modeSwitches, "I/O mode switches");
+    group.addCounter("refreshes", refreshes, "refresh operations");
+    group.addCounter("busBusyCycles", busBusyCycles,
+                     "data bus occupied cycles");
+}
+
+Device::Device(const Geometry &geom, const TimingParams &timing)
+    : geom_(geom), timing_(timing)
+{
+    banks_.resize(static_cast<std::size_t>(geom_.channels) * geom_.ranks *
+                  geom_.banksPerRank());
+    ranks_.resize(static_cast<std::size_t>(geom_.channels) * geom_.ranks);
+    channels_.resize(geom_.channels);
+    for (auto &r : ranks_) {
+        r.groupCasReady.assign(geom_.bankGroups, 0);
+        r.groupActReady.assign(geom_.bankGroups, 0);
+        // Stagger initial refreshes across ranks is unnecessary at this
+        // fidelity; refresh starts one interval in.
+        r.nextRefresh = timing_.tREFI;
+    }
+}
+
+Device::BankState &
+Device::bank(const MappedAddr &a)
+{
+    return banks_[a.flatBank(geom_)];
+}
+
+const Device::BankState &
+Device::bank(const MappedAddr &a) const
+{
+    return banks_[a.flatBank(geom_)];
+}
+
+Device::RankState &
+Device::rank(const MappedAddr &a)
+{
+    return ranks_[a.channel * geom_.ranks + a.rank];
+}
+
+bool
+Device::rowOpen(const MappedAddr &addr) const
+{
+    return bank(addr).rowOpen;
+}
+
+std::uint64_t
+Device::openRow(const MappedAddr &addr) const
+{
+    return bank(addr).row;
+}
+
+void
+Device::applyRefresh(RankState &rank_state, unsigned rank_id, Cycle t)
+{
+    if (timing_.tREFI == 0)
+        return; // non-volatile technology: no refresh
+    while (rank_state.nextRefresh <= t) {
+        const Cycle ref_start = rank_state.nextRefresh;
+        const Cycle ref_end = ref_start + timing_.tRFC;
+        rank_state.refreshUntil = std::max(rank_state.refreshUntil,
+                                           ref_end);
+        // All banks of the rank are precharged and blocked.
+        for (unsigned b = 0; b < geom_.banksPerRank(); ++b) {
+            BankState &bs = banks_[rank_id * geom_.banksPerRank() + b];
+            bs.rowOpen = false;
+            bs.actReady = std::max(bs.actReady, ref_end);
+            bs.casReady = std::max(bs.casReady, ref_end);
+        }
+        rank_state.nextRefresh += timing_.tREFI;
+        ++stats_.refreshes;
+    }
+}
+
+AccessResult
+Device::access(const DeviceAccess &acc, Cycle earliest)
+{
+    const MappedAddr &a = acc.addr;
+    sam_assert(a.channel < geom_.channels && a.rank < geom_.ranks &&
+                   a.bankGroup < geom_.bankGroups &&
+                   a.bank < geom_.banksPerGroup,
+               "access out of geometry range");
+
+    BankState &bs = bank(a);
+    RankState &rs = rank(a);
+    const unsigned rank_id = a.channel * geom_.ranks + a.rank;
+    applyRefresh(rs, rank_id, earliest);
+
+    AccessResult result;
+    Cycle t = std::max(earliest, rs.refreshUntil);
+
+    // ----- Row preparation -----------------------------------------
+    const bool row_hit = bs.rowOpen && bs.row == a.row;
+    Cycle cas_earliest = t;
+    if (row_hit) {
+        ++stats_.rowHits;
+        result.rowHit = true;
+    } else {
+        ++stats_.rowMisses;
+        Cycle act_floor = t;
+        if (bs.rowOpen) {
+            const Cycle pre_at = std::max(t, bs.preReady);
+            act_floor = pre_at + timing_.tRP;
+            ++stats_.precharges;
+        } else {
+            act_floor = std::max(t, bs.actReady);
+        }
+        // Inter-ACT constraints: tRRD_S/L and the tFAW window.
+        Cycle act_at = std::max({act_floor, rs.actReady,
+                                 rs.groupActReady[a.bankGroup]});
+        if (rs.actWindow.size() >= 4)
+            act_at = std::max(act_at, rs.actWindow.front() + timing_.tFAW);
+
+        // Commit the ACT.
+        rs.actWindow.push_back(act_at);
+        while (rs.actWindow.size() > 4)
+            rs.actWindow.pop_front();
+        rs.actReady = act_at + timing_.tRRD_S;
+        rs.groupActReady[a.bankGroup] = act_at + timing_.tRRD_L;
+        bs.rowOpen = true;
+        bs.row = a.row;
+        bs.preReady = act_at + timing_.tRAS;
+        bs.casReady = std::max(bs.casReady, act_at + timing_.tRCD);
+        cas_earliest = act_at + timing_.tRCD;
+        result.activates = 1;
+        ++stats_.activates;
+        if (acc.columnActivate)
+            ++stats_.columnActivates;
+    }
+
+    // ----- I/O mode switch (Section 5.3: costs tRTR on the rank) ----
+    if (rs.ioMode != acc.mode) {
+        const Cycle sw_at = std::max(cas_earliest, rs.modeReady);
+        cas_earliest = sw_at + timing_.tRTR;
+        rs.ioMode = acc.mode;
+        rs.modeReady = cas_earliest;
+        result.modeSwitched = true;
+        ++stats_.modeSwitches;
+    }
+
+    // ----- CAS + data bursts ----------------------------------------
+    const unsigned bursts = 1 + acc.extraBursts;
+    const unsigned cas_lat = acc.isWrite ? timing_.cwl : timing_.cl;
+    Cycle data_end = 0;
+    for (unsigned b = 0; b < bursts; ++b) {
+        Cycle cas_at = std::max({cas_earliest, bs.casReady, rs.casReady,
+                                 rs.groupCasReady[a.bankGroup]});
+        cas_at = std::max(cas_at,
+                          acc.isWrite ? rs.wrReady : rs.rdReady);
+
+        // Data bus: the burst occupies [data_at, data_at + tBL); a rank
+        // switch on the bus inserts a tRTR bubble.
+        ChannelState &ch = channels_[a.channel];
+        Cycle data_at = cas_at + cas_lat;
+        Cycle bus_floor = ch.busFree;
+        if (ch.lastBusRank >= 0 &&
+            ch.lastBusRank != static_cast<int>(rank_id)) {
+            bus_floor += timing_.tRTR;
+        }
+        if (data_at < bus_floor) {
+            data_at = bus_floor;
+            cas_at = data_at - cas_lat;
+        }
+
+        // Commit the CAS.
+        rs.casReady = cas_at + timing_.tCCD_S;
+        rs.groupCasReady[a.bankGroup] = cas_at + timing_.tCCD_L;
+        bs.casReady = std::max(bs.casReady, cas_at + timing_.tCCD_L);
+        if (acc.isWrite) {
+            const Cycle wr_end = cas_at + timing_.cwl + timing_.tBL;
+            bs.preReady = std::max(bs.preReady, wr_end + timing_.tWR);
+            rs.rdReady = std::max(rs.rdReady, wr_end + timing_.tWTR_S);
+        } else {
+            bs.preReady = std::max(bs.preReady, cas_at + timing_.tRTP);
+            // Read-to-write bus turnaround: one bubble beyond burst end.
+            rs.wrReady = std::max(rs.wrReady,
+                                  cas_at + timing_.cl + timing_.tBL + 2 -
+                                      timing_.cwl);
+        }
+
+        ch.busFree = data_at + timing_.tBL;
+        ch.lastBusRank = static_cast<int>(rank_id);
+        stats_.busBusyCycles += timing_.tBL;
+        data_end = data_at + timing_.tBL;
+
+        if (b == 0) {
+            result.issue = cas_at;
+            result.dataStart = data_at;
+        } else {
+            ++stats_.extraBursts;
+        }
+        cas_earliest = cas_at + 1;
+    }
+    result.done = data_end + acc.extraLatency;
+    if (traceHook_)
+        traceHook_(acc, result);
+
+    // ----- Statistics ------------------------------------------------
+    if (acc.mode == AccessMode::Stride) {
+        if (acc.isWrite)
+            ++stats_.strideWrites;
+        else
+            ++stats_.strideReads;
+    } else {
+        if (acc.isWrite)
+            ++stats_.writes;
+        else
+            ++stats_.reads;
+    }
+    return result;
+}
+
+} // namespace sam

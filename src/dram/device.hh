@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Cycle-accounted DRAM/RRAM device timing model.
+ *
+ * The device is an event-driven resource-reservation engine: every bank,
+ * rank, and the shared data bus keep "earliest next action" timestamps,
+ * and each access computes its PRE/ACT/CAS/data placement against the
+ * full DDR4 constraint set (tRCD, tRP, tRAS, tCCD_S/L, tRRD_S/L, tFAW,
+ * tWR, tWTR, tRTP, tRTR, refresh). This captures bank-level parallelism,
+ * row-buffer locality, bus occupancy, rank switches, and SAM's I/O mode
+ * switches without per-cycle ticking.
+ */
+
+#ifndef SAM_DRAM_DEVICE_HH
+#define SAM_DRAM_DEVICE_HH
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "src/common/stats.hh"
+#include "src/common/types.hh"
+#include "src/dram/address.hh"
+#include "src/dram/timing.hh"
+
+namespace sam {
+
+/** I/O mode a request requires on its rank (Section 5.3). */
+enum class AccessMode { Regular, Stride };
+
+/** One column access presented to the device by the controller. */
+struct DeviceAccess
+{
+    MappedAddr addr;
+    bool isWrite = false;
+    AccessMode mode = AccessMode::Regular;
+    /**
+     * Extra same-row bursts this access needs beyond the first (e.g.\
+     * GS-DRAM-ecc embedded-ECC fetch, RC-NVM-bit sub-field collection).
+     */
+    unsigned extraBursts = 0;
+    /**
+     * SAM-sub / RC-NVM column-wise activation: the ACT drives a
+     * column-wise subarray spanning multiple mats (counted separately
+     * for the power model; timing equals a regular ACT per Section 4.1).
+     */
+    bool columnActivate = false;
+    /**
+     * Response-path latency added after the burst completes without
+     * holding any resource (e.g.\ SAM-IO's transposed layout defeats
+     * critical-word-first and the controller reassembles the codeword
+     * from all eight beats, Section 4.2.2).
+     */
+    unsigned extraLatency = 0;
+};
+
+/** Timing outcome of one access. */
+struct AccessResult
+{
+    Cycle issue = 0;      ///< First CAS issue time.
+    Cycle dataStart = 0;  ///< First beat on the data bus.
+    Cycle done = 0;       ///< Last beat transferred (request complete).
+    bool rowHit = false;
+    bool modeSwitched = false;
+    unsigned activates = 0;
+};
+
+/** Device-level counters feeding the power model. */
+struct DeviceStats
+{
+    Counter activates;
+    Counter columnActivates;
+    Counter precharges;
+    Counter reads;
+    Counter writes;
+    Counter strideReads;
+    Counter strideWrites;
+    Counter extraBursts;
+    Counter rowHits;
+    Counter rowMisses;
+    Counter modeSwitches;
+    Counter refreshes;
+    Counter busBusyCycles;
+
+    void registerIn(StatGroup &group) const;
+};
+
+/**
+ * The memory device shared by one channel. Not thread-safe; owned by the
+ * channel's controller.
+ */
+class Device
+{
+  public:
+    Device(const Geometry &geom, const TimingParams &timing);
+
+    const Geometry &geometry() const { return geom_; }
+    const TimingParams &timing() const { return timing_; }
+
+    /**
+     * Schedule one access no earlier than `earliest`. Mutates device
+     * state (row buffers, bus, mode registers) and returns the timing.
+     */
+    AccessResult access(const DeviceAccess &acc, Cycle earliest);
+
+    /** Open row in the bank of `addr`, or kInvalidCycle-like sentinel. */
+    bool rowOpen(const MappedAddr &addr) const;
+    std::uint64_t openRow(const MappedAddr &addr) const;
+
+    /** Earliest cycle the channel's data bus is free. */
+    Cycle
+    busFreeAt(unsigned channel = 0) const
+    {
+        return channels_[channel].busFree;
+    }
+
+    /**
+     * Observer invoked once per serviced access with its timing
+     * outcome (a command-level trace hook for debugging and tools).
+     */
+    using TraceHook = std::function<void(const DeviceAccess &,
+                                         const AccessResult &)>;
+    void setTraceHook(TraceHook hook) { traceHook_ = std::move(hook); }
+
+    const DeviceStats &stats() const { return stats_; }
+    DeviceStats &stats() { return stats_; }
+
+  private:
+    struct BankState
+    {
+        bool rowOpen = false;
+        std::uint64_t row = 0;
+        Cycle actReady = 0;  ///< Earliest next ACT (tRP honoured).
+        Cycle preReady = 0;  ///< Earliest next PRE (tRAS/tWR/tRTP).
+        Cycle casReady = 0;  ///< Earliest next CAS to this bank.
+    };
+
+    struct RankState
+    {
+        std::vector<Cycle> groupCasReady;  ///< tCCD_L per bank group.
+        std::vector<Cycle> groupActReady;  ///< tRRD_L per bank group.
+        Cycle casReady = 0;                ///< tCCD_S rank-wide.
+        Cycle actReady = 0;                ///< tRRD_S rank-wide.
+        Cycle rdReady = 0;                 ///< Write-to-read (tWTR).
+        Cycle wrReady = 0;                 ///< Read-to-write turnaround.
+        std::deque<Cycle> actWindow;       ///< Last ACTs for tFAW.
+        AccessMode ioMode = AccessMode::Regular;
+        Cycle modeReady = 0;
+        Cycle nextRefresh = 0;
+        Cycle refreshUntil = 0;
+    };
+
+    BankState &bank(const MappedAddr &a);
+    const BankState &bank(const MappedAddr &a) const;
+    RankState &rank(const MappedAddr &a);
+
+    /** Retire refreshes due before `t`; returns updated floor time. */
+    void applyRefresh(RankState &rank, unsigned rank_id, Cycle t);
+
+    struct ChannelState
+    {
+        Cycle busFree = 0;
+        int lastBusRank = -1;
+    };
+
+    Geometry geom_;
+    TimingParams timing_;
+    std::vector<BankState> banks_;
+    std::vector<RankState> ranks_;
+    std::vector<ChannelState> channels_;
+    DeviceStats stats_;
+    TraceHook traceHook_;
+};
+
+} // namespace sam
+
+#endif // SAM_DRAM_DEVICE_HH

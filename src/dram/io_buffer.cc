@@ -1,0 +1,188 @@
+#include "src/dram/io_buffer.hh"
+
+#include "src/common/logging.hh"
+
+namespace sam {
+
+void
+ChipIoPath::reset()
+{
+    buffers_.fill(0);
+    mode_ = IoMode::X4;
+    lane_ = 0;
+}
+
+void
+ChipIoPath::setMode(IoMode mode, unsigned lane)
+{
+    sam_assert(lane < kLanesPerBuffer, "stride lane out of range: ", lane);
+    mode_ = mode;
+    lane_ = (mode == IoMode::Sx4) ? lane : 0;
+}
+
+void
+ChipIoPath::loadBuffer(unsigned buf, std::uint32_t data)
+{
+    sam_assert(buf < kNumBuffers, "buffer index out of range: ", buf);
+    buffers_[buf] = data;
+}
+
+std::uint32_t
+ChipIoPath::buffer(unsigned buf) const
+{
+    sam_assert(buf < kNumBuffers, "buffer index out of range: ", buf);
+    return buffers_[buf];
+}
+
+std::uint8_t
+ChipIoPath::lane(unsigned buf, unsigned l) const
+{
+    return static_cast<std::uint8_t>((buffers_[buf] >> (8 * l)) & 0xff);
+}
+
+std::vector<unsigned>
+ChipIoPath::enabledDrivers() const
+{
+    std::vector<unsigned> drivers;
+    switch (mode_) {
+      case IoMode::X4:
+        for (unsigned d = 0; d < 4; ++d)
+            drivers.push_back(d);
+        break;
+      case IoMode::X8:
+        for (unsigned d = 0; d < 8; ++d)
+            drivers.push_back(d);
+        break;
+      case IoMode::X16:
+        for (unsigned d = 0; d < 16; ++d)
+            drivers.push_back(d);
+        break;
+      case IoMode::Sx4:
+        // Figure 7: Sx4_n enables drivers {n, n+4, n+8, n+12}, one per
+        // I/O buffer, all serving lane n.
+        for (unsigned b = 0; b < kNumBuffers; ++b)
+            drivers.push_back(lane_ + 4 * b);
+        break;
+    }
+    return drivers;
+}
+
+std::vector<std::uint8_t>
+ChipIoPath::burstPayload() const
+{
+    std::vector<std::uint8_t> out;
+    switch (mode_) {
+      case IoMode::X4:
+        for (unsigned l = 0; l < kLanesPerBuffer; ++l)
+            out.push_back(lane(0, l));
+        break;
+      case IoMode::X8:
+        for (unsigned b = 0; b < 2; ++b)
+            for (unsigned l = 0; l < kLanesPerBuffer; ++l)
+                out.push_back(lane(b, l));
+        break;
+      case IoMode::X16:
+        for (unsigned b = 0; b < kNumBuffers; ++b)
+            for (unsigned l = 0; l < kLanesPerBuffer; ++l)
+                out.push_back(lane(b, l));
+        break;
+      case IoMode::Sx4:
+        // Lane `lane_` of every buffer: the strided gather.
+        for (unsigned b = 0; b < kNumBuffers; ++b)
+            out.push_back(lane(b, lane_));
+        break;
+    }
+    return out;
+}
+
+std::vector<std::uint8_t>
+ChipIoPath::columnWisePayload(unsigned col) const
+{
+    sam_assert(col < kLanesPerBuffer, "column out of range: ", col);
+    // The yz-plane view of the 2-D buffer: position `col` of each
+    // buffer, read through the added serializer set. Identical bytes to
+    // Sx4_col but stored/streamed in the default column-major layout.
+    std::vector<std::uint8_t> out;
+    for (unsigned b = 0; b < kNumBuffers; ++b)
+        out.push_back(lane(b, col));
+    return out;
+}
+
+std::array<std::uint8_t, 2>
+ChipIoPath::interleavedNibblePayload(unsigned lane_pair,
+                                     unsigned nibble) const
+{
+    sam_assert(lane_pair < 2, "lane pair out of range");
+    sam_assert(nibble < 2, "nibble select out of range");
+    // Figure 9(b): the interleaved MUX joins 4 bits from each of two
+    // same-ID lanes so two 4-bit symbols share one driver. For buffers
+    // b in {0,1} (driver 0) and {2,3} (driver 1), take the selected
+    // nibble of lane (2*lane_pair + nibble)... the symbol layout packs
+    // nibble `nibble` of two adjacent buffers into one byte.
+    std::array<std::uint8_t, 2> out{};
+    for (unsigned half = 0; half < 2; ++half) {
+        const unsigned b0 = 2 * half;
+        const std::uint8_t s0 = static_cast<std::uint8_t>(
+            (lane(b0, 2 * lane_pair + (nibble ? 1 : 0)) >>
+             (nibble ? 4 : 0)) & 0xf);
+        const std::uint8_t s1 = static_cast<std::uint8_t>(
+            (lane(b0 + 1, 2 * lane_pair + (nibble ? 1 : 0)) >>
+             (nibble ? 4 : 0)) & 0xf);
+        out[half] = static_cast<std::uint8_t>(s0 | (s1 << 4));
+    }
+    return out;
+}
+
+std::uint16_t
+ChipIoPath::beatBits(unsigned beat) const
+{
+    sam_assert(beat < kBurstLength, "beat out of range: ", beat);
+    const auto payload = burstPayload();
+    std::uint16_t bits_out = 0;
+    for (std::size_t dq = 0; dq < payload.size(); ++dq) {
+        if (payload[dq] & (1u << beat))
+            bits_out |= static_cast<std::uint16_t>(1u << dq);
+    }
+    return bits_out;
+}
+
+std::vector<std::uint8_t>
+StrideGather::gather(const std::vector<std::vector<std::uint8_t>> &lines,
+                     unsigned sector, unsigned unit)
+{
+    sam_assert(unit > 0 && kCachelineBytes % unit == 0,
+               "bad stride unit: ", unit);
+    const unsigned g = kCachelineBytes / unit;
+    sam_assert(lines.size() == g, "gather expects ", g, " lines, got ",
+               lines.size());
+    sam_assert((sector + 1) * unit <= kCachelineBytes,
+               "sector out of range");
+
+    std::vector<std::uint8_t> out(kCachelineBytes);
+    for (unsigned i = 0; i < g; ++i) {
+        sam_assert(lines[i].size() >= kCachelineBytes,
+                   "source line too short");
+        for (unsigned b = 0; b < unit; ++b)
+            out[i * unit + b] = lines[i][sector * unit + b];
+    }
+    return out;
+}
+
+void
+StrideGather::scatter(const std::vector<std::uint8_t> &stride_line,
+                      std::vector<std::vector<std::uint8_t>> &lines,
+                      unsigned sector, unsigned unit)
+{
+    sam_assert(stride_line.size() >= kCachelineBytes,
+               "stride line too short");
+    const unsigned g = kCachelineBytes / unit;
+    sam_assert(lines.size() == g, "scatter expects ", g, " lines");
+    for (unsigned i = 0; i < g; ++i) {
+        sam_assert(lines[i].size() >= kCachelineBytes,
+                   "target line too short");
+        for (unsigned b = 0; b < unit; ++b)
+            lines[i][sector * unit + b] = stride_line[i * unit + b];
+    }
+}
+
+} // namespace sam

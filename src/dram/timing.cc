@@ -1,0 +1,74 @@
+#include "src/dram/timing.hh"
+
+#include <cmath>
+
+#include "src/common/logging.hh"
+
+namespace sam {
+
+namespace {
+
+unsigned
+scaleParam(unsigned value, double factor)
+{
+    return static_cast<unsigned>(std::lround(value * factor));
+}
+
+} // namespace
+
+TimingParams
+TimingParams::derated(double area_overhead) const
+{
+    sam_assert(area_overhead >= 0.0, "negative area overhead");
+    const double f = 1.0 + area_overhead;
+    TimingParams out = *this;
+    // Array-side latencies grow with the array footprint; I/O-side
+    // parameters are pipeline-depth bound and stay fixed (Section 6.1:
+    // "core frequencies in all the designs are not changed ... other
+    // latency parameters, such as tRCD, tAL, etc, are increased
+    // proportionally to the area overhead").
+    out.tRCD = scaleParam(tRCD, f);
+    out.tRP = scaleParam(tRP, f);
+    out.tRAS = scaleParam(tRAS, f);
+    out.tRRD_S = scaleParam(tRRD_S, f);
+    out.tRRD_L = scaleParam(tRRD_L, f);
+    out.tFAW = scaleParam(tFAW, f);
+    out.tWR = scaleParam(tWR, f);
+    out.tRTP = scaleParam(tRTP, f);
+    return out;
+}
+
+TimingParams
+ddr4Timing()
+{
+    return TimingParams{};
+}
+
+TimingParams
+rramTiming()
+{
+    TimingParams t;
+    // Paper Table 2 RRAM row: CL-nRCD-nRP = 17-35-1; bank/bus-side
+    // parameters match the DDR4 interface it reuses.
+    t.tRCD = 35;
+    t.tRP = 1;
+    t.tRAS = 6;    // non-destructive read: no restore phase
+    t.tWR = 120;   // ~100ns RRAM write pulse dominates write recovery
+    t.tWTR_S = 12; // write pulse also delays following reads
+    t.tWTR_L = 24;
+    t.tREFI = 0;   // non-volatile: no refresh
+    t.tRFC = 0;
+    return t;
+}
+
+TimingParams
+timingFor(MemTech tech)
+{
+    switch (tech) {
+      case MemTech::DRAM: return ddr4Timing();
+      case MemTech::RRAM: return rramTiming();
+    }
+    panic("unknown MemTech");
+}
+
+} // namespace sam

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Device timing parameters (in memory-bus clock cycles) and geometry for
+ * the simulated DDR4 / RRAM devices (paper Table 2).
+ */
+
+#ifndef SAM_DRAM_TIMING_HH
+#define SAM_DRAM_TIMING_HH
+
+#include "src/common/types.hh"
+
+namespace sam {
+
+/**
+ * Timing parameters in nCK units of the 1200 MHz DDR4-2400 bus clock
+ * (tCK = 0.833 ns). RRAM values follow the paper's Table 2 and NVMain's
+ * RRAM model: slow activation (tRCD 35), near-free precharge (tRP 1,
+ * reads are non-destructive), long write recovery.
+ */
+struct TimingParams
+{
+    double tCkNs = 0.833;  ///< Bus clock period (ns).
+
+    unsigned cl = 17;      ///< CAS (read) latency.
+    unsigned cwl = 12;     ///< CAS write latency.
+    unsigned tRCD = 17;    ///< ACT to CAS delay.
+    unsigned tRP = 17;     ///< Precharge latency.
+    unsigned tRAS = 39;    ///< ACT to PRE minimum.
+    unsigned tBL = 4;      ///< Burst occupancy (8 beats, DDR).
+    unsigned tCCD_S = 4;   ///< CAS-to-CAS, different bank group.
+    unsigned tCCD_L = 6;   ///< CAS-to-CAS, same bank group.
+    unsigned tRRD_S = 4;   ///< ACT-to-ACT, different bank group.
+    unsigned tRRD_L = 6;   ///< ACT-to-ACT, same bank group.
+    unsigned tFAW = 26;    ///< Four-activate window.
+    unsigned tWR = 18;     ///< Write recovery before precharge.
+    unsigned tWTR_S = 3;   ///< Write-to-read, different bank group.
+    unsigned tWTR_L = 9;   ///< Write-to-read, same bank group.
+    unsigned tRTP = 9;     ///< Read-to-precharge.
+    unsigned tRTR = 2;     ///< Rank-to-rank switch; also the SAM I/O
+                           ///< mode-switch delay (Section 5.3).
+    unsigned tREFI = 9360; ///< Refresh interval (7.8 us).
+    unsigned tRFC = 420;   ///< Refresh cycle time (8Gb device).
+
+    Cycle tRC() const { return tRAS + tRP; }
+
+    /**
+     * Scale array-access latencies by an area overhead factor. The paper
+     * (Section 6.1) increases latency parameters proportionally to the
+     * array area overhead of each design; I/O-side parameters (CL, tBL,
+     * tCCD, tRTR) are unaffected.
+     */
+    TimingParams derated(double area_overhead) const;
+};
+
+/** DDR4-2400 x4 preset (paper Table 2, DRAM row). */
+TimingParams ddr4Timing();
+
+/** RRAM preset (paper Table 2, RRAM row). */
+TimingParams rramTiming();
+
+/** Pick the preset for a technology. */
+TimingParams timingFor(MemTech tech);
+
+/**
+ * Geometry of the simulated memory system (paper Table 2): one channel,
+ * two ranks, 16 banks per rank in four bank groups, 8KB rank-level rows.
+ */
+struct Geometry
+{
+    unsigned channels = 1;
+    unsigned ranks = 2;
+    unsigned bankGroups = 4;   ///< Per rank.
+    unsigned banksPerGroup = 4;
+    unsigned rowsPerBank = 1u << 17;  ///< 256 subarrays x 512 rows.
+    unsigned rowBytes = 8192;  ///< Rank-level row (16 x4 chips x 4Kb).
+    unsigned subarraysPerBank = 256;
+
+    unsigned banksPerRank() const { return bankGroups * banksPerGroup; }
+    unsigned totalBanks() const
+    {
+        return channels * ranks * banksPerRank();
+    }
+    unsigned linesPerRow() const { return rowBytes / kCachelineBytes; }
+    unsigned rowsPerSubarray() const
+    {
+        return rowsPerBank / subarraysPerBank;
+    }
+    std::uint64_t
+    capacityBytes() const
+    {
+        return static_cast<std::uint64_t>(channels) * ranks *
+               banksPerRank() * rowsPerBank * rowBytes;
+    }
+};
+
+} // namespace sam
+
+#endif // SAM_DRAM_TIMING_HH

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Rank-level ECC engine: encodes 64B lines into data+parity blobs laid
+ * out across the chips of a chipkill rank, decodes/corrects on read, and
+ * exposes chip-accurate error injection (Section 2.3, Figure 4).
+ *
+ * Geometry per scheme (all use 16 data chips worth of payload per line
+ * and 8 parity bytes per 64B, i.e. the 2-in-18 chip overhead):
+ *
+ *  - SEC-DED : 8 x (72,64) extended Hamming codewords, one per 8B word.
+ *              A chip failure spans 4 bits of every codeword, which
+ *              SEC-DED cannot correct -- the motivating weakness.
+ *  - SSC     : 4 x RS(18,16) over GF(2^8); chip c holds symbol c of every
+ *              codeword (8 bits per chip per codeword, Figure 4(b)).
+ *  - SSC-DSD : 2 x RS(36,32) over GF(2^8); each chip contributes one
+ *              8-bit symbol built from two 4-bit beats. Decode policy is
+ *              correct-one / detect-two symbols (chips).
+ *  - SSC-32  : 2 x (2 interleaved RS(18,16)); 16-bit symbols, chip c
+ *              holds both interleaves of symbol c.
+ *  - Bamboo-72: one RS(72,64) codeword over the whole 512b line (the
+ *              stronger large-codeword variant the paper cites [26]);
+ *              chip c holds symbols {c, 18+c, 36+c, 54+c}, so a failed
+ *              chip is 4 of the 8 correctable symbols.
+ */
+
+#ifndef SAM_ECC_ECC_ENGINE_HH
+#define SAM_ECC_ECC_ENGINE_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/common/random.hh"
+#include "src/common/stats.hh"
+#include "src/common/types.hh"
+#include "src/ecc/reed_solomon.hh"
+
+namespace sam {
+
+/** Per-line decode outcome reported to the memory controller. */
+struct EccLineResult
+{
+    bool clean = true;           ///< No errors present.
+    bool corrected = false;      ///< At least one codeword corrected.
+    bool uncorrectable = false;  ///< Detected-but-uncorrectable error.
+    unsigned symbolsCorrected = 0;
+};
+
+/**
+ * Encoder/decoder for one rank's ECC scheme. Stateless apart from
+ * statistics; safe to share across banks of the same rank.
+ */
+class EccEngine
+{
+  public:
+    explicit EccEngine(EccScheme scheme);
+
+    EccScheme scheme() const { return scheme_; }
+
+    /** Parity bytes appended to each 64B line (0 or 8). */
+    unsigned parityBytesPerLine() const;
+
+    /** Total chips in the rank (data + parity) for injection purposes. */
+    unsigned numChips() const;
+
+    /** Data chips in the rank. */
+    unsigned numDataChips() const;
+
+    /**
+     * Encode a 64B line; returns 64 data bytes followed by
+     * parityBytesPerLine() parity bytes.
+     */
+    std::vector<std::uint8_t> encodeLine(
+        const std::vector<std::uint8_t> &line) const;
+
+    /**
+     * Decode a blob produced by encodeLine() in place (correcting
+     * correctable errors) and report the outcome. On success the first
+     * 64 bytes of `blob` are the corrected data.
+     */
+    EccLineResult decodeLine(std::vector<std::uint8_t> &blob) const;
+
+    /**
+     * Flip every bit this chip contributes to the line -- models a
+     * whole-chip (chipkill) failure.
+     */
+    void corruptChip(std::vector<std::uint8_t> &blob, unsigned chip) const;
+
+    /**
+     * Flip `nbits` random bits of the chip's contribution (partial chip
+     * fault / transient errors).
+     */
+    void corruptChipBits(std::vector<std::uint8_t> &blob, unsigned chip,
+                         unsigned nbits, Rng &rng) const;
+
+    /** Flip a single absolute bit of the blob. */
+    static void flipBit(std::vector<std::uint8_t> &blob,
+                        std::size_t bit_index);
+
+    /** Whether a whole-chip failure is correctable under this scheme. */
+    bool toleratesChipFailure() const;
+
+  private:
+    /** Byte indices within the blob that chip `chip` contributes to. */
+    std::vector<std::size_t> chipBytes(unsigned chip) const;
+
+    /** Bit indices (absolute in blob) chip `chip` drives. */
+    std::vector<std::size_t> chipBits(unsigned chip) const;
+
+    EccScheme scheme_;
+    std::optional<ReedSolomon> rs_;
+};
+
+} // namespace sam
+
+#endif // SAM_ECC_ECC_ENGINE_HH

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Arithmetic over GF(2^8) with the AES-standard primitive polynomial
+ * x^8 + x^4 + x^3 + x^2 + 1 (0x11d). Used by the Reed-Solomon chipkill
+ * codecs.
+ */
+
+#ifndef SAM_ECC_GF256_HH
+#define SAM_ECC_GF256_HH
+
+#include <array>
+#include <cstdint>
+
+namespace sam {
+
+/**
+ * GF(2^8) arithmetic via log/antilog tables built at static
+ * initialization. All operations are total: division by zero panics.
+ */
+class GF256
+{
+  public:
+    using Elem = std::uint8_t;
+
+    static Elem add(Elem a, Elem b) { return a ^ b; }
+    static Elem sub(Elem a, Elem b) { return a ^ b; }
+
+    static Elem mul(Elem a, Elem b);
+    static Elem div(Elem a, Elem b);
+
+    /** Multiplicative inverse; panics on zero. */
+    static Elem inv(Elem a);
+
+    /** a^n for n >= 0 (0^0 == 1 by convention). */
+    static Elem pow(Elem a, unsigned n);
+
+    /** The primitive element alpha = 0x02 raised to the power n. */
+    static Elem alphaPow(unsigned n);
+
+    /** Discrete log base alpha; panics on zero. */
+    static unsigned log(Elem a);
+
+  private:
+    struct Tables
+    {
+        std::array<Elem, 512> exp;
+        std::array<unsigned, 256> log;
+        Tables();
+    };
+
+    static const Tables &tables();
+};
+
+} // namespace sam
+
+#endif // SAM_ECC_GF256_HH

@@ -1,0 +1,194 @@
+#include "src/ecc/reed_solomon.hh"
+
+#include <algorithm>
+
+#include "src/common/logging.hh"
+
+namespace sam {
+
+ReedSolomon::ReedSolomon(unsigned n, unsigned k)
+    : n_(n), k_(k)
+{
+    sam_assert(n > k && n <= 255, "invalid RS(n,k): n=", n, " k=", k);
+    sam_assert((n - k) % 2 == 0, "RS check symbol count must be even");
+
+    // g(x) = prod_{i=0}^{2t-1} (x + alpha^i), low-order coefficient first.
+    const unsigned two_t = n - k;
+    generator_.assign(1, 1);
+    for (unsigned i = 0; i < two_t; ++i) {
+        std::vector<std::uint8_t> next(generator_.size() + 1, 0);
+        const GF256::Elem root = GF256::alphaPow(i);
+        for (std::size_t j = 0; j < generator_.size(); ++j) {
+            next[j + 1] ^= generator_[j];                 // x * g
+            next[j] ^= GF256::mul(generator_[j], root);   // root * g
+        }
+        generator_ = std::move(next);
+    }
+    sam_assert(generator_.size() == two_t + 1 && generator_[two_t] == 1,
+               "generator polynomial must be monic of degree 2t");
+}
+
+std::vector<std::uint8_t>
+ReedSolomon::encode(const std::vector<std::uint8_t> &data) const
+{
+    sam_assert(data.size() == k_, "RS encode: expected ", k_,
+               " data symbols, got ", data.size());
+
+    const unsigned two_t = n_ - k_;
+    // Synthetic division of m(x) * x^{2t} by g(x); rem is kept
+    // highest-degree-first so it can be appended directly.
+    std::vector<std::uint8_t> rem(two_t, 0);
+    for (unsigned j = 0; j < k_; ++j) {
+        const std::uint8_t coef = data[j] ^ rem[0];
+        std::rotate(rem.begin(), rem.begin() + 1, rem.end());
+        rem[two_t - 1] = 0;
+        if (coef != 0) {
+            for (unsigned i = 0; i < two_t; ++i)
+                rem[two_t - 1 - i] ^= GF256::mul(coef, generator_[i]);
+        }
+    }
+
+    std::vector<std::uint8_t> codeword(data);
+    codeword.insert(codeword.end(), rem.begin(), rem.end());
+    return codeword;
+}
+
+GF256::Elem
+ReedSolomon::evalPoly(const std::vector<std::uint8_t> &poly, GF256::Elem x)
+{
+    // Coefficients are low-order-first; evaluate with Horner from the top.
+    GF256::Elem acc = 0;
+    for (auto it = poly.rbegin(); it != poly.rend(); ++it)
+        acc = GF256::add(GF256::mul(acc, x), *it);
+    return acc;
+}
+
+DecodeResult
+ReedSolomon::decode(std::vector<std::uint8_t> &codeword,
+                    unsigned max_correct) const
+{
+    sam_assert(codeword.size() == n_, "RS decode: expected ", n_,
+               " symbols, got ", codeword.size());
+
+    const unsigned two_t = n_ - k_;
+
+    // Syndromes S_i = c(alpha^i): Horner over the codeword where position
+    // j carries the coefficient of x^{n-1-j}.
+    std::vector<std::uint8_t> synd(two_t, 0);
+    bool any_error = false;
+    for (unsigned i = 0; i < two_t; ++i) {
+        const GF256::Elem x = GF256::alphaPow(i);
+        GF256::Elem acc = 0;
+        for (unsigned j = 0; j < n_; ++j)
+            acc = GF256::add(GF256::mul(acc, x), codeword[j]);
+        synd[i] = acc;
+        any_error = any_error || acc != 0;
+    }
+
+    DecodeResult result;
+    if (!any_error) {
+        result.status = DecodeStatus::Clean;
+        return result;
+    }
+
+    // Berlekamp-Massey: find the error locator polynomial Lambda(x).
+    std::vector<std::uint8_t> lambda{1};
+    std::vector<std::uint8_t> prev{1};
+    unsigned errors = 0;  // current LFSR length L
+    unsigned shift = 1;   // m: gap since last length change
+    GF256::Elem prev_delta = 1;
+    for (unsigned iter = 0; iter < two_t; ++iter) {
+        GF256::Elem delta = synd[iter];
+        for (unsigned i = 1; i <= errors && i < lambda.size(); ++i)
+            delta = GF256::add(delta,
+                               GF256::mul(lambda[i], synd[iter - i]));
+        if (delta == 0) {
+            ++shift;
+            continue;
+        }
+        // candidate = lambda - (delta/prev_delta) * x^shift * prev
+        std::vector<std::uint8_t> candidate(lambda);
+        const GF256::Elem scale = GF256::div(delta, prev_delta);
+        if (candidate.size() < prev.size() + shift)
+            candidate.resize(prev.size() + shift, 0);
+        for (std::size_t i = 0; i < prev.size(); ++i)
+            candidate[i + shift] ^= GF256::mul(scale, prev[i]);
+        if (2 * errors <= iter) {
+            prev = std::move(lambda);
+            prev_delta = delta;
+            errors = iter + 1 - errors;
+            shift = 1;
+        } else {
+            ++shift;
+        }
+        lambda = std::move(candidate);
+    }
+
+    const unsigned limit = std::min(max_correct, t());
+    if (errors > limit) {
+        result.status = DecodeStatus::Detected;
+        return result;
+    }
+
+    // Omega(x) = S(x) * Lambda(x) mod x^{2t}
+    std::vector<std::uint8_t> omega(two_t, 0);
+    for (unsigned i = 0; i < two_t; ++i) {
+        for (std::size_t j = 0; j < lambda.size() && j <= i; ++j)
+            omega[i] ^= GF256::mul(synd[i - j], lambda[j]);
+    }
+
+    // Formal derivative of Lambda (char-2: even-power terms vanish).
+    std::vector<std::uint8_t> lambda_deriv;
+    for (std::size_t i = 1; i < lambda.size(); i += 2) {
+        lambda_deriv.resize(i, 0);
+        lambda_deriv[i - 1] = lambda[i];
+    }
+
+    // Chien search over the n valid positions; position j has locator
+    // X_j = alpha^{n-1-j}.
+    std::vector<std::uint8_t> fixed(codeword);
+    unsigned roots = 0;
+    for (unsigned j = 0; j < n_; ++j) {
+        const GF256::Elem x = GF256::alphaPow(n_ - 1 - j);
+        const GF256::Elem x_inv = GF256::inv(x);
+        if (evalPoly(lambda, x_inv) != 0)
+            continue;
+        ++roots;
+        // Forney (first root b = 0): e = X * Omega(X^-1) / Lambda'(X^-1)
+        const GF256::Elem denom = evalPoly(lambda_deriv, x_inv);
+        if (denom == 0) {
+            result.status = DecodeStatus::Detected;
+            return result;
+        }
+        const GF256::Elem magnitude =
+            GF256::mul(x, GF256::div(evalPoly(omega, x_inv), denom));
+        fixed[j] ^= magnitude;
+        result.correctedPositions.push_back(j);
+    }
+
+    if (roots != errors) {
+        // Locator degree and root count disagree: uncorrectable.
+        result.status = DecodeStatus::Detected;
+        result.correctedPositions.clear();
+        return result;
+    }
+
+    // Re-verify: corrected word must have all-zero syndromes.
+    for (unsigned i = 0; i < two_t; ++i) {
+        const GF256::Elem x = GF256::alphaPow(i);
+        GF256::Elem acc = 0;
+        for (unsigned j = 0; j < n_; ++j)
+            acc = GF256::add(GF256::mul(acc, x), fixed[j]);
+        if (acc != 0) {
+            result.status = DecodeStatus::Detected;
+            result.correctedPositions.clear();
+            return result;
+        }
+    }
+
+    codeword = std::move(fixed);
+    result.status = DecodeStatus::Corrected;
+    return result;
+}
+
+} // namespace sam

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Shortened systematic Reed-Solomon codec over GF(2^8).
+ *
+ * Chipkill SSC is RS(18,16) with t = 1 (corrects any single chip symbol);
+ * the SSC-DSD operating point maps to RS(36,32) with t = 2 where each chip
+ * contributes one 8-bit symbol formed from two 4-bit beats (see
+ * DESIGN.md, Substitutions). The decoder implements syndrome computation,
+ * Berlekamp-Massey, Chien search, and Forney's algorithm.
+ */
+
+#ifndef SAM_ECC_REED_SOLOMON_HH
+#define SAM_ECC_REED_SOLOMON_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "src/ecc/gf256.hh"
+
+namespace sam {
+
+/** Outcome of an RS decode attempt. */
+enum class DecodeStatus {
+    Clean,          ///< No errors detected.
+    Corrected,      ///< Errors found and corrected in place.
+    Detected,       ///< Uncorrectable but detected (beyond t, within
+                    ///< detection capability or failed correction).
+};
+
+/** Result of decoding one codeword. */
+struct DecodeResult
+{
+    DecodeStatus status = DecodeStatus::Clean;
+    /** Symbol positions the decoder corrected (codeword indexing). */
+    std::vector<unsigned> correctedPositions;
+};
+
+/**
+ * A shortened RS(n, k) code over GF(2^8) with n - k = 2t check symbols.
+ *
+ * Codewords are laid out data-first: positions [0, k) are data symbols,
+ * positions [k, n) are check symbols. Shortening from RS(255, 255-2t) is
+ * implicit: absent leading symbols are treated as zero.
+ */
+class ReedSolomon
+{
+  public:
+    /**
+     * @param n Total symbols per codeword (data + check), n <= 255.
+     * @param k Data symbols per codeword; (n - k) must be even.
+     */
+    ReedSolomon(unsigned n, unsigned k);
+
+    unsigned n() const { return n_; }
+    unsigned k() const { return k_; }
+    unsigned numCheckSymbols() const { return n_ - k_; }
+    /** Maximum number of correctable symbol errors. */
+    unsigned t() const { return (n_ - k_) / 2; }
+
+    /**
+     * Systematically encode `data` (k symbols) into a full codeword of n
+     * symbols (data followed by checks).
+     */
+    std::vector<std::uint8_t> encode(const std::vector<std::uint8_t> &data)
+        const;
+
+    /**
+     * Decode `codeword` (n symbols) in place, correcting up to t symbol
+     * errors. If `max_correct` is less than t, the decoder refuses to
+     * correct more than `max_correct` symbols and reports Detected
+     * instead (models SSC-DSD's correct-one/detect-two policy).
+     */
+    DecodeResult decode(std::vector<std::uint8_t> &codeword,
+                        unsigned max_correct = ~0u) const;
+
+  private:
+    /** Evaluate polynomial `poly` (coefficients low-order first) at x. */
+    static GF256::Elem evalPoly(const std::vector<std::uint8_t> &poly,
+                                GF256::Elem x);
+
+    unsigned n_;
+    unsigned k_;
+    /** Generator polynomial, low-order coefficient first, degree 2t. */
+    std::vector<std::uint8_t> generator_;
+};
+
+} // namespace sam
+
+#endif // SAM_ECC_REED_SOLOMON_HH

@@ -1,0 +1,137 @@
+#include "src/ecc/secded.hh"
+
+#include <array>
+#include <bit>
+
+namespace sam {
+
+namespace {
+
+/**
+ * Static layout tables for the extended Hamming code. Codeword positions
+ * are 1-indexed 1..71; powers of two hold the seven Hamming check bits;
+ * the overall parity bit lives conceptually at position 0.
+ */
+struct Layout
+{
+    /** Codeword position of each of the 64 data bits. */
+    std::array<unsigned, 64> posOfDataBit;
+    /** Data bit index at each codeword position (or -1). */
+    std::array<int, 72> dataBitAtPos;
+    /** For each of the 7 check bits, mask over data bits it covers. */
+    std::array<std::uint64_t, 7> coverMask;
+
+    Layout()
+    {
+        dataBitAtPos.fill(-1);
+        unsigned data_bit = 0;
+        for (unsigned pos = 1; pos < 72 && data_bit < 64; ++pos) {
+            if (std::has_single_bit(pos))
+                continue; // check bit position
+            posOfDataBit[data_bit] = pos;
+            dataBitAtPos[pos] = static_cast<int>(data_bit);
+            ++data_bit;
+        }
+        for (unsigned c = 0; c < 7; ++c) {
+            std::uint64_t mask = 0;
+            for (unsigned b = 0; b < 64; ++b) {
+                if (posOfDataBit[b] & (1u << c))
+                    mask |= std::uint64_t{1} << b;
+            }
+            coverMask[c] = mask;
+        }
+    }
+};
+
+const Layout &
+layout()
+{
+    static const Layout l;
+    return l;
+}
+
+unsigned
+parity64(std::uint64_t v)
+{
+    return static_cast<unsigned>(std::popcount(v)) & 1u;
+}
+
+/** The seven Hamming check bits for a data word. */
+std::uint8_t
+hammingChecks(std::uint64_t data)
+{
+    const Layout &l = layout();
+    std::uint8_t checks = 0;
+    for (unsigned c = 0; c < 7; ++c)
+        checks |= static_cast<std::uint8_t>(parity64(data & l.coverMask[c]))
+                  << c;
+    return checks;
+}
+
+} // namespace
+
+std::uint8_t
+SecDed::encode(std::uint64_t data)
+{
+    const std::uint8_t checks = hammingChecks(data);
+    // Bit 7 is the overall parity bit: even parity over all 72 bits.
+    const unsigned overall =
+        parity64(data) ^ (static_cast<unsigned>(std::popcount(
+                              static_cast<unsigned>(checks))) & 1u);
+    return static_cast<std::uint8_t>(checks | (overall << 7));
+}
+
+SecDedResult
+SecDed::decode(std::uint64_t &data, std::uint8_t &check)
+{
+    SecDedResult result;
+    const std::uint8_t expected = hammingChecks(data);
+    const std::uint8_t syndrome =
+        static_cast<std::uint8_t>((check ^ expected) & 0x7f);
+    // Overall parity across data + all 8 check bits (stored overall
+    // parity included); zero when no error or an even number of flips.
+    const unsigned overall =
+        parity64(data) ^
+        (static_cast<unsigned>(std::popcount(static_cast<unsigned>(check)))
+         & 1u);
+
+    if (syndrome == 0 && overall == 0) {
+        result.status = SecDedResult::Status::Clean;
+        return result;
+    }
+
+    if (overall == 1) {
+        // Odd number of bit flips: assume single-bit error.
+        if (syndrome == 0) {
+            // The overall parity bit itself flipped.
+            check ^= 0x80;
+            result.status = SecDedResult::Status::CorrectedCheck;
+            return result;
+        }
+        if (std::has_single_bit(static_cast<unsigned>(syndrome))) {
+            // A Hamming check bit flipped.
+            const unsigned c = std::countr_zero(
+                static_cast<unsigned>(syndrome));
+            check ^= static_cast<std::uint8_t>(1u << c);
+            result.status = SecDedResult::Status::CorrectedCheck;
+            return result;
+        }
+        const Layout &l = layout();
+        if (syndrome < 72 && l.dataBitAtPos[syndrome] >= 0) {
+            const int bit = l.dataBitAtPos[syndrome];
+            data ^= std::uint64_t{1} << bit;
+            result.status = SecDedResult::Status::CorrectedData;
+            result.correctedBit = bit;
+            return result;
+        }
+        // Syndrome points outside the codeword: multi-bit corruption.
+        result.status = SecDedResult::Status::Detected;
+        return result;
+    }
+
+    // Even parity but non-zero syndrome: double-bit error.
+    result.status = SecDedResult::Status::Detected;
+    return result;
+}
+
+} // namespace sam

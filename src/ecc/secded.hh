@@ -1,0 +1,47 @@
+/**
+ * @file
+ * (72,64) SEC-DED code: single-bit error correction, double-bit error
+ * detection, as used by desktop-class ECC DIMMs (Figure 4(a)).
+ *
+ * Implemented as an extended Hamming code: seven Hamming check bits over
+ * the 64 data bits plus one overall parity bit.
+ */
+
+#ifndef SAM_ECC_SECDED_HH
+#define SAM_ECC_SECDED_HH
+
+#include <cstdint>
+
+namespace sam {
+
+/** Result of a SEC-DED decode. */
+struct SecDedResult
+{
+    enum class Status { Clean, CorrectedData, CorrectedCheck, Detected };
+
+    Status status = Status::Clean;
+    /** Bit index into the 64-bit data word that was corrected, or -1. */
+    int correctedBit = -1;
+};
+
+/**
+ * Encoder/decoder for the (72,64) extended Hamming code. The codeword is
+ * carried as a 64-bit data word plus an 8-bit check byte.
+ */
+class SecDed
+{
+  public:
+    /** Compute the 8 check bits for a 64-bit data word. */
+    static std::uint8_t encode(std::uint64_t data);
+
+    /**
+     * Check/correct a received (data, check) pair in place.
+     * Corrects any single flipped bit (data or check); flags double-bit
+     * errors as Detected.
+     */
+    static SecDedResult decode(std::uint64_t &data, std::uint8_t &check);
+};
+
+} // namespace sam
+
+#endif // SAM_ECC_SECDED_HH

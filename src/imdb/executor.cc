@@ -1,0 +1,826 @@
+#include "src/imdb/executor.hh"
+
+#include <cmath>
+#include <map>
+#include <unordered_map>
+
+#include "src/common/logging.hh"
+
+namespace sam {
+
+namespace {
+
+std::uint64_t
+extract64(const std::vector<std::uint8_t> &bytes, unsigned offset)
+{
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i)
+        v = (v << 8) | bytes[offset + i];
+    return v;
+}
+
+void
+insert64(std::vector<std::uint8_t> &bytes, unsigned offset,
+         std::uint64_t v)
+{
+    for (unsigned i = 0; i < 8; ++i) {
+        bytes[offset + i] = static_cast<std::uint8_t>(v & 0xff);
+        v >>= 8;
+    }
+}
+
+/** Value written by UPDATE queries. */
+std::uint64_t
+updatedValue(std::uint64_t rec, unsigned field)
+{
+    return (fieldValue(rec, field) + 7) % 1000;
+}
+
+/** Value written by INSERT queries. */
+std::uint64_t
+insertedValue(std::uint64_t rec, unsigned field)
+{
+    return (fieldValue(rec, field) * 3 + 1) % 1000;
+}
+
+/**
+ * Morsel-driven work partitioning (row-granular round-robin): each core
+ * owns every num_cores-th morsel, where a morsel is the group span of
+ * one DRAM row. Cores therefore work in *different* banks at any
+ * moment instead of queueing behind each other's row conflicts --
+ * standard practice in parallel scan executors.
+ */
+class Partition
+{
+  public:
+    /**
+     * @param row_major Iterate records in physical row order (used by
+     *        row-preferred queries): on the VerticalGroup layout the
+     *        record order and the row order differ, and a SELECT * scan
+     *        wants to drain each open row before switching.
+     */
+    Partition(const Table &table, std::uint64_t record_limit,
+              unsigned core, unsigned num_cores, bool row_major = false)
+        : table_(table), core_(core), numCores_(num_cores),
+          rowMajor_(row_major &&
+                    table.layout() == LayoutKind::VerticalGroup)
+    {
+        const unsigned g = table.gather();
+        records_ = table.schema().numRecords;
+        if (record_limit != 0)
+            records_ = std::min(records_, record_limit);
+        groups_ = (records_ + g - 1) / g;
+        morselGroups_ = table.morselGroups();
+        // Small tables: split morsels so every core gets work (at the
+        // cost of sharing rows/banks, which only tiny scans notice).
+        while (morselGroups_ > 1 &&
+               (groups_ + morselGroups_ - 1) / morselGroups_ <
+                   2 * numCores_) {
+            morselGroups_ = (morselGroups_ + 1) / 2;
+        }
+    }
+
+    /** Visit every owned morsel: fn(rec_lo, rec_hi). */
+    template <typename F>
+    void
+    forEachMorsel(F &&fn) const
+    {
+        const unsigned g = table_.gather();
+        const std::uint64_t morsels =
+            (groups_ + morselGroups_ - 1) / morselGroups_;
+        for (std::uint64_t m = core_; m < morsels; m += numCores_) {
+            const std::uint64_t rec_lo = m * morselGroups_ * g;
+            const std::uint64_t rec_hi = std::min<std::uint64_t>(
+                records_, (m + 1) * morselGroups_ * g);
+            if (rec_lo < rec_hi)
+                fn(rec_lo, rec_hi);
+        }
+    }
+
+    /** Visit every owned group in order: fn(group, rec_lo, rec_hi). */
+    template <typename F>
+    void
+    forEachGroup(F &&fn) const
+    {
+        const unsigned g = table_.gather();
+        forEachMorsel([&](std::uint64_t rec_lo, std::uint64_t rec_hi) {
+            for (std::uint64_t group = rec_lo / g;
+                 group * g < rec_hi; ++group) {
+                fn(group, group * g,
+                   std::min<std::uint64_t>(rec_hi, (group + 1) * g));
+            }
+        });
+    }
+
+    /** Visit every owned record. */
+    template <typename F>
+    void
+    forEachRecord(F &&fn) const
+    {
+        if (!rowMajor_) {
+            forEachGroup([&](std::uint64_t, std::uint64_t lo,
+                             std::uint64_t hi) {
+                for (std::uint64_t rec = lo; rec < hi; ++rec)
+                    fn(rec);
+            });
+            return;
+        }
+
+        // Physical row order on the VerticalGroup layout: one morsel is
+        // a (bank, band) region; within it, visit each DRAM row's
+        // records (one per vertical run sharing the row) before moving
+        // to the next row.
+        const unsigned span = table_.verticalSpan();
+        const unsigned banks = table_.verticalBanks();
+        const std::uint64_t slots_per_row =
+            table_.rowBytes() / table_.schema().recordBytes();
+        const std::uint64_t runs = (records_ + span - 1) / span;
+        const std::uint64_t bands =
+            (runs + std::uint64_t{banks} * slots_per_row - 1) /
+            (std::uint64_t{banks} * slots_per_row);
+        const std::uint64_t morsels = bands * banks;
+        for (std::uint64_t m = core_; m < morsels; m += numCores_) {
+            const std::uint64_t bank = m % banks;
+            const std::uint64_t band = m / banks;
+            for (unsigned w = 0; w < span; ++w) {
+                for (std::uint64_t k = 0; k < slots_per_row; ++k) {
+                    const std::uint64_t run =
+                        (band * slots_per_row + k) * banks + bank;
+                    if (run >= runs)
+                        break;
+                    const std::uint64_t rec =
+                        run * span + w;
+                    if (rec < records_)
+                        fn(rec);
+                }
+            }
+        }
+    }
+
+  private:
+    const Table &table_;
+    unsigned core_;
+    unsigned numCores_;
+    bool rowMajor_;
+    std::uint64_t records_ = 0;
+    std::uint64_t groups_ = 0;
+    std::uint64_t morselGroups_ = 1;
+};
+
+/** One core's execution context. */
+class CoreExec
+{
+  public:
+    CoreExec(ExecEnv &env, unsigned core)
+        : env_(env), port_(*env.ports[core])
+    {
+    }
+
+    /**
+     * Read one field. Sequential scans on stride-capable configs use
+     * sload and hold the gathered chunk in "registers" (the per-field
+     * line cache), so the G values of a group cost one sload. Random
+     * accesses (`sequential` false) always use regular loads.
+     */
+    std::uint64_t
+    readField(Table &t, std::uint64_t rec, unsigned f,
+              bool sequential = true)
+    {
+        if (env_.useStride && sequential && t.strideUsable()) {
+            const std::uint64_t group = rec / t.gather();
+            LineCache &lc = lineCache_[{&t, f}];
+            if (lc.group != group || !lc.valid) {
+                lc.plan = t.gatherPlan(group, f, env_.strideUnit);
+                lc.line = port_.strideLoad(lc.plan);
+                lc.group = group;
+                lc.valid = true;
+            }
+            const unsigned off =
+                static_cast<unsigned>(rec % t.gather()) *
+                    env_.strideUnit +
+                (f * TableSchema::kFieldBytes) % env_.strideUnit;
+            return extract64(lc.line, off);
+        }
+        return port_.load(t.fieldAddr(rec, f), 8);
+    }
+
+    /**
+     * Group-wise strided update: patch the gathered chunk for the
+     * qualifying records and sstore it back.
+     */
+    void
+    strideUpdateGroup(Table &t, std::uint64_t group, unsigned f,
+                      const std::vector<std::uint64_t> &recs)
+    {
+        GatherPlan plan = t.gatherPlan(group, f, env_.strideUnit);
+        std::vector<std::uint8_t> line = port_.strideLoad(plan);
+        for (std::uint64_t rec : recs) {
+            const unsigned off =
+                static_cast<unsigned>(rec % t.gather()) *
+                    env_.strideUnit +
+                (f * TableSchema::kFieldBytes) % env_.strideUnit;
+            insert64(line, off, updatedValue(rec, f));
+        }
+        port_.strideStore(plan, line);
+        lineCache_.clear(); // written chunks invalidate register copies
+    }
+
+    MemPort &port() { return port_; }
+
+  private:
+    struct LineCache
+    {
+        GatherPlan plan;
+        std::vector<std::uint8_t> line;
+        std::uint64_t group = ~std::uint64_t{0};
+        bool valid = false;
+    };
+
+    ExecEnv &env_;
+    MemPort &port_;
+    std::map<std::pair<const Table *, unsigned>, LineCache> lineCache_;
+};
+
+/** Predicate evaluation from a value actually loaded from memory. */
+bool
+passes(std::uint64_t loaded_value, double selectivity)
+{
+    return loaded_value < selectivityThreshold(selectivity);
+}
+
+} // namespace
+
+PlanChoice
+choosePlan(const Query &q, const TableSchema &schema, unsigned gather,
+           bool has_row_fallback)
+{
+    const double projected_fields = static_cast<double>(
+        q.kind == QueryKind::SelectStar ? schema.numFields
+                                        : q.fields.size());
+    const double effective_sel = q.hasPredicate ? q.selectivity : 1.0;
+    const double g = gather;
+    const double record_lines = std::max(
+        1.0, schema.recordBytes() / double{kCachelineBytes});
+
+    // Cost of fetching the projected fields of the qualifying records,
+    // per record group, under each plan:
+    //  * gathers: every field chunk of a group is fetched if *any* of
+    //    its G records qualifies;
+    //  * regular: each qualifying record's field lines are fetched,
+    //    record-contiguously (a 64B line carries 8 fields of one
+    //    record).
+    const double any_qualifies =
+        1.0 - std::pow(1.0 - effective_sel, g);
+    const double gather_bursts = any_qualifies * projected_fields;
+    const double regular_lines =
+        effective_sel * g * std::min(projected_fields, record_lines);
+
+    PlanChoice plan;
+    plan.strideProject = gather_bursts <= regular_lines;
+
+    // Whole-plan choice: a column plan (field sweeps) must beat the
+    // record-major scan of the row-friendly layout, which reads the
+    // predicate line plus the qualifying records.
+    const double records = static_cast<double>(schema.numRecords);
+    const double col_fetch = has_row_fallback
+        ? std::min(gather_bursts, regular_lines)
+        : gather_bursts;
+    const double col_plan_bursts =
+        records / g * (1.0 + col_fetch);
+    const double row_plan_lines =
+        records * (1.0 + effective_sel * record_lines);
+    // Near-ties go to the plain record-major scan: the column plan's
+    // extra machinery (mode switches, transposition) is not free.
+    plan.worthColumns = col_plan_bursts < 0.9 * row_plan_lines;
+    return plan;
+}
+
+QueryResult
+executeQuery(const Query &q, ExecEnv &env)
+{
+    sam_assert(!env.ports.empty(), "no cores");
+    const unsigned num_cores = static_cast<unsigned>(env.ports.size());
+    QueryResult total;
+
+    Table &primary = q.table == TableRef::Ta ? *env.ta : *env.tb;
+
+    // Crude cost-based plan selection, as any engine would do:
+    //
+    //  * Column plans (field-major order, sload field scans) pay off
+    //    when the query touches a small fraction of each record:
+    //    expected bytes = (1 predicate + selectivity x projected)
+    //    fields. Past ~75% of the record, a plain record-major scan
+    //    of the row-friendly layout wins and the engine falls back to
+    //    regular accesses -- this is the paper's "more fields
+    //    projected becomes more suitable for the baseline".
+    //  * Field switches mid-scan cost column-subarray designs
+    //    (SAM-sub / RC-NVM) a column-to-column bank conflict, so those
+    //    designs prefer field-major order whenever columns pay off.
+    //  * Fetching projected fields of *sparse* qualifying records via
+    //    a gather wastes the other G-1 chunks; below ~25% selectivity
+    //    the engine fetches them with regular loads instead.
+    const PlanChoice plan =
+        choosePlan(q, primary.schema(), primary.gather());
+    const bool worth_columns = plan.worthColumns;
+    const bool stride_project = plan.strideProject;
+    if (!worth_columns && !q.rowPreferred)
+        env.useStride = false;
+
+    const bool stride_capable =
+        env.useStride && primary.strideUsable();
+    const bool engine_prefers_columns =
+        env.fieldMajorPreferred || stride_capable;
+    // Field-major projection only pays when the projected fetches
+    // themselves are column accesses (gathers or a column layout);
+    // regular fetches of sparse qualifiers read a record's fields from
+    // one row and want record order.
+    const bool column_fetches =
+        (stride_capable && stride_project) ||
+        primary.layout() == LayoutKind::ColumnStore;
+    const bool field_major =
+        !q.rowPreferred && worth_columns && engine_prefers_columns &&
+        column_fetches &&
+        (q.fieldMajor || (env.fieldMajorPreferred && !q.recordMajor));
+
+    /** Predicate sweep(s) producing a qualifying bitmap. */
+    auto predicate_sweep = [&](Table &t) {
+        std::vector<std::uint8_t> qual(t.schema().numRecords, 1);
+        if (q.hasPredicate) {
+            for (unsigned c = 0; c < num_cores; ++c) {
+                CoreExec ex(env, c);
+                Partition part(t, q.limit, c, num_cores,
+                               q.rowPreferred);
+                part.forEachRecord([&](std::uint64_t rec) {
+                    ex.port().compute(env.computePerRecord);
+                    qual[rec] = passes(ex.readField(t, rec, q.predField),
+                                       q.selectivity);
+                });
+            }
+            env.barrier();
+        }
+        if (q.hasPredicate2) {
+            for (unsigned c = 0; c < num_cores; ++c) {
+                CoreExec ex(env, c);
+                Partition part(t, q.limit, c, num_cores);
+                part.forEachRecord([&](std::uint64_t rec) {
+                    if (!qual[rec])
+                        return;
+                    qual[rec] =
+                        passes(ex.readField(t, rec, q.predField2),
+                               q.selectivity2);
+                });
+            }
+            env.barrier();
+        }
+        if (q.limit != 0) {
+            for (std::uint64_t rec = q.limit;
+                 rec < t.schema().numRecords; ++rec) {
+                qual[rec] = 0;
+            }
+        }
+        return qual;
+    };
+
+    switch (q.kind) {
+      case QueryKind::Select:
+      case QueryKind::SelectStar: {
+        std::vector<unsigned> fields = q.fields;
+        if (q.kind == QueryKind::SelectStar) {
+            fields.clear();
+            for (unsigned f = 0; f < primary.schema().numFields; ++f)
+                fields.push_back(f);
+        }
+        if (!field_major) {
+            for (unsigned c = 0; c < num_cores; ++c) {
+                CoreExec ex(env, c);
+                Partition part(primary, q.limit, c, num_cores,
+                               q.rowPreferred);
+                part.forEachRecord([&](std::uint64_t rec) {
+                    ex.port().compute(env.computePerRecord);
+                    bool ok = true;
+                    if (q.hasPredicate) {
+                        ok = passes(
+                            ex.readField(primary, rec, q.predField),
+                            q.selectivity);
+                    }
+                    if (ok && q.hasPredicate2) {
+                        ok = passes(
+                            ex.readField(primary, rec, q.predField2),
+                            q.selectivity2);
+                    }
+                    if (!ok)
+                        return;
+                    ++total.rows;
+                    for (unsigned f : fields) {
+                        total.checksum += ex.readField(primary, rec, f,
+                                                       stride_project);
+                        ex.port().compute(env.computePerValue);
+                    }
+                });
+            }
+            env.barrier();
+        } else {
+            const auto qual = predicate_sweep(primary);
+            for (std::uint8_t v : qual)
+                total.rows += v;
+            for (unsigned f : fields) {
+                for (unsigned c = 0; c < num_cores; ++c) {
+                    CoreExec ex(env, c);
+                    Partition part(primary, q.limit, c, num_cores);
+                    part.forEachRecord([&](std::uint64_t rec) {
+                        if (!qual[rec])
+                            return;
+                        total.checksum += ex.readField(
+                            primary, rec, f, stride_project);
+                        ex.port().compute(env.computePerValue);
+                    });
+                }
+                env.barrier();
+            }
+        }
+        break;
+      }
+
+      case QueryKind::Aggregate: {
+        if (!field_major) {
+            // Record-major (the Figure 15 arithmetic query, Q3-Q6),
+            // executed morsel-vectorised: within each morsel the
+            // engine sweeps one field at a time into vectors and then
+            // combines per record -- how block-at-a-time executors
+            // evaluate per-record expressions. Field switches happen
+            // once per field per *morsel*, not per record (the global
+            // field-major plan of the aggregate query switches only
+            // once per field per core).
+            // Vector blocks are sized so one value-vector per
+            // projected column fits in L1 (32KB): high projectivity
+            // forces smaller blocks, i.e.\ more frequent field
+            // switches -- which is exactly what stings the
+            // column-subarray designs on this query (Section 6.2).
+            // Row-friendly access (no columns in play) reads each
+            // record's fields together instead: block size one group.
+            const bool block_sweeps =
+                (stride_capable && stride_project) ||
+                primary.layout() == LayoutKind::ColumnStore;
+            const std::uint64_t block_recs = !block_sweeps
+                ? primary.gather()
+                : std::max<std::uint64_t>(
+                      primary.gather(),
+                      (32768 / TableSchema::kFieldBytes) /
+                          (q.fields.size() + 1));
+            for (unsigned c = 0; c < num_cores; ++c) {
+                CoreExec ex(env, c);
+                Partition part(primary, 0, c, num_cores);
+                part.forEachMorsel([&](std::uint64_t mlo,
+                                       std::uint64_t mhi) {
+                    for (std::uint64_t lo = mlo; lo < mhi;
+                         lo += block_recs) {
+                        const std::uint64_t hi =
+                            std::min(mhi, lo + block_recs);
+                        std::vector<std::uint8_t> qual(hi - lo, 1);
+                        if (q.hasPredicate) {
+                            for (std::uint64_t rec = lo; rec < hi;
+                                 ++rec) {
+                                ex.port().compute(env.computePerRecord);
+                                qual[rec - lo] = passes(
+                                    ex.readField(primary, rec,
+                                                 q.predField),
+                                    q.selectivity);
+                            }
+                        }
+                        if (block_sweeps) {
+                            for (unsigned f : q.fields) {
+                                for (std::uint64_t rec = lo; rec < hi;
+                                     ++rec) {
+                                    if (!qual[rec - lo])
+                                        continue;
+                                    total.aggregate += ex.readField(
+                                        primary, rec, f,
+                                        stride_project);
+                                    ex.port().compute(
+                                        env.computePerValue);
+                                }
+                            }
+                        } else {
+                            for (std::uint64_t rec = lo; rec < hi;
+                                 ++rec) {
+                                if (!qual[rec - lo])
+                                    continue;
+                                for (unsigned f : q.fields) {
+                                    total.aggregate += ex.readField(
+                                        primary, rec, f,
+                                        stride_project);
+                                    ex.port().compute(
+                                        env.computePerValue);
+                                }
+                            }
+                        }
+                        for (std::uint64_t rec = lo; rec < hi; ++rec)
+                            total.rows += qual[rec - lo];
+                    }
+                });
+            }
+            env.barrier();
+        } else {
+            // Field-major (the Figure 15 aggregate query): predicate
+            // sweep first, then one full sweep per projected field.
+            const auto qual = predicate_sweep(primary);
+            for (std::uint8_t v : qual)
+                total.rows += v;
+            for (unsigned f : q.fields) {
+                for (unsigned c = 0; c < num_cores; ++c) {
+                    CoreExec ex(env, c);
+                    Partition part(primary, 0, c, num_cores);
+                    part.forEachRecord([&](std::uint64_t rec) {
+                        if (!qual[rec])
+                            return;
+                        total.aggregate += ex.readField(
+                            primary, rec, f, stride_project);
+                        ex.port().compute(env.computePerValue);
+                    });
+                }
+                env.barrier();
+            }
+        }
+        break;
+      }
+
+      case QueryKind::Update: {
+        const bool stride_write =
+            env.useStride && primary.strideUsable();
+        // Predicate sweep, then one write sweep per updated field
+        // (field-major keeps column-subarray designs from ping-ponging
+        // between the predicate column and the written columns).
+        const auto qual = predicate_sweep(primary);
+        for (std::uint8_t v : qual)
+            total.rows += v;
+        for (unsigned f : q.fields) {
+            for (unsigned c = 0; c < num_cores; ++c) {
+                CoreExec ex(env, c);
+                Partition part(primary, 0, c, num_cores);
+                part.forEachGroup([&](std::uint64_t group,
+                                      std::uint64_t lo,
+                                      std::uint64_t hi) {
+                    std::vector<std::uint64_t> qualifying;
+                    for (std::uint64_t rec = lo; rec < hi; ++rec) {
+                        if (qual[rec])
+                            qualifying.push_back(rec);
+                    }
+                    if (qualifying.empty())
+                        return;
+                    if (stride_write) {
+                        ex.strideUpdateGroup(primary, group, f,
+                                             qualifying);
+                    } else {
+                        for (std::uint64_t rec : qualifying) {
+                            ex.port().store(primary.fieldAddr(rec, f),
+                                            updatedValue(rec, f), 8);
+                        }
+                    }
+                    for (std::uint64_t rec : qualifying) {
+                        total.checksum += updatedValue(rec, f);
+                        ex.port().compute(env.computePerValue);
+                    }
+                });
+            }
+            env.barrier();
+        }
+        break;
+      }
+
+      case QueryKind::Insert: {
+        std::uint64_t count = q.insertCount != 0
+            ? q.insertCount
+            : primary.schema().numRecords / 8;
+        count = std::min(count, primary.schema().numRecords);
+        for (unsigned c = 0; c < num_cores; ++c) {
+            CoreExec ex(env, c);
+            Partition part(primary, count, c, num_cores,
+                           q.rowPreferred);
+            part.forEachRecord([&](std::uint64_t rec) {
+                ex.port().compute(env.computePerRecord);
+                ++total.rows;
+                for (unsigned f = 0;
+                     f < primary.schema().numFields; ++f) {
+                    const std::uint64_t v = insertedValue(rec, f);
+                    ex.port().storeStream(primary.fieldAddr(rec, f), v,
+                                          8);
+                    total.checksum += v;
+                }
+            });
+        }
+        env.barrier();
+        break;
+      }
+
+      case QueryKind::Join: {
+        // Build on Tb (hash the join field of selective values), probe
+        // with Ta. Deterministic: the map keeps the minimum record id.
+        std::unordered_map<std::uint64_t, std::uint64_t> build;
+        const std::uint64_t jthresh =
+            selectivityThreshold(q.joinSelectivity);
+        for (unsigned c = 0; c < num_cores; ++c) {
+            CoreExec ex(env, c);
+            Partition part(*env.tb, 0, c, num_cores);
+            part.forEachRecord([&](std::uint64_t rec) {
+                ex.port().compute(env.computePerRecord);
+                const std::uint64_t v =
+                    ex.readField(*env.tb, rec, q.joinField);
+                if (v < jthresh) {
+                    auto it = build.find(v);
+                    if (it == build.end() || rec < it->second)
+                        build[v] = rec;
+                }
+            });
+        }
+        env.barrier();
+        if (!field_major) {
+            for (unsigned c = 0; c < num_cores; ++c) {
+                CoreExec ex(env, c);
+                Partition part(*env.ta, 0, c, num_cores);
+                part.forEachRecord([&](std::uint64_t rec) {
+                    ex.port().compute(env.computePerRecord);
+                    const std::uint64_t v =
+                        ex.readField(*env.ta, rec, q.joinField);
+                    auto it = build.find(v);
+                    if (it == build.end())
+                        return;
+                    const std::uint64_t tb_rec = it->second;
+                    if (q.joinExtraFilter) {
+                        const std::uint64_t f1a =
+                            ex.readField(*env.ta, rec, 1);
+                        const std::uint64_t f1b =
+                            ex.readField(*env.tb, tb_rec, 1, false);
+                        if (!(f1a > f1b))
+                            return;
+                    }
+                    ++total.rows;
+                    total.checksum +=
+                        ex.readField(*env.ta, rec, q.fields[0]) +
+                        ex.readField(*env.tb, tb_rec, q.fields[1],
+                                     false);
+                    ex.port().compute(env.computePerValue);
+                });
+            }
+            env.barrier();
+        } else {
+            // Late materialization: probe the join column alone, then
+            // sweep each output column for the matches -- avoiding
+            // mid-scan field switches on column-subarray designs.
+            std::vector<std::pair<std::uint64_t, std::uint64_t>>
+                matches[16];
+            for (unsigned c = 0; c < num_cores; ++c) {
+                CoreExec ex(env, c);
+                Partition part(*env.ta, 0, c, num_cores);
+                part.forEachRecord([&](std::uint64_t rec) {
+                    ex.port().compute(env.computePerRecord);
+                    const std::uint64_t v =
+                        ex.readField(*env.ta, rec, q.joinField);
+                    auto it = build.find(v);
+                    if (it != build.end())
+                        matches[c].emplace_back(rec, it->second);
+                });
+            }
+            env.barrier();
+            if (q.joinExtraFilter) {
+                for (unsigned c = 0; c < num_cores; ++c) {
+                    CoreExec ex(env, c);
+                    std::vector<std::pair<std::uint64_t,
+                                          std::uint64_t>> kept;
+                    for (auto [rec, tb_rec] : matches[c]) {
+                        const std::uint64_t f1a =
+                            ex.readField(*env.ta, rec, 1);
+                        const std::uint64_t f1b =
+                            ex.readField(*env.tb, tb_rec, 1, false);
+                        if (f1a > f1b)
+                            kept.emplace_back(rec, tb_rec);
+                    }
+                    matches[c] = std::move(kept);
+                }
+                env.barrier();
+            }
+            for (unsigned c = 0; c < num_cores; ++c) {
+                CoreExec ex(env, c);
+                for (auto [rec, tb_rec] : matches[c]) {
+                    ++total.rows;
+                    total.checksum +=
+                        ex.readField(*env.ta, rec, q.fields[0]) +
+                        ex.readField(*env.tb, tb_rec, q.fields[1],
+                                     false);
+                    ex.port().compute(env.computePerValue);
+                }
+            }
+            env.barrier();
+        }
+        break;
+      }
+    }
+    return total;
+}
+
+QueryResult
+referenceResult(const Query &q, const TableSchema &ta,
+                const TableSchema &tb)
+{
+    QueryResult total;
+    const TableSchema &t = q.table == TableRef::Ta ? ta : tb;
+    std::uint64_t records = t.numRecords;
+    if (q.limit != 0)
+        records = std::min(records, q.limit);
+
+    auto qualifies = [&](std::uint64_t rec) {
+        if (q.hasPredicate &&
+            fieldValue(rec, q.predField) >=
+                selectivityThreshold(q.selectivity)) {
+            return false;
+        }
+        if (q.hasPredicate2 &&
+            fieldValue(rec, q.predField2) >=
+                selectivityThreshold(q.selectivity2)) {
+            return false;
+        }
+        return true;
+    };
+
+    switch (q.kind) {
+      case QueryKind::Select:
+      case QueryKind::SelectStar: {
+        std::vector<unsigned> fields = q.fields;
+        if (q.kind == QueryKind::SelectStar) {
+            fields.clear();
+            for (unsigned f = 0; f < t.numFields; ++f)
+                fields.push_back(f);
+        }
+        for (std::uint64_t rec = 0; rec < records; ++rec) {
+            if (!qualifies(rec))
+                continue;
+            ++total.rows;
+            for (unsigned f : fields)
+                total.checksum += fieldValue(rec, f);
+        }
+        break;
+      }
+
+      case QueryKind::Aggregate:
+        for (std::uint64_t rec = 0; rec < records; ++rec) {
+            if (!qualifies(rec))
+                continue;
+            ++total.rows;
+            for (unsigned f : q.fields)
+                total.aggregate += fieldValue(rec, f);
+        }
+        break;
+
+      case QueryKind::Update:
+        for (std::uint64_t rec = 0; rec < records; ++rec) {
+            if (!qualifies(rec))
+                continue;
+            ++total.rows;
+            for (unsigned f : q.fields)
+                total.checksum += updatedValue(rec, f);
+        }
+        break;
+
+      case QueryKind::Insert: {
+        std::uint64_t count =
+            q.insertCount != 0 ? q.insertCount : t.numRecords / 8;
+        count = std::min(count, t.numRecords);
+        for (std::uint64_t rec = 0; rec < count; ++rec) {
+            ++total.rows;
+            for (unsigned f = 0; f < t.numFields; ++f)
+                total.checksum += insertedValue(rec, f);
+        }
+        break;
+      }
+
+      case QueryKind::Join: {
+        const std::uint64_t jthresh =
+            selectivityThreshold(q.joinSelectivity);
+        std::unordered_map<std::uint64_t, std::uint64_t> build;
+        for (std::uint64_t rec = 0; rec < tb.numRecords; ++rec) {
+            const std::uint64_t v = fieldValue(rec, q.joinField);
+            if (v < jthresh) {
+                auto it = build.find(v);
+                if (it == build.end() || rec < it->second)
+                    build[v] = rec;
+            }
+        }
+        for (std::uint64_t rec = 0; rec < ta.numRecords; ++rec) {
+            const std::uint64_t v = fieldValue(rec, q.joinField);
+            auto it = build.find(v);
+            if (it == build.end())
+                continue;
+            if (q.joinExtraFilter &&
+                !(fieldValue(rec, 1) > fieldValue(it->second, 1))) {
+                continue;
+            }
+            ++total.rows;
+            total.checksum += fieldValue(rec, q.fields[0]) +
+                              fieldValue(it->second, q.fields[1]);
+        }
+        break;
+      }
+    }
+    return total;
+}
+
+} // namespace sam

@@ -1,0 +1,210 @@
+#include "src/imdb/query.hh"
+
+#include <algorithm>
+
+#include "src/common/logging.hh"
+#include "src/common/random.hh"
+
+namespace sam {
+
+std::vector<Query>
+benchmarkQQueries()
+{
+    std::vector<Query> qs;
+
+    // Q1: SELECT f3, f4 FROM Ta WHERE f10 > x
+    {
+        Query q;
+        q.name = "Q1";
+        q.kind = QueryKind::Select;
+        q.table = TableRef::Ta;
+        q.fields = {3, 4};
+        q.hasPredicate = true;
+        qs.push_back(q);
+    }
+    // Q2: SELECT * FROM Tb WHERE f10 > x  (f10 > x mostly false)
+    {
+        Query q;
+        q.name = "Q2";
+        q.kind = QueryKind::SelectStar;
+        q.table = TableRef::Tb;
+        q.hasPredicate = true;
+        q.selectivity = 0.01;
+        qs.push_back(q);
+    }
+    // Q3 / Q4: SELECT SUM(f9) FROM Ta / Tb WHERE f10 > x
+    for (auto [name, table] :
+         {std::pair{"Q3", TableRef::Ta}, std::pair{"Q4", TableRef::Tb}}) {
+        Query q;
+        q.name = name;
+        q.kind = QueryKind::Aggregate;
+        q.table = table;
+        q.fields = {9};
+        q.hasPredicate = true;
+        qs.push_back(q);
+    }
+    // Q5 / Q6: SELECT AVG(f1) FROM Ta / Tb WHERE f10 > x
+    for (auto [name, table] :
+         {std::pair{"Q5", TableRef::Ta}, std::pair{"Q6", TableRef::Tb}}) {
+        Query q;
+        q.name = name;
+        q.kind = QueryKind::Aggregate;
+        q.table = table;
+        q.fields = {1};
+        q.hasPredicate = true;
+        qs.push_back(q);
+    }
+    // Q7: SELECT Ta.f3, Tb.f4 FROM Ta, Tb
+    //     WHERE Ta.f1 > Tb.f1 AND Ta.f9 = Tb.f9
+    {
+        Query q;
+        q.name = "Q7";
+        q.kind = QueryKind::Join;
+        q.fields = {3, 4};
+        q.joinExtraFilter = true;
+        qs.push_back(q);
+    }
+    // Q8: SELECT Ta.f3, Tb.f4 FROM Ta, Tb WHERE Ta.f9 = Tb.f9
+    {
+        Query q;
+        q.name = "Q8";
+        q.kind = QueryKind::Join;
+        q.fields = {3, 4};
+        qs.push_back(q);
+    }
+    // Q9 / Q10: SELECT f3, f4 FROM Ta WHERE f1 > x AND f9/f2 < y
+    for (auto [name, second] :
+         {std::pair{"Q9", 9u}, std::pair{"Q10", 2u}}) {
+        Query q;
+        q.name = name;
+        q.kind = QueryKind::Select;
+        q.table = TableRef::Ta;
+        q.fields = {3, 4};
+        q.hasPredicate = true;
+        q.predField = 1;
+        q.selectivity = 0.5;
+        q.hasPredicate2 = true;
+        q.predField2 = second;
+        q.selectivity2 = 0.5;
+        qs.push_back(q);
+    }
+    // Q11: UPDATE Tb SET f3 = x, f4 = y WHERE f10 = z
+    {
+        Query q;
+        q.name = "Q11";
+        q.kind = QueryKind::Update;
+        q.table = TableRef::Tb;
+        q.fields = {3, 4};
+        q.hasPredicate = true;
+        qs.push_back(q);
+    }
+    // Q12: UPDATE Tb SET f9 = x WHERE f10 = y
+    {
+        Query q;
+        q.name = "Q12";
+        q.kind = QueryKind::Update;
+        q.table = TableRef::Tb;
+        q.fields = {9};
+        q.hasPredicate = true;
+        qs.push_back(q);
+    }
+    return qs;
+}
+
+std::vector<Query>
+benchmarkQsQueries()
+{
+    std::vector<Query> qs;
+
+    // Qs1 / Qs2: SELECT * FROM Ta / Tb LIMIT 1024
+    for (auto [name, table] : {std::pair{"Qs1", TableRef::Ta},
+                               std::pair{"Qs2", TableRef::Tb}}) {
+        Query q;
+        q.name = name;
+        q.kind = QueryKind::SelectStar;
+        q.table = table;
+        q.limit = 1024;
+        q.rowPreferred = true;
+        qs.push_back(q);
+    }
+    // Qs3 / Qs4: SELECT * FROM Ta / Tb WHERE f10 > x
+    for (auto [name, table] : {std::pair{"Qs3", TableRef::Ta},
+                               std::pair{"Qs4", TableRef::Tb}}) {
+        Query q;
+        q.name = name;
+        q.kind = QueryKind::SelectStar;
+        q.table = table;
+        q.hasPredicate = true;
+        q.rowPreferred = true;
+        qs.push_back(q);
+    }
+    // Qs5 / Qs6: INSERT INTO Ta / Tb VALUES (...)
+    for (auto [name, table] : {std::pair{"Qs5", TableRef::Ta},
+                               std::pair{"Qs6", TableRef::Tb}}) {
+        Query q;
+        q.name = name;
+        q.kind = QueryKind::Insert;
+        q.table = table;
+        q.rowPreferred = true;
+        qs.push_back(q);
+    }
+    return qs;
+}
+
+namespace {
+
+std::vector<unsigned>
+pickFields(unsigned projected, unsigned num_fields, std::uint64_t seed)
+{
+    sam_assert(projected >= 1 && projected <= num_fields,
+               "projectivity out of range");
+    // Field 0 is the predicate field; project from the rest (random
+    // manner per Section 6.2), unless everything is projected.
+    std::vector<unsigned> all;
+    for (unsigned f = 1; f < num_fields; ++f)
+        all.push_back(f);
+    Rng rng(seed * 1315423911ULL + projected);
+    for (std::size_t i = all.size(); i > 1; --i)
+        std::swap(all[i - 1], all[rng.below(i)]);
+    std::vector<unsigned> out(all.begin(),
+                              all.begin() +
+                                  std::min<std::size_t>(projected,
+                                                        all.size()));
+    if (projected == num_fields)
+        out.push_back(0);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+} // namespace
+
+Query
+arithQuery(unsigned projected, double selectivity, unsigned num_fields,
+           std::uint64_t seed)
+{
+    Query q;
+    q.name = "Arith(p=" + std::to_string(projected) +
+             ",s=" + std::to_string(selectivity) + ")";
+    q.kind = QueryKind::Aggregate;
+    q.table = TableRef::Ta;
+    q.fields = pickFields(projected, num_fields, seed);
+    q.hasPredicate = true;
+    q.predField = 0;
+    q.selectivity = selectivity;
+    q.recordMajor = true;
+    return q;
+}
+
+Query
+aggrQuery(unsigned projected, double selectivity, unsigned num_fields,
+          std::uint64_t seed)
+{
+    Query q = arithQuery(projected, selectivity, num_fields, seed);
+    q.name = "Aggr(p=" + std::to_string(projected) +
+             ",s=" + std::to_string(selectivity) + ")";
+    q.fieldMajor = true;
+    q.recordMajor = false;
+    return q;
+}
+
+} // namespace sam

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Query IR for the paper's benchmark (Table 3): the twelve
+ * column-store-preferring Q queries from RC-NVM's suite, the six
+ * row-store-preferring Qs supplements, and the parameterized arithmetic
+ * / aggregate queries of Figure 15.
+ */
+
+#ifndef SAM_IMDB_QUERY_HH
+#define SAM_IMDB_QUERY_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sam {
+
+enum class QueryKind {
+    Select,      ///< Project fields of records passing predicates.
+    SelectStar,  ///< Project all fields of records passing predicates.
+    Aggregate,   ///< SUM / AVG over one or more fields.
+    Update,      ///< Set fields of records passing the predicate.
+    Insert,      ///< Append whole records.
+    Join,        ///< Equi-join on a field, with optional extra filter.
+};
+
+/** Which table a query targets. */
+enum class TableRef { Ta, Tb };
+
+struct Query
+{
+    std::string name;
+    QueryKind kind = QueryKind::Select;
+    TableRef table = TableRef::Ta;
+
+    /** Fields projected / summed / updated. */
+    std::vector<unsigned> fields;
+
+    /** Predicate: field `predField` selective at `selectivity`. */
+    bool hasPredicate = false;
+    unsigned predField = 10;
+    double selectivity = 0.25;
+
+    /** Second predicate (Q9 / Q10): AND-combined. */
+    bool hasPredicate2 = false;
+    unsigned predField2 = 9;
+    double selectivity2 = 0.5;
+
+    /** LIMIT for Qs1/Qs2; 0 = no limit. */
+    std::uint64_t limit = 0;
+
+    /** Join partner field (both tables) and match selectivity. */
+    unsigned joinField = 9;
+    double joinSelectivity = 0.25;
+    /** Q7's extra Ta.f1 > Tb.f1 comparison. */
+    bool joinExtraFilter = false;
+
+    /** Insert count (Qs5/Qs6); 0 = table-size / 8 default. */
+    std::uint64_t insertCount = 0;
+
+    /**
+     * Row-store-preferred (Qs-type): executed with regular accesses on
+     * every design; the ideal design uses a row-store layout.
+     */
+    bool rowPreferred = false;
+
+    /**
+     * Field-major processing (the Figure 15 aggregate query): sweep the
+     * table one projected field at a time instead of record-at-a-time.
+     */
+    bool fieldMajor = false;
+
+    /**
+     * Force record-at-a-time processing (the Figure 15 arithmetic
+     * query): the per-record expression chains field values, so the
+     * engine cannot restructure the plan into column sweeps even on
+     * hardware that would prefer them.
+     */
+    bool recordMajor = false;
+};
+
+/** The Q1..Q12 suite (column-store preferring; Table 3 upper block). */
+std::vector<Query> benchmarkQQueries();
+
+/** The Qs1..Qs6 supplements (row-store preferring; middle block). */
+std::vector<Query> benchmarkQsQueries();
+
+/**
+ * The Figure 15 arithmetic query: SELECT fi+fj+...+fk FROM Ta WHERE
+ * f0 < x, with `projected` random fields and the given selectivity.
+ */
+Query arithQuery(unsigned projected, double selectivity,
+                 unsigned num_fields, std::uint64_t seed = 1);
+
+/** The Figure 15 aggregate query (field-major AVG over fields). */
+Query aggrQuery(unsigned projected, double selectivity,
+                unsigned num_fields, std::uint64_t seed = 2);
+
+} // namespace sam
+
+#endif // SAM_IMDB_QUERY_HH

@@ -1,0 +1,142 @@
+#include "src/power/power_model.hh"
+
+#include "src/common/logging.hh"
+
+namespace sam {
+
+IddParams
+ddr4Idd()
+{
+    return IddParams{};
+}
+
+IddParams
+rramIdd()
+{
+    IddParams p;
+    p.idd2n = 4.0;    // periphery only: cells burn no standby power
+    p.idd3n = 6.0;
+    p.idd0 = 52.0;    // activation comparable to DRAM at iso-interface
+    p.idd4r = 125.0;
+    p.idd4w = 420.0;  // RRAM SET/RESET pulses dominate write energy
+    p.idd5b = 0.0;    // no refresh
+    return p;
+}
+
+IddParams
+iddFor(MemTech tech)
+{
+    switch (tech) {
+      case MemTech::DRAM: return ddr4Idd();
+      case MemTech::RRAM: return rramIdd();
+    }
+    panic("unknown MemTech");
+}
+
+double
+PowerBreakdown::actPowerMw() const
+{
+    return elapsedNs > 0 ? (actEnergyPj + refreshEnergyPj) / elapsedNs
+                         : 0.0;
+}
+
+double
+PowerBreakdown::rdwrPowerMw() const
+{
+    return elapsedNs > 0 ? rdwrEnergyPj / elapsedNs : 0.0;
+}
+
+double
+PowerBreakdown::backgroundPowerMw() const
+{
+    return elapsedNs > 0 ? backgroundEnergyPj / elapsedNs : 0.0;
+}
+
+double
+PowerBreakdown::totalPowerMw() const
+{
+    return actPowerMw() + rdwrPowerMw() + backgroundPowerMw();
+}
+
+PowerModel::PowerModel(const IddParams &idd, const TimingParams &timing,
+                       unsigned num_chips, PowerAdjust adjust)
+    : idd_(idd), timing_(timing), numChips_(num_chips), adjust_(adjust)
+{
+    sam_assert(num_chips > 0, "power model needs at least one chip");
+}
+
+double
+PowerModel::actEnergyPj() const
+{
+    // Micron methodology: ACT/PRE pair energy above active standby over
+    // one tRC window. mA * V * ns = pJ.
+    const double t_rc_ns = timing_.tRC() * timing_.tCkNs;
+    return (idd_.idd0 - idd_.idd3n) * idd_.vdd * t_rc_ns * numChips_;
+}
+
+double
+PowerModel::readBurstEnergyPj() const
+{
+    const double t_burst_ns = timing_.tBL * timing_.tCkNs;
+    return (idd_.idd4r - idd_.idd3n) * idd_.vdd * t_burst_ns * numChips_;
+}
+
+double
+PowerModel::writeBurstEnergyPj() const
+{
+    const double t_burst_ns = timing_.tBL * timing_.tCkNs;
+    return (idd_.idd4w - idd_.idd3n) * idd_.vdd * t_burst_ns * numChips_;
+}
+
+PowerBreakdown
+PowerModel::compute(const DeviceStats &stats, Cycle elapsed_cycles,
+                    double stride_act_fraction) const
+{
+    sam_assert(stride_act_fraction >= 0.0 && stride_act_fraction <= 1.0,
+               "bad stride activate fraction");
+    PowerBreakdown out;
+    out.elapsedNs = static_cast<double>(elapsed_cycles) * timing_.tCkNs;
+
+    // Activation energy: regular ACTs at 1x; the stride-serving share
+    // at the design's strideAct factor (e.g. SAM-en's fine-grained
+    // activation cuts it; a column-wise subarray ACT costs the same as
+    // a row-wise one per Section 4.1).
+    const double n_act = static_cast<double>(stats.activates.value());
+    const double stride_acts = n_act * stride_act_fraction;
+    out.actEnergyPj = actEnergyPj() *
+                      ((n_act - stride_acts) +
+                       stride_acts * adjust_.strideAct);
+
+    // Burst energy, split by mode. Extra bursts (ECC fetches,
+    // sub-field collection) are regular-read-priced.
+    const double rd = static_cast<double>(stats.reads.value()) +
+                      static_cast<double>(stats.extraBursts.value());
+    const double wrb = static_cast<double>(stats.writes.value());
+    const double srd = static_cast<double>(stats.strideReads.value());
+    const double swr = static_cast<double>(stats.strideWrites.value());
+    out.rdwrEnergyPj = readBurstEnergyPj() *
+                           (rd + srd * adjust_.strideBurst) +
+                       writeBurstEnergyPj() *
+                           (wrb + swr * adjust_.strideBurst);
+
+    // Background: weight active vs precharged standby by bus activity
+    // as a proxy for open-row residency.
+    const double busy = elapsed_cycles > 0
+        ? static_cast<double>(stats.busBusyCycles.value()) /
+              static_cast<double>(elapsed_cycles)
+        : 0.0;
+    const double active_frac = std::min(1.0, 0.3 + 0.7 * busy);
+    const double i_bg = active_frac * idd_.idd3n +
+                        (1.0 - active_frac) * idd_.idd2n;
+    out.backgroundEnergyPj = i_bg * idd_.vdd * out.elapsedNs * numChips_ *
+                             adjust_.background;
+
+    // Refresh.
+    const double t_rfc_ns = timing_.tRFC * timing_.tCkNs;
+    out.refreshEnergyPj = static_cast<double>(stats.refreshes.value()) *
+                          (idd_.idd5b - idd_.idd2n) * idd_.vdd *
+                          t_rfc_ns * numChips_;
+    return out;
+}
+
+} // namespace sam

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Micron-methodology (IDD-based) power/energy model (Section 6.1,
+ * "Power"). Energy is composed per command class from datasheet current
+ * values; per-design multipliers model SAM-IO's wide internal fetch,
+ * SAM-en's fine-grained activation, SAM-sub's extra decoding logic, and
+ * RRAM's near-zero background / expensive writes.
+ */
+
+#ifndef SAM_POWER_POWER_MODEL_HH
+#define SAM_POWER_POWER_MODEL_HH
+
+#include "src/common/types.hh"
+#include "src/dram/device.hh"
+#include "src/dram/timing.hh"
+
+namespace sam {
+
+/**
+ * Per-chip current values (mA) and supply voltage, DDR4-2400 x4 8Gb
+ * class (transcribed from public Micron datasheet figures).
+ */
+struct IddParams
+{
+    double vdd = 1.2;      ///< Volts.
+    double idd0 = 48.0;    ///< ACT-PRE average.
+    double idd2n = 34.0;   ///< Precharge standby.
+    double idd3n = 45.0;   ///< Active standby.
+    double idd4r = 130.0;  ///< Burst read.
+    double idd4w = 120.0;  ///< Burst write.
+    double idd5b = 240.0;  ///< Refresh burst.
+};
+
+/** DRAM (DDR4-2400 x4) preset. */
+IddParams ddr4Idd();
+
+/**
+ * RRAM preset: near-zero background (non-volatile cells, no refresh),
+ * comparable read, substantially higher write energy (Section 6.2,
+ * "the character of RRAM ... near-zero background power ... significant
+ * write power").
+ */
+IddParams rramIdd();
+
+IddParams iddFor(MemTech tech);
+
+/**
+ * Design-specific energy multipliers applied to stride-mode operations
+ * and background power.
+ */
+struct PowerAdjust
+{
+    /** Background power factor (SAM-sub: 1.02 for extra SA/decoding). */
+    double background = 1.0;
+    /**
+     * Multiplier on read/write burst energy for stride-mode accesses.
+     * SAM-IO fetches all four I/O buffers (288B internally for 72B on
+     * the channel) -> ~4x internal column energy; SAM-en's fine-grained
+     * activation fetches only useful mats -> 1x.
+     */
+    double strideBurst = 1.0;
+    /** Multiplier on activation energy for stride-mode activates. */
+    double strideAct = 1.0;
+};
+
+/** Energy/power breakdown for one run (per the Figure 13 categories). */
+struct PowerBreakdown
+{
+    double actEnergyPj = 0;
+    double rdwrEnergyPj = 0;
+    double backgroundEnergyPj = 0;
+    double refreshEnergyPj = 0;
+    double totalEnergyPj() const
+    {
+        return actEnergyPj + rdwrEnergyPj + backgroundEnergyPj +
+               refreshEnergyPj;
+    }
+    double elapsedNs = 0;
+    /** Average power in mW, split like Figure 13's stacked bars. */
+    double actPowerMw() const;
+    double rdwrPowerMw() const;
+    double backgroundPowerMw() const;
+    double totalPowerMw() const;
+};
+
+/**
+ * Computes rank-level energy from device statistics. Stateless; one
+ * instance per simulated configuration.
+ */
+class PowerModel
+{
+  public:
+    PowerModel(const IddParams &idd, const TimingParams &timing,
+               unsigned num_chips, PowerAdjust adjust = {});
+
+    /**
+     * Energy composition over a run.
+     * @param stats          Device counters after the run.
+     * @param elapsed_cycles Total bus cycles of the run.
+     * @param stride_act_fraction Fraction of activates that served
+     *        stride-mode accesses (device stats do not attribute ACTs).
+     */
+    PowerBreakdown compute(const DeviceStats &stats,
+                           Cycle elapsed_cycles,
+                           double stride_act_fraction = 0.0) const;
+
+    /** Energy of a single regular activate (pJ, whole rank). */
+    double actEnergyPj() const;
+    /** Energy of a single regular read burst (pJ, whole rank). */
+    double readBurstEnergyPj() const;
+    /** Energy of a single regular write burst (pJ, whole rank). */
+    double writeBurstEnergyPj() const;
+
+  private:
+    IddParams idd_;
+    TimingParams timing_;
+    unsigned numChips_;
+    PowerAdjust adjust_;
+};
+
+} // namespace sam
+
+#endif // SAM_POWER_POWER_MODEL_HH

@@ -1,0 +1,147 @@
+#include "src/sim/core_port.hh"
+
+#include "src/common/logging.hh"
+
+namespace sam {
+
+namespace {
+
+CoreCacheConfig
+withSector(const CoreCacheConfig &cfg, unsigned sector_bytes)
+{
+    CoreCacheConfig out = cfg;
+    out.l1.sectorBytes = sector_bytes;
+    out.l2.sectorBytes = sector_bytes;
+    out.llc.sectorBytes = sector_bytes;
+    return out;
+}
+
+} // namespace
+
+CorePort::CorePort(unsigned core_id, const CoreCacheConfig &cfg,
+                   unsigned stride_unit, DataPath &data_path)
+    : coreId_(core_id), strideUnit_(stride_unit), dataPath_(data_path),
+      hierarchy_(withSector(cfg, stride_unit).l1,
+                 withSector(cfg, stride_unit).l2,
+                 withSector(cfg, stride_unit).llc, *this)
+{
+    trace_.emplace_back();
+}
+
+void
+CorePort::record(AccessType type, std::vector<Addr> lines,
+                 unsigned sector)
+{
+    TraceEntry entry;
+    entry.type = type;
+    entry.lines = std::move(lines);
+    entry.sector = sector;
+    entry.gap = clock_ - lastRecord_;
+    lastRecord_ = clock_;
+    trace_.back().push_back(std::move(entry));
+}
+
+std::uint64_t
+CorePort::load(Addr addr, unsigned bytes)
+{
+    sam_assert(bytes >= 1 && bytes <= 8, "load size");
+    std::uint8_t buf[8] = {};
+    const HierResult r = hierarchy_.read(addr, bytes, buf);
+    clock_ += r.delay;
+    std::uint64_t v = 0;
+    for (int i = static_cast<int>(bytes) - 1; i >= 0; --i)
+        v = (v << 8) | buf[i];
+    return v;
+}
+
+void
+CorePort::store(Addr addr, std::uint64_t value, unsigned bytes)
+{
+    sam_assert(bytes >= 1 && bytes <= 8, "store size");
+    std::uint8_t buf[8];
+    for (unsigned i = 0; i < bytes; ++i) {
+        buf[i] = static_cast<std::uint8_t>(value & 0xff);
+        value >>= 8;
+    }
+    const HierResult r = hierarchy_.write(addr, buf, bytes);
+    clock_ += r.delay;
+}
+
+void
+CorePort::storeStream(Addr addr, std::uint64_t value, unsigned bytes)
+{
+    sam_assert(bytes >= 1 && bytes <= 8, "store size");
+    std::uint8_t buf[8];
+    for (unsigned i = 0; i < bytes; ++i) {
+        buf[i] = static_cast<std::uint8_t>(value & 0xff);
+        value >>= 8;
+    }
+    const HierResult r = hierarchy_.writeAllocate(addr, buf, bytes);
+    clock_ += r.delay;
+}
+
+std::vector<std::uint8_t>
+CorePort::strideLoad(const GatherPlan &plan)
+{
+    std::vector<std::uint8_t> out(kCachelineBytes);
+    const HierResult r =
+        hierarchy_.strideRead(plan, strideUnit_, out.data());
+    clock_ += r.delay;
+    return out;
+}
+
+void
+CorePort::strideStore(const GatherPlan &plan,
+                      const std::vector<std::uint8_t> &line)
+{
+    sam_assert(line.size() == kCachelineBytes, "stride store size");
+    const HierResult r =
+        hierarchy_.strideWrite(plan, strideUnit_, line.data());
+    clock_ += r.delay;
+}
+
+void
+CorePort::compute(Cycle cycles)
+{
+    clock_ += cycles;
+}
+
+std::vector<std::uint8_t>
+CorePort::fetchLine(Addr line)
+{
+    record(AccessType::Read, {line}, 0);
+    return dataPath_.readLine(line).data;
+}
+
+std::vector<std::uint8_t>
+CorePort::fetchStride(const GatherPlan &plan)
+{
+    record(AccessType::StrideRead, plan.lines, plan.sector);
+    return dataPath_.strideRead(plan.lines, plan.sector, strideUnit_)
+        .data;
+}
+
+void
+CorePort::writeback(const Writeback &wb)
+{
+    record(AccessType::Write, {wb.line}, 0);
+    dataPath_.writePartial(wb.line, wb.data, wb.dirtyMask, strideUnit_);
+}
+
+void
+CorePort::writeStride(const GatherPlan &plan, const std::uint8_t *line64)
+{
+    record(AccessType::StrideWrite, plan.lines, plan.sector);
+    dataPath_.strideWrite(plan.lines, plan.sector, strideUnit_,
+                          std::vector<std::uint8_t>(line64,
+                                                    line64 +
+                                                        kCachelineBytes));
+}
+
+void
+CorePort::newEpoch()
+{
+    trace_.emplace_back();
+}
+
+} // namespace sam

@@ -1,0 +1,325 @@
+#include "src/sim/system.hh"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "src/common/logging.hh"
+
+namespace sam {
+
+namespace {
+
+unsigned
+layoutIndex(LayoutKind layout)
+{
+    switch (layout) {
+      case LayoutKind::RowStore:      return 0;
+      case LayoutKind::ColumnStore:   return 1;
+      case LayoutKind::SamAligned:    return 2;
+      case LayoutKind::VerticalGroup: return 3;
+      case LayoutKind::GsSegmented:   return 4;
+    }
+    panic("unknown LayoutKind");
+}
+
+} // namespace
+
+System::System(const SimConfig &config)
+    : config_(config),
+      spec_(makeDesign(config.design, config.ecc, config.tech,
+                       config.overrideTech)),
+      timing_(timingFor(spec_.tech).derated(spec_.areaOverhead)),
+      strideUnit_(strideUnitBytes(config.ecc)),
+      mapping_(geom_),
+      dataPath_(spec_.ecc)
+{
+    sam_assert(config.cores > 0, "need at least one core");
+}
+
+TableSchema
+System::taSchema() const
+{
+    return TableSchema{"Ta", config_.taFields, config_.taRecords};
+}
+
+TableSchema
+System::tbSchema() const
+{
+    return TableSchema{"Tb", config_.tbFields, config_.tbRecords};
+}
+
+LayoutKind
+System::layoutFor(const Query &query) const
+{
+    if (spec_.kind == DesignKind::Ideal) {
+        // The software ideal keeps both copies and picks per query
+        // (Section 1's dual-copy approach): row store for
+        // row-preferred queries and whenever the engine's cost model
+        // says a column plan would read more than a record-major scan.
+        const TableSchema schema =
+            query.table == TableRef::Ta ? taSchema() : tbSchema();
+        const unsigned gather = kCachelineBytes / strideUnit_;
+        if (query.rowPreferred ||
+            !choosePlan(query, schema, gather,
+                        /*has_row_fallback=*/false)
+                 .worthColumns) {
+            return LayoutKind::RowStore;
+        }
+        return LayoutKind::ColumnStore;
+    }
+    return spec_.layout;
+}
+
+System::TablePair &
+System::tablesFor(LayoutKind layout)
+{
+    TablePair &tp = tables_[layout];
+    const unsigned gather = kCachelineBytes / strideUnit_;
+    if (!tp.ta || tp.dirty) {
+        const Addr ta_base =
+            (Addr{layoutIndex(layout)} * 2 + 1) << 30;
+        const Addr tb_base =
+            (Addr{layoutIndex(layout)} * 2 + 2) << 30;
+        tp.ta = std::make_unique<Table>(taSchema(), ta_base, layout,
+                                        gather, geom_);
+        tp.tb = std::make_unique<Table>(tbSchema(), tb_base, layout,
+                                        gather, geom_);
+        tp.ta->materialize(dataPath_);
+        tp.tb->materialize(dataPath_);
+        tp.dirty = false;
+    }
+    return tp;
+}
+
+RunStats
+System::runQuery(const Query &query)
+{
+    TablePair &tp = tablesFor(layoutFor(query));
+
+    // ----- Phase 1: functional execution + trace capture -----------
+    const unsigned sector_bytes =
+        spec_.supportsStride ? strideUnit_ : kCachelineBytes;
+    std::vector<std::unique_ptr<CorePort>> ports;
+    ExecEnv env;
+    for (unsigned c = 0; c < config_.cores; ++c) {
+        ports.push_back(std::make_unique<CorePort>(
+            c, config_.caches, sector_bytes, dataPath_));
+        env.ports.push_back(ports.back().get());
+    }
+    env.ta = tp.ta.get();
+    env.tb = tp.tb.get();
+    env.useStride = spec_.supportsStride && !query.rowPreferred;
+    env.strideUnit = strideUnit_;
+    // Column-subarray designs avoid mid-scan field switches; a real
+    // column store (the ideal case) is vectorised column-at-a-time
+    // anyway.
+    env.fieldMajorPreferred = spec_.strideAcrossRows ||
+                              layoutFor(query) == LayoutKind::ColumnStore;
+    env.computePerRecord = config_.computePerRecord;
+    env.computePerValue = config_.computePerValue;
+    env.barrier = [&ports] {
+        for (auto &p : ports)
+            p->newEpoch();
+    };
+
+    const std::uint64_t ecc_corrected_before =
+        dataPath_.stats().correctedLines.value();
+    const std::uint64_t ecc_uncorr_before =
+        dataPath_.stats().uncorrectable.value();
+
+    RunStats rs;
+    rs.result = executeQuery(query, env);
+    for (auto &p : ports)
+        p->flushCaches();
+
+    // ----- Phase 2: timing replay -----------------------------------
+    DesignModel model(spec_, mapping_, strideUnit_);
+    Device device(geom_, timing_);
+    MemoryController controller(device, dataPath_, mapping_, {},
+                                /*functional=*/false);
+    rs.cycles = replay(ports, device, controller, model);
+
+    // ----- Statistics ------------------------------------------------
+    const DeviceStats &ds = device.stats();
+    {
+        std::ostringstream oss;
+        StatGroup dev_group("device");
+        ds.registerIn(dev_group);
+        dev_group.dump(oss);
+        StatGroup ctrl_group("controller");
+        controller.stats().registerIn(ctrl_group);
+        ctrl_group.dump(oss);
+        StatGroup ecc_group("ecc");
+        dataPath_.stats().registerIn(ecc_group);
+        ecc_group.dump(oss);
+        for (unsigned c = 0; c < config_.cores; ++c) {
+            for (unsigned lvl = 0; lvl < 3; ++lvl) {
+                StatGroup cache_group(
+                    "core" + std::to_string(c) + ".l" +
+                    std::to_string(lvl + 1));
+                ports[c]->hierarchy().level(lvl).stats().registerIn(
+                    cache_group);
+                cache_group.dump(oss);
+            }
+        }
+        rs.statsText = oss.str();
+    }
+    rs.memReads = ds.reads.value();
+    rs.memWrites = ds.writes.value();
+    rs.strideReads = ds.strideReads.value();
+    rs.strideWrites = ds.strideWrites.value();
+    rs.activates = ds.activates.value();
+    rs.rowHits = ds.rowHits.value();
+    rs.rowMisses = ds.rowMisses.value();
+    rs.modeSwitches = ds.modeSwitches.value();
+    rs.eccCorrectedLines =
+        dataPath_.stats().correctedLines.value() - ecc_corrected_before;
+    rs.eccUncorrectable =
+        dataPath_.stats().uncorrectable.value() - ecc_uncorr_before;
+
+    const double total_cas =
+        static_cast<double>(rs.memReads + rs.memWrites + rs.strideReads +
+                            rs.strideWrites);
+    const double stride_frac = total_cas > 0
+        ? (rs.strideReads + rs.strideWrites) / total_cas
+        : 0.0;
+    const unsigned chips = spec_.ecc == EccScheme::None ? 16 : 18;
+    const PowerModel pm(iddFor(spec_.tech), timing_, chips, spec_.power);
+    rs.power = pm.compute(ds, rs.cycles, stride_frac);
+
+    if (query.kind == QueryKind::Update ||
+        query.kind == QueryKind::Insert) {
+        tp.dirty = true;
+    }
+    return rs;
+}
+
+Cycle
+System::replay(const std::vector<std::unique_ptr<CorePort>> &ports,
+               Device &device, MemoryController &controller,
+               DesignModel &model)
+{
+    (void)device;
+    struct CoreState
+    {
+        const CoreTrace *trace = nullptr;
+        std::size_t idx = 0;
+        Cycle clock = 0;
+        std::vector<std::uint64_t> window;  ///< In-flight read ids.
+        std::unordered_map<std::uint64_t, Cycle> done;
+    };
+
+    const unsigned num_cores = static_cast<unsigned>(ports.size());
+    std::vector<CoreState> cores(num_cores);
+    std::size_t num_epochs = 0;
+    for (unsigned c = 0; c < num_cores; ++c) {
+        cores[c].trace = &ports[c]->trace();
+        num_epochs = std::max(num_epochs, cores[c].trace->size());
+    }
+
+    std::uint64_t next_id = 1;
+    std::unordered_map<std::uint64_t, unsigned> owner;
+    Cycle max_done = 0;
+
+    for (std::size_t epoch = 0; epoch < num_epochs; ++epoch) {
+        // Barrier: all cores resume together after prior epoch traffic.
+        for (auto &cs : cores) {
+            cs.clock = std::max(cs.clock, max_done);
+            cs.idx = 0;
+            cs.window.clear();
+            cs.done.clear();
+        }
+
+        auto issue_some = [&](unsigned c) -> bool {
+            CoreState &cs = cores[c];
+            if (epoch >= cs.trace->size())
+                return false;
+            const auto &entries = (*cs.trace)[epoch];
+            bool issued = false;
+            unsigned batch = 0;
+            while (cs.idx < entries.size() && batch < 32) {
+                if (controller.readQueueDepth() +
+                        controller.writeQueueDepth() > 256) {
+                    break; // backpressure
+                }
+                const TraceEntry &e = entries[cs.idx];
+                Cycle t = cs.clock + e.gap;
+                const bool is_read = !isWrite(e.type);
+                if (is_read &&
+                    cs.window.size() >= config_.mshrsPerCore) {
+                    // Retire the earliest *known* completion; stall if
+                    // none of the in-flight reads has been served yet.
+                    Cycle best = kInvalidCycle;
+                    std::size_t best_i = cs.window.size();
+                    for (std::size_t i = 0; i < cs.window.size(); ++i) {
+                        auto it = cs.done.find(cs.window[i]);
+                        if (it != cs.done.end() && it->second < best) {
+                            best = it->second;
+                            best_i = i;
+                        }
+                    }
+                    if (best_i == cs.window.size())
+                        break; // stalled on outstanding misses
+                    cs.done.erase(cs.window[best_i]);
+                    cs.window.erase(cs.window.begin() +
+                                    static_cast<std::ptrdiff_t>(best_i));
+                    t = std::max(t, best);
+                }
+
+                MemRequest req;
+                if (isStride(e.type)) {
+                    GatherPlan plan{e.lines, e.sector};
+                    req = model.strideRequest(e.type, plan, t, c);
+                } else {
+                    req = model.lineRequest(e.type, e.lines[0], t, c);
+                }
+                req.id = next_id++;
+                owner[req.id] = c;
+                if (is_read)
+                    cs.window.push_back(req.id);
+                controller.push(std::move(req));
+                cs.clock = t;
+                ++cs.idx;
+                issued = true;
+                ++batch;
+            }
+            return issued;
+        };
+
+        while (true) {
+            bool progress = false;
+            for (unsigned c = 0; c < num_cores; ++c)
+                progress = issue_some(c) || progress;
+
+            if (auto comp = controller.serviceNext()) {
+                max_done = std::max(max_done, comp->done);
+                if (comp->isRead) {
+                    auto it = owner.find(comp->id);
+                    sam_assert(it != owner.end(), "orphan completion");
+                    cores[it->second].done[comp->id] = comp->done;
+                }
+                progress = true;
+            }
+
+            if (!progress) {
+                bool all_issued = true;
+                for (unsigned c = 0; c < num_cores; ++c) {
+                    if (epoch < cores[c].trace->size() &&
+                        cores[c].idx < (*cores[c].trace)[epoch].size()) {
+                        all_issued = false;
+                    }
+                }
+                sam_assert(all_issued || controller.hasPending(),
+                           "replay deadlock");
+                if (all_issued && !controller.hasPending())
+                    break;
+            }
+        }
+
+        for (const auto &cs : cores)
+            max_done = std::max(max_done, cs.clock);
+    }
+    return max_done;
+}
+
+} // namespace sam

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Memory trace captured during functional execution and replayed
+ * through the memory controller for timing.
+ */
+
+#ifndef SAM_SIM_TRACE_HH
+#define SAM_SIM_TRACE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/gather.hh"
+#include "src/common/types.hh"
+#include "src/controller/request.hh"
+
+namespace sam {
+
+/** One memory-bound event of a core's execution. */
+struct TraceEntry
+{
+    AccessType type = AccessType::Read;
+    /** Source lines: one for regular accesses, G for strides. */
+    std::vector<Addr> lines;
+    unsigned sector = 0;
+    /** Core cycles of compute / cache-hit time since the previous
+     *  entry. */
+    Cycle gap = 0;
+};
+
+/** A core's trace, split into barrier-separated epochs. */
+using CoreTrace = std::vector<std::vector<TraceEntry>>;
+
+} // namespace sam
+
+#endif // SAM_SIM_TRACE_HH

@@ -1,0 +1,501 @@
+/**
+ * @file
+ * Unit and property tests for the ECC stack: GF(2^8) arithmetic, the
+ * Reed-Solomon codec, SEC-DED, and the chipkill ECC engine (including
+ * whole-chip failure injection, the paper's reliability argument).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/common/random.hh"
+#include "src/common/types.hh"
+#include "src/ecc/ecc_engine.hh"
+#include "src/ecc/gf256.hh"
+#include "src/ecc/reed_solomon.hh"
+#include "src/ecc/secded.hh"
+
+namespace sam {
+namespace {
+
+// --------------------------------------------------------------------
+// GF(2^8)
+// --------------------------------------------------------------------
+
+TEST(GF256, AddIsXor)
+{
+    EXPECT_EQ(GF256::add(0x57, 0x83), 0x57 ^ 0x83);
+    EXPECT_EQ(GF256::sub(0x57, 0x83), 0x57 ^ 0x83);
+}
+
+/** Independent bitwise (shift-and-reduce) reference multiplier. */
+std::uint8_t
+refMul(std::uint8_t a, std::uint8_t b)
+{
+    unsigned acc = 0;
+    unsigned aa = a;
+    for (unsigned i = 0; i < 8; ++i) {
+        if (b & (1u << i))
+            acc ^= aa << i;
+    }
+    for (int d = 14; d >= 8; --d) {
+        if (acc & (1u << d))
+            acc ^= 0x11du << (d - 8);
+    }
+    return static_cast<std::uint8_t>(acc);
+}
+
+TEST(GF256, KnownProduct)
+{
+    EXPECT_EQ(GF256::mul(0x02, 0x80), 0x1d); // wraps through poly 0x11d
+    EXPECT_EQ(GF256::mul(0x57, 0x83), refMul(0x57, 0x83));
+}
+
+TEST(GF256, MatchesBitwiseReferenceExhaustiveSample)
+{
+    Rng rng(17);
+    for (int i = 0; i < 4000; ++i) {
+        const auto a = static_cast<std::uint8_t>(rng.below(256));
+        const auto b = static_cast<std::uint8_t>(rng.below(256));
+        ASSERT_EQ(GF256::mul(a, b), refMul(a, b))
+            << "a=" << int(a) << " b=" << int(b);
+    }
+}
+
+TEST(GF256, MulIdentityAndZero)
+{
+    for (unsigned a = 0; a < 256; ++a) {
+        EXPECT_EQ(GF256::mul(static_cast<std::uint8_t>(a), 1), a);
+        EXPECT_EQ(GF256::mul(static_cast<std::uint8_t>(a), 0), 0);
+    }
+}
+
+TEST(GF256, EveryNonZeroHasInverse)
+{
+    for (unsigned a = 1; a < 256; ++a) {
+        const auto inv = GF256::inv(static_cast<std::uint8_t>(a));
+        EXPECT_EQ(GF256::mul(static_cast<std::uint8_t>(a), inv), 1)
+            << "a=" << a;
+    }
+}
+
+TEST(GF256, MulCommutativeAssociativeSample)
+{
+    Rng rng(3);
+    for (int i = 0; i < 500; ++i) {
+        const auto a = static_cast<std::uint8_t>(rng.below(256));
+        const auto b = static_cast<std::uint8_t>(rng.below(256));
+        const auto c = static_cast<std::uint8_t>(rng.below(256));
+        EXPECT_EQ(GF256::mul(a, b), GF256::mul(b, a));
+        EXPECT_EQ(GF256::mul(GF256::mul(a, b), c),
+                  GF256::mul(a, GF256::mul(b, c)));
+        // Distributivity over addition.
+        EXPECT_EQ(GF256::mul(a, GF256::add(b, c)),
+                  GF256::add(GF256::mul(a, b), GF256::mul(a, c)));
+    }
+}
+
+TEST(GF256, DivInvertsMul)
+{
+    Rng rng(4);
+    for (int i = 0; i < 500; ++i) {
+        const auto a = static_cast<std::uint8_t>(rng.below(256));
+        const auto b = static_cast<std::uint8_t>(1 + rng.below(255));
+        EXPECT_EQ(GF256::div(GF256::mul(a, b), b), a);
+    }
+}
+
+TEST(GF256, PowMatchesRepeatedMul)
+{
+    const std::uint8_t a = 0x35;
+    std::uint8_t acc = 1;
+    for (unsigned n = 0; n < 300; ++n) {
+        EXPECT_EQ(GF256::pow(a, n), acc) << "n=" << n;
+        acc = GF256::mul(acc, a);
+    }
+}
+
+TEST(GF256, AlphaOrder255)
+{
+    // alpha generates the multiplicative group: alpha^255 == 1 and no
+    // smaller positive power is 1.
+    EXPECT_EQ(GF256::alphaPow(255), 1);
+    for (unsigned n = 1; n < 255; ++n)
+        EXPECT_NE(GF256::alphaPow(n), 1) << "n=" << n;
+}
+
+TEST(GF256, ZeroOperandsPanic)
+{
+    EXPECT_THROW(GF256::inv(0), std::logic_error);
+    EXPECT_THROW(GF256::div(5, 0), std::logic_error);
+    EXPECT_THROW(GF256::log(0), std::logic_error);
+}
+
+// --------------------------------------------------------------------
+// Reed-Solomon
+// --------------------------------------------------------------------
+
+std::vector<std::uint8_t>
+randomData(Rng &rng, unsigned k)
+{
+    std::vector<std::uint8_t> data(k);
+    for (auto &b : data)
+        b = static_cast<std::uint8_t>(rng.below(256));
+    return data;
+}
+
+TEST(ReedSolomon, CleanRoundTrip)
+{
+    const ReedSolomon rs(18, 16);
+    Rng rng(1);
+    for (int i = 0; i < 50; ++i) {
+        auto cw = rs.encode(randomData(rng, 16));
+        const auto r = rs.decode(cw);
+        EXPECT_EQ(r.status, DecodeStatus::Clean);
+    }
+}
+
+TEST(ReedSolomon, SscCorrectsAnySingleSymbol)
+{
+    const ReedSolomon rs(18, 16);
+    Rng rng(2);
+    for (unsigned pos = 0; pos < 18; ++pos) {
+        const auto data = randomData(rng, 16);
+        auto cw = rs.encode(data);
+        const auto original = cw;
+        cw[pos] ^= static_cast<std::uint8_t>(1 + rng.below(255));
+        const auto r = rs.decode(cw);
+        ASSERT_EQ(r.status, DecodeStatus::Corrected) << "pos=" << pos;
+        ASSERT_EQ(r.correctedPositions.size(), 1u);
+        EXPECT_EQ(r.correctedPositions[0], pos);
+        EXPECT_EQ(cw, original);
+    }
+}
+
+TEST(ReedSolomon, SscDetectsDoubleSymbolErrors)
+{
+    const ReedSolomon rs(18, 16); // t = 1
+    Rng rng(5);
+    int detected = 0;
+    const int trials = 200;
+    for (int i = 0; i < trials; ++i) {
+        auto cw = rs.encode(randomData(rng, 16));
+        const unsigned p1 = static_cast<unsigned>(rng.below(18));
+        unsigned p2;
+        do {
+            p2 = static_cast<unsigned>(rng.below(18));
+        } while (p2 == p1);
+        cw[p1] ^= static_cast<std::uint8_t>(1 + rng.below(255));
+        cw[p2] ^= static_cast<std::uint8_t>(1 + rng.below(255));
+        const auto r = rs.decode(cw);
+        // A t=1 code cannot correct 2 errors; it must not mis-correct
+        // into a *valid but wrong* codeword silently claiming success
+        // with the original data. Detection is the expected outcome for
+        // the vast majority of patterns.
+        detected += (r.status == DecodeStatus::Detected);
+    }
+    EXPECT_GT(detected, trials * 3 / 4);
+}
+
+class RsParamTest : public ::testing::TestWithParam<std::pair<int, int>>
+{
+};
+
+TEST_P(RsParamTest, CorrectsUpToTErrors)
+{
+    const auto [n, k] = GetParam();
+    const ReedSolomon rs(n, k);
+    Rng rng(42 + n);
+    for (int trial = 0; trial < 40; ++trial) {
+        const auto data = randomData(rng, k);
+        auto cw = rs.encode(data);
+        const auto original = cw;
+
+        // Inject exactly t errors at distinct positions.
+        std::vector<unsigned> positions;
+        while (positions.size() < rs.t()) {
+            const auto p = static_cast<unsigned>(rng.below(n));
+            bool dup = false;
+            for (unsigned q : positions)
+                dup = dup || q == p;
+            if (!dup)
+                positions.push_back(p);
+        }
+        for (unsigned p : positions)
+            cw[p] ^= static_cast<std::uint8_t>(1 + rng.below(255));
+
+        const auto r = rs.decode(cw);
+        ASSERT_EQ(r.status, DecodeStatus::Corrected);
+        EXPECT_EQ(cw, original);
+        EXPECT_EQ(r.correctedPositions.size(), rs.t());
+    }
+}
+
+TEST_P(RsParamTest, DataPrefixIsSystematic)
+{
+    const auto [n, k] = GetParam();
+    const ReedSolomon rs(n, k);
+    Rng rng(7);
+    const auto data = randomData(rng, k);
+    const auto cw = rs.encode(data);
+    for (int i = 0; i < k; ++i)
+        EXPECT_EQ(cw[i], data[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ChipkillGeometries, RsParamTest,
+    ::testing::Values(std::pair{18, 16},   // SSC
+                      std::pair{36, 32},   // SSC-DSD carrier
+                      std::pair{72, 64},   // large-codeword variant [26]
+                      std::pair{255, 223}, // classic deep-space code
+                      std::pair{20, 12})); // t = 4 stress
+
+TEST(ReedSolomon, MaxCorrectPolicyDowngradesToDetect)
+{
+    // RS(36,32) has t = 2; with max_correct = 1 a two-symbol error must
+    // be *detected*, matching SSC-DSD correct-one/detect-two.
+    const ReedSolomon rs(36, 32);
+    Rng rng(9);
+    auto cw = rs.encode(randomData(rng, 32));
+    cw[3] ^= 0x55;
+    cw[17] ^= 0xaa;
+    const auto r = rs.decode(cw, 1);
+    EXPECT_EQ(r.status, DecodeStatus::Detected);
+
+    // But a single-symbol error is still corrected under the policy.
+    auto cw2 = rs.encode(randomData(rng, 32));
+    const auto orig2 = cw2;
+    cw2[35] ^= 0x0f;
+    const auto r2 = rs.decode(cw2, 1);
+    EXPECT_EQ(r2.status, DecodeStatus::Corrected);
+    EXPECT_EQ(cw2, orig2);
+}
+
+TEST(ReedSolomon, RejectsBadGeometry)
+{
+    EXPECT_THROW(ReedSolomon(16, 16), std::logic_error);
+    EXPECT_THROW(ReedSolomon(19, 16), std::logic_error); // odd checks
+    EXPECT_THROW(ReedSolomon(300, 200), std::logic_error);
+}
+
+// --------------------------------------------------------------------
+// SEC-DED
+// --------------------------------------------------------------------
+
+TEST(SecDed, CleanWord)
+{
+    std::uint64_t data = 0x0123456789abcdefULL;
+    std::uint8_t check = SecDed::encode(data);
+    const auto r = SecDed::decode(data, check);
+    EXPECT_EQ(r.status, SecDedResult::Status::Clean);
+}
+
+TEST(SecDed, CorrectsEverySingleDataBit)
+{
+    const std::uint64_t original = 0xfeedfacecafebeefULL;
+    const std::uint8_t check = SecDed::encode(original);
+    for (int bit = 0; bit < 64; ++bit) {
+        std::uint64_t data = original ^ (std::uint64_t{1} << bit);
+        std::uint8_t c = check;
+        const auto r = SecDed::decode(data, c);
+        ASSERT_EQ(r.status, SecDedResult::Status::CorrectedData)
+            << "bit=" << bit;
+        EXPECT_EQ(r.correctedBit, bit);
+        EXPECT_EQ(data, original);
+    }
+}
+
+TEST(SecDed, CorrectsEverySingleCheckBit)
+{
+    const std::uint64_t original = 0x5555aaaa3333ccccULL;
+    const std::uint8_t check = SecDed::encode(original);
+    for (int bit = 0; bit < 8; ++bit) {
+        std::uint64_t data = original;
+        std::uint8_t c = check ^ static_cast<std::uint8_t>(1u << bit);
+        const auto r = SecDed::decode(data, c);
+        ASSERT_EQ(r.status, SecDedResult::Status::CorrectedCheck)
+            << "bit=" << bit;
+        EXPECT_EQ(data, original);
+        EXPECT_EQ(c, check);
+    }
+}
+
+TEST(SecDed, DetectsDoubleBitErrors)
+{
+    const std::uint64_t original = 0x0011223344556677ULL;
+    const std::uint8_t check = SecDed::encode(original);
+    Rng rng(21);
+    for (int trial = 0; trial < 300; ++trial) {
+        const unsigned b1 = static_cast<unsigned>(rng.below(64));
+        unsigned b2;
+        do {
+            b2 = static_cast<unsigned>(rng.below(64));
+        } while (b2 == b1);
+        std::uint64_t data = original ^ (std::uint64_t{1} << b1) ^
+                             (std::uint64_t{1} << b2);
+        std::uint8_t c = check;
+        const auto r = SecDed::decode(data, c);
+        EXPECT_EQ(r.status, SecDedResult::Status::Detected)
+            << b1 << "," << b2;
+    }
+}
+
+// --------------------------------------------------------------------
+// EccEngine (rank-level, chip-accurate injection)
+// --------------------------------------------------------------------
+
+std::vector<std::uint8_t>
+randomLine(Rng &rng)
+{
+    std::vector<std::uint8_t> line(kCachelineBytes);
+    for (auto &b : line)
+        b = static_cast<std::uint8_t>(rng.below(256));
+    return line;
+}
+
+class EccEngineTest : public ::testing::TestWithParam<EccScheme>
+{
+};
+
+TEST_P(EccEngineTest, EncodeDecodeRoundTrip)
+{
+    const EccEngine engine(GetParam());
+    Rng rng(31);
+    const auto line = randomLine(rng);
+    auto blob = engine.encodeLine(line);
+    EXPECT_EQ(blob.size(), kCachelineBytes + engine.parityBytesPerLine());
+    const auto r = engine.decodeLine(blob);
+    EXPECT_TRUE(r.clean);
+    blob.resize(kCachelineBytes);
+    EXPECT_EQ(blob, line);
+}
+
+TEST_P(EccEngineTest, SingleBitErrorHandled)
+{
+    const EccEngine engine(GetParam());
+    if (engine.scheme() == EccScheme::None)
+        GTEST_SKIP() << "no ECC";
+    Rng rng(33);
+    const auto line = randomLine(rng);
+    auto blob = engine.encodeLine(line);
+    EccEngine::flipBit(blob, 5 * 8 + 3);
+    const auto r = engine.decodeLine(blob);
+    EXPECT_TRUE(r.corrected);
+    EXPECT_FALSE(r.uncorrectable);
+    blob.resize(kCachelineBytes);
+    EXPECT_EQ(blob, line);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, EccEngineTest,
+    ::testing::Values(EccScheme::None, EccScheme::SecDed, EccScheme::Ssc,
+                      EccScheme::SscDsd, EccScheme::Ssc32,
+                      EccScheme::Bamboo72),
+    [](const auto &info) {
+        std::string name = eccSchemeName(info.param);
+        std::erase(name, '-');
+        return name;
+    });
+
+TEST(EccEngine, ChipkillSchemesSurviveWholeChipFailure)
+{
+    // Section 2.3 / Table 1: SSC-family schemes must correct a whole
+    // failed chip, for *every* chip in the rank.
+    for (EccScheme scheme :
+         {EccScheme::Ssc, EccScheme::SscDsd, EccScheme::Ssc32,
+          EccScheme::Bamboo72}) {
+        const EccEngine engine(scheme);
+        EXPECT_TRUE(engine.toleratesChipFailure());
+        Rng rng(55);
+        const auto line = randomLine(rng);
+        for (unsigned chip = 0; chip < engine.numChips(); ++chip) {
+            auto blob = engine.encodeLine(line);
+            engine.corruptChip(blob, chip);
+            const auto r = engine.decodeLine(blob);
+            EXPECT_TRUE(r.corrected)
+                << eccSchemeName(scheme) << " chip " << chip;
+            EXPECT_FALSE(r.uncorrectable)
+                << eccSchemeName(scheme) << " chip " << chip;
+            blob.resize(kCachelineBytes);
+            EXPECT_EQ(blob, line) << eccSchemeName(scheme);
+        }
+    }
+}
+
+TEST(EccEngine, SecDedCannotSurviveChipFailure)
+{
+    // The motivation for chipkill: SEC-DED sees 4 flipped bits per
+    // codeword when a chip dies -- beyond its correction capability.
+    const EccEngine engine(EccScheme::SecDed);
+    EXPECT_FALSE(engine.toleratesChipFailure());
+    Rng rng(66);
+    const auto line = randomLine(rng);
+    auto blob = engine.encodeLine(line);
+    engine.corruptChip(blob, 7);
+    const auto r = engine.decodeLine(blob);
+    // 4-bit (even) flips per word give even parity with a non-zero
+    // syndrome: flagged as detected-uncorrectable, never silently wrong.
+    EXPECT_TRUE(r.uncorrectable);
+}
+
+TEST(EccEngine, SscDsdDetectsTwoChipFailures)
+{
+    const EccEngine engine(EccScheme::SscDsd);
+    Rng rng(77);
+    const auto line = randomLine(rng);
+    auto blob = engine.encodeLine(line);
+    engine.corruptChip(blob, 3);
+    engine.corruptChip(blob, 19);
+    const auto r = engine.decodeLine(blob);
+    EXPECT_TRUE(r.uncorrectable); // correct-one/detect-two policy
+}
+
+TEST(EccEngine, PartialChipFaultCorrected)
+{
+    const EccEngine engine(EccScheme::Ssc);
+    Rng rng(88);
+    const auto line = randomLine(rng);
+    auto blob = engine.encodeLine(line);
+    engine.corruptChipBits(blob, 11, 3, rng);
+    const auto r = engine.decodeLine(blob);
+    EXPECT_FALSE(r.uncorrectable);
+    blob.resize(kCachelineBytes);
+    EXPECT_EQ(blob, line);
+}
+
+TEST(EccEngine, Bamboo72SurvivesChipPlusTransient)
+{
+    // The large-codeword variant has t = 4: a whole failed chip (4
+    // symbols) is correctable even with no margin to spare per stripe,
+    // unlike SSC which dedicates its single correctable symbol per
+    // codeword to the chip.
+    const EccEngine engine(EccScheme::Bamboo72);
+    Rng rng(123);
+    const auto line = randomLine(rng);
+    auto blob = engine.encodeLine(line);
+    engine.corruptChip(blob, 9);
+    const auto r = engine.decodeLine(blob);
+    EXPECT_TRUE(r.corrected);
+    EXPECT_EQ(r.symbolsCorrected, 4u);
+    blob.resize(kCachelineBytes);
+    EXPECT_EQ(blob, line);
+
+    // Two whole chips = 8 symbol errors: beyond t = 4, detected.
+    auto blob2 = engine.encodeLine(line);
+    engine.corruptChip(blob2, 3);
+    engine.corruptChip(blob2, 12);
+    EXPECT_TRUE(engine.decodeLine(blob2).uncorrectable);
+}
+
+TEST(EccEngine, GeometryPerScheme)
+{
+    EXPECT_EQ(EccEngine(EccScheme::Ssc).numChips(), 18u);
+    EXPECT_EQ(EccEngine(EccScheme::SscDsd).numChips(), 36u);
+    EXPECT_EQ(EccEngine(EccScheme::None).numChips(), 16u);
+    EXPECT_EQ(EccEngine(EccScheme::None).parityBytesPerLine(), 0u);
+    EXPECT_EQ(EccEngine(EccScheme::Ssc).parityBytesPerLine(), 8u);
+}
+
+} // namespace
+} // namespace sam

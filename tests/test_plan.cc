@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Tests for the engine's cost-based plan selection (Section 6.2's
+ * selectivity/projectivity trade-off): when column plans and stride
+ * gathers pay off, how the ideal store picks its layout, and that the
+ * executor's choices produce the expected access mix.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/imdb/executor.hh"
+#include "src/imdb/query.hh"
+#include "src/sim/system.hh"
+
+namespace sam {
+namespace {
+
+const TableSchema kTa{"Ta", 128, 4096};
+const TableSchema kTb{"Tb", 16, 4096};
+
+TEST(PlanChoice_, NarrowProjectionPrefersColumns)
+{
+    // Q1-shape: 2 fields of a 128-field record at 25% selectivity.
+    Query q = benchmarkQQueries()[0];
+    const PlanChoice p = choosePlan(q, kTa, 8);
+    EXPECT_TRUE(p.worthColumns);
+    EXPECT_TRUE(p.strideProject);
+}
+
+TEST(PlanChoice_, FullProjectionPrefersRows)
+{
+    // Reading every field of every record: nothing beats the
+    // sequential record-major scan.
+    const Query q = aggrQuery(128, 1.0, 128);
+    const PlanChoice p = choosePlan(q, kTa, 8);
+    EXPECT_FALSE(p.worthColumns);
+}
+
+TEST(PlanChoice_, HighProjectivityLowSelectivityFetchesRegularly)
+{
+    // Many fields of few records: gathers would drag G-1 unused
+    // chunks per field; record-contiguous reads win.
+    const Query q = arithQuery(64, 0.1, 128);
+    const PlanChoice p = choosePlan(q, kTa, 8);
+    EXPECT_FALSE(p.strideProject);
+    EXPECT_TRUE(p.worthColumns); // the predicate scan still pays
+}
+
+TEST(PlanChoice_, SelectStarOnNarrowTableAtLowSelectivity)
+{
+    // Q2: SELECT * FROM Tb, predicate mostly false: the predicate
+    // column scan dominates, columns pay.
+    const Query q2 = benchmarkQQueries()[1];
+    const PlanChoice p = choosePlan(q2, kTb, 8);
+    EXPECT_TRUE(p.worthColumns);
+}
+
+TEST(PlanChoice_, RowFallbackChangesTheBreakEven)
+{
+    // A column store with no row copy pays column-line costs for the
+    // projected fetch; with high projectivity at low selectivity it
+    // should keep a row copy, while a stride design (row-aligned
+    // layout underneath) can still justify the predicate sload scan.
+    const Query q = arithQuery(128, 0.1, 128);
+    EXPECT_TRUE(choosePlan(q, kTa, 8, true).worthColumns);
+    EXPECT_FALSE(choosePlan(q, kTa, 8, false).worthColumns);
+}
+
+TEST(PlanChoice_, IdealPicksRowStoreForFullScans)
+{
+    SimConfig cfg;
+    cfg.taRecords = 1024;
+    cfg.tbRecords = 1024;
+    cfg.design = DesignKind::Ideal;
+    System sys(cfg);
+    // Full-projectivity aggregate: speedup vs baseline must be ~1
+    // (same layout, same plan), not a column-store pathology.
+    const Query q = aggrQuery(cfg.taFields, 1.0, cfg.taFields);
+    const RunStats ideal_run = sys.runQuery(q);
+    SimConfig bcfg = cfg;
+    bcfg.design = DesignKind::Baseline;
+    const RunStats base_run = System(bcfg).runQuery(q);
+    const double ratio = static_cast<double>(base_run.cycles) /
+                         static_cast<double>(ideal_run.cycles);
+    EXPECT_GT(ratio, 0.85);
+    EXPECT_LT(ratio, 1.2);
+}
+
+TEST(PlanChoice_, SamFallsBackToRegularAtFullProjectivity)
+{
+    // At 100% projectivity and selectivity SAM reads everything like
+    // the baseline: no stride accesses, speedup ~1 (Figure 15(c/i)).
+    SimConfig cfg;
+    cfg.taRecords = 1024;
+    cfg.tbRecords = 1024;
+    cfg.design = DesignKind::SamEn;
+    System sys(cfg);
+    const Query q = aggrQuery(cfg.taFields, 1.0, cfg.taFields);
+    const RunStats r = sys.runQuery(q);
+    EXPECT_EQ(r.strideReads, 0u);
+    EXPECT_TRUE(r.result ==
+                referenceResult(q, sys.taSchema(), sys.tbSchema()));
+}
+
+TEST(PlanChoice_, SamUsesStrideForNarrowScans)
+{
+    SimConfig cfg;
+    cfg.taRecords = 1024;
+    cfg.tbRecords = 1024;
+    cfg.design = DesignKind::SamEn;
+    System sys(cfg);
+    const Query q3 = benchmarkQQueries()[2];
+    const RunStats r = sys.runQuery(q3);
+    EXPECT_GT(r.strideReads, 0u);
+    EXPECT_EQ(r.memReads, 0u); // pure sload scan
+}
+
+TEST(PlanChoice_, AggregateBeatsArithmeticOnColumnSubarrays)
+{
+    // Figure 15(g) vs (a): the field-major aggregate relieves
+    // RC-NVM-wd's field-switch penalty relative to the record-major
+    // arithmetic query with the same parameters.
+    SimConfig cfg;
+    cfg.taRecords = 2048;
+    cfg.tbRecords = 1024;
+    cfg.design = DesignKind::RcNvmWord;
+    System sys(cfg);
+    const RunStats arith =
+        sys.runQuery(arithQuery(8, 0.5, cfg.taFields));
+    const RunStats aggr = sys.runQuery(aggrQuery(8, 0.5, cfg.taFields));
+    EXPECT_LE(aggr.cycles, arith.cycles);
+}
+
+} // namespace
+} // namespace sam

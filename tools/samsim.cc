@@ -1,0 +1,307 @@
+/**
+ * @file
+ * samsim -- command-line driver for the SAM simulator.
+ *
+ * Run any benchmark query (or a parameterized arithmetic/aggregate
+ * query) on any design, optionally comparing against the row-store
+ * baseline, injecting chip failures, or dumping detailed statistics.
+ *
+ * Examples:
+ *   samsim --list
+ *   samsim --design SAM-en --query Q3
+ *   samsim --design SAM-IO --query Q1 --compare --ta 8192
+ *   samsim --design SAM-en --query arith --proj 16 --sel 0.4
+ *   samsim --design SAM-en --query Q3 --fail-chip 5 --ecc SSC
+ *   samsim --design RC-NVM-wd --query Qs3 --stats
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/common/logging.hh"
+#include "src/core/session.hh"
+#include "src/sim/system.hh"
+
+namespace {
+
+using namespace sam;
+
+[[noreturn]] void
+usage(int code)
+{
+    std::fprintf(
+        code == 0 ? stdout : stderr,
+        "usage: samsim [options]\n"
+        "  --list                 list designs, queries, ECC schemes\n"
+        "  --design <name>        design to simulate (default SAM-en)\n"
+        "  --query <name>         Q1..Q12, Qs1..Qs6, arith, aggr\n"
+        "  --proj <n> --sel <f>   arith/aggr parameters\n"
+        "  --ecc <scheme>         SSC-DSD (default), SSC, SSC-32,\n"
+        "                         Bamboo-72, SEC-DED, none\n"
+        "  --tech <DRAM|RRAM>     substrate override\n"
+        "  --ta <n> --tb <n>      record counts (default 16384/16384)\n"
+        "  --cores <n>            cores (default 4)\n"
+        "  --mshrs <n>            outstanding misses/core (default 8)\n"
+        "  --fail-chip <c>        inject a whole-chip failure\n"
+        "  --compare              also run the row-store baseline\n"
+        "  --no-verify            skip the reference-result check\n"
+        "  --stats                print detailed statistics\n");
+    std::exit(code);
+}
+
+DesignKind
+parseDesign(const std::string &name)
+{
+    for (DesignKind d :
+         {DesignKind::Baseline, DesignKind::RcNvmBit,
+          DesignKind::RcNvmWord, DesignKind::GsDram,
+          DesignKind::GsDramEcc, DesignKind::SamSub, DesignKind::SamIo,
+          DesignKind::SamEn, DesignKind::Ideal}) {
+        if (designName(d) == name)
+            return d;
+    }
+    fatal("unknown design '", name, "' (try --list)");
+}
+
+EccScheme
+parseEcc(const std::string &name)
+{
+    for (EccScheme e :
+         {EccScheme::None, EccScheme::SecDed, EccScheme::Ssc,
+          EccScheme::SscDsd, EccScheme::Ssc32, EccScheme::Bamboo72}) {
+        if (eccSchemeName(e) == name)
+            return e;
+    }
+    fatal("unknown ECC scheme '", name, "' (try --list)");
+}
+
+Query
+parseQuery(const std::string &name, unsigned proj, double sel,
+           unsigned ta_fields)
+{
+    if (name == "arith")
+        return arithQuery(proj, sel, ta_fields);
+    if (name == "aggr")
+        return aggrQuery(proj, sel, ta_fields);
+    for (const Query &q : benchmarkQQueries()) {
+        if (q.name == name)
+            return q;
+    }
+    for (const Query &q : benchmarkQsQueries()) {
+        if (q.name == name)
+            return q;
+    }
+    fatal("unknown query '", name, "' (try --list)");
+}
+
+void
+listEverything()
+{
+    std::printf("designs:");
+    for (DesignKind d :
+         {DesignKind::Baseline, DesignKind::RcNvmBit,
+          DesignKind::RcNvmWord, DesignKind::GsDram,
+          DesignKind::GsDramEcc, DesignKind::SamSub, DesignKind::SamIo,
+          DesignKind::SamEn, DesignKind::Ideal}) {
+        std::printf(" %s", designName(d).c_str());
+    }
+    std::printf("\nqueries:");
+    for (const Query &q : benchmarkQQueries())
+        std::printf(" %s", q.name.c_str());
+    for (const Query &q : benchmarkQsQueries())
+        std::printf(" %s", q.name.c_str());
+    std::printf(" arith aggr\necc:");
+    for (EccScheme e :
+         {EccScheme::None, EccScheme::SecDed, EccScheme::Ssc,
+          EccScheme::SscDsd, EccScheme::Ssc32, EccScheme::Bamboo72}) {
+        std::printf(" %s", eccSchemeName(e).c_str());
+    }
+    std::printf("\n");
+}
+
+void
+printRun(const char *label, const RunStats &r)
+{
+    std::printf("%-10s %10llu cycles  %8.1f mW  rows %llu  "
+                "hit %.0f%%  rd %llu  srd %llu  wr %llu  swr %llu\n",
+                label, static_cast<unsigned long long>(r.cycles),
+                r.power.totalPowerMw(),
+                static_cast<unsigned long long>(r.result.rows),
+                r.rowHitRate() * 100.0,
+                static_cast<unsigned long long>(r.memReads),
+                static_cast<unsigned long long>(r.strideReads),
+                static_cast<unsigned long long>(r.memWrites),
+                static_cast<unsigned long long>(r.strideWrites));
+}
+
+void
+printStats(const RunStats &r)
+{
+    std::printf("\ndetailed statistics:\n");
+    std::printf("  activates            %12llu\n",
+                static_cast<unsigned long long>(r.activates));
+    std::printf("  row hits / misses    %12llu / %llu\n",
+                static_cast<unsigned long long>(r.rowHits),
+                static_cast<unsigned long long>(r.rowMisses));
+    std::printf("  I/O mode switches    %12llu\n",
+                static_cast<unsigned long long>(r.modeSwitches));
+    std::printf("  ECC corrected lines  %12llu\n",
+                static_cast<unsigned long long>(r.eccCorrectedLines));
+    std::printf("  ECC uncorrectable    %12llu\n",
+                static_cast<unsigned long long>(r.eccUncorrectable));
+    std::printf("  energy (uJ)          %15.3f\n",
+                r.power.totalEnergyPj() / 1e6);
+    std::printf("    activation         %15.3f\n",
+                r.power.actEnergyPj / 1e6);
+    std::printf("    read/write bursts  %15.3f\n",
+                r.power.rdwrEnergyPj / 1e6);
+    std::printf("    background         %15.3f\n",
+                r.power.backgroundEnergyPj / 1e6);
+    std::printf("    refresh            %15.3f\n",
+                r.power.refreshEnergyPj / 1e6);
+    std::printf("\nraw counters:\n%s", r.statsText.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace sam;
+    setQuietLogging(true);
+
+    SimConfig cfg;
+    std::string design_name = "SAM-en";
+    std::string query_name = "Q1";
+    std::string ecc_name = "SSC-DSD";
+    std::string tech_name;
+    unsigned proj = 8;
+    double sel = 0.25;
+    int fail_chip = -1;
+    bool compare = false;
+    bool verify = true;
+    bool stats = false;
+
+    auto next_arg = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            usage(1);
+        return argv[++i];
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--help" || a == "-h")
+            usage(0);
+        else if (a == "--list") {
+            listEverything();
+            return 0;
+        } else if (a == "--design")
+            design_name = next_arg(i);
+        else if (a == "--query")
+            query_name = next_arg(i);
+        else if (a == "--ecc")
+            ecc_name = next_arg(i);
+        else if (a == "--tech")
+            tech_name = next_arg(i);
+        else if (a == "--proj")
+            proj = static_cast<unsigned>(std::atoi(next_arg(i)));
+        else if (a == "--sel")
+            sel = std::atof(next_arg(i));
+        else if (a == "--ta")
+            cfg.taRecords = std::strtoull(next_arg(i), nullptr, 10);
+        else if (a == "--tb")
+            cfg.tbRecords = std::strtoull(next_arg(i), nullptr, 10);
+        else if (a == "--cores")
+            cfg.cores = static_cast<unsigned>(std::atoi(next_arg(i)));
+        else if (a == "--mshrs")
+            cfg.mshrsPerCore =
+                static_cast<unsigned>(std::atoi(next_arg(i)));
+        else if (a == "--fail-chip")
+            fail_chip = std::atoi(next_arg(i));
+        else if (a == "--compare")
+            compare = true;
+        else if (a == "--no-verify")
+            verify = false;
+        else if (a == "--stats")
+            stats = true;
+        else {
+            std::fprintf(stderr, "unknown option '%s'\n", a.c_str());
+            usage(1);
+        }
+    }
+
+    try {
+        cfg.ecc = parseEcc(ecc_name);
+        if (!tech_name.empty()) {
+            cfg.overrideTech = true;
+            cfg.tech = tech_name == "RRAM" ? MemTech::RRAM
+                                           : MemTech::DRAM;
+        }
+        const DesignKind design = parseDesign(design_name);
+        const Query query =
+            parseQuery(query_name, proj, sel, cfg.taFields);
+
+        Session session(cfg);
+        std::printf("%s on %s (%s, Ta=%llu Tb=%llu records)\n",
+                    query.name.c_str(), design_name.c_str(),
+                    eccSchemeName(cfg.ecc).c_str(),
+                    static_cast<unsigned long long>(cfg.taRecords),
+                    static_cast<unsigned long long>(cfg.tbRecords));
+
+        if (fail_chip >= 0) {
+            // Materialize first, then break the chip.
+            session.system(design).runQuery(query);
+            session.system(design).dataPath().failChip(
+                static_cast<unsigned>(fail_chip));
+            std::printf("injected whole-chip failure on chip %d\n",
+                        fail_chip);
+        }
+
+        const RunStats run = session.run(design, query);
+        printRun(design_name.c_str(), run);
+
+        if (verify) {
+            const QueryResult expect = referenceResult(
+                query,
+                TableSchema{"Ta", cfg.taFields, cfg.taRecords},
+                TableSchema{"Tb", cfg.tbFields, cfg.tbRecords});
+            if (run.result == expect) {
+                std::printf("result: VERIFIED against reference "
+                            "executor\n");
+            } else {
+                std::printf("result: MISMATCH (rows %llu vs %llu, "
+                            "checksum %llu vs %llu)%s\n",
+                            static_cast<unsigned long long>(
+                                run.result.rows),
+                            static_cast<unsigned long long>(expect.rows),
+                            static_cast<unsigned long long>(
+                                run.result.checksum),
+                            static_cast<unsigned long long>(
+                                expect.checksum),
+                            fail_chip >= 0 ? "  [expected: injected "
+                                             "fault on unprotected "
+                                             "config?]"
+                                           : "");
+            }
+        }
+
+        if (compare) {
+            const RunStats base = session.run(DesignKind::Baseline,
+                                              query);
+            printRun("baseline", base);
+            std::printf("speedup: %.2fx   energy efficiency: %.2fx\n",
+                        static_cast<double>(base.cycles) /
+                            static_cast<double>(run.cycles),
+                        base.power.totalEnergyPj() /
+                            run.power.totalEnergyPj());
+        }
+        if (stats)
+            printStats(run);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 1;
+    }
+    return 0;
+}
