@@ -85,6 +85,17 @@ class MemoryController
     Cycle now() const { return now_; }
     const ControllerStats &stats() const { return stats_; }
     Device &device() { return device_; }
+
+    /**
+     * Forward a command observer to the underlying device (the hook the
+     * src/check protocol oracle uses to watch the command stream).
+     */
+    void
+    setCommandObserver(CommandObserver obs)
+    {
+        device_.setCommandObserver(std::move(obs));
+    }
+
     DataPath &dataPath() { return dataPath_; }
 
   private:

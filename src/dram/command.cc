@@ -1,0 +1,51 @@
+#include "src/dram/command.hh"
+
+#include <sstream>
+
+#include "src/common/logging.hh"
+
+namespace sam {
+
+std::string
+cmdKindName(CmdKind kind)
+{
+    switch (kind) {
+      case CmdKind::Act:        return "ACT";
+      case CmdKind::Pre:        return "PRE";
+      case CmdKind::Rd:         return "RD";
+      case CmdKind::Wr:         return "WR";
+      case CmdKind::Ref:        return "REF";
+      case CmdKind::ModeSwitch: return "MODE";
+    }
+    panic("unknown CmdKind");
+}
+
+std::string
+Command::str() const
+{
+    std::ostringstream oss;
+    oss << cmdKindName(kind) << " ch" << addr.channel << " rk"
+        << addr.rank;
+    switch (kind) {
+      case CmdKind::Ref:
+        break;
+      case CmdKind::ModeSwitch:
+        oss << (mode == AccessMode::Stride ? " ->stride" : " ->regular");
+        break;
+      case CmdKind::Rd:
+      case CmdKind::Wr:
+        oss << " bg" << addr.bankGroup << " bk" << addr.bank << " row"
+            << addr.row << " col" << addr.column
+            << (mode == AccessMode::Stride ? " (stride)" : "");
+        break;
+      case CmdKind::Act:
+      case CmdKind::Pre:
+        oss << " bg" << addr.bankGroup << " bk" << addr.bank << " row"
+            << addr.row;
+        break;
+    }
+    oss << " @" << at;
+    return oss.str();
+}
+
+} // namespace sam

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Command-level trace records emitted by the Device's command observer.
+ *
+ * The timing engine in device.cc is an event-driven resource-reservation
+ * model: it never materializes a DDR command stream. For validation we
+ * still want one -- an independent oracle (src/check) can re-derive
+ * protocol legality from the individual ACT/PRE/RD/WR/REF/mode-switch
+ * commands without trusting any of the engine's scheduling state. The
+ * observer hook below reports each command with the cycle the engine
+ * scheduled it at.
+ */
+
+#ifndef SAM_DRAM_COMMAND_HH
+#define SAM_DRAM_COMMAND_HH
+
+#include <functional>
+#include <string>
+
+#include "src/common/types.hh"
+#include "src/dram/address.hh"
+
+namespace sam {
+
+/** I/O mode a request requires on its rank (Section 5.3). */
+enum class AccessMode { Regular, Stride };
+
+/** The DDR4/RRAM command vocabulary visible on the command bus. */
+enum class CmdKind {
+    Act,        ///< Row activation (regular or column-wise subarray).
+    Pre,        ///< Bank precharge (explicit or pre-refresh closure).
+    Rd,         ///< Read CAS (one burst).
+    Wr,         ///< Write CAS (one burst).
+    Ref,        ///< All-bank refresh on one rank.
+    ModeSwitch, ///< SAM I/O mode switch on one rank (Section 5.3).
+};
+
+std::string cmdKindName(CmdKind kind);
+
+/** One command as scheduled by the timing engine. */
+struct Command
+{
+    CmdKind kind = CmdKind::Act;
+    Cycle at = 0;        ///< Cycle the command issues.
+    /**
+     * Full coordinates for bank-level commands; only channel/rank are
+     * meaningful for Ref and ModeSwitch.
+     */
+    MappedAddr addr;
+    /** I/O mode of a CAS; target mode of a ModeSwitch. */
+    AccessMode mode = AccessMode::Regular;
+
+    /** "RD ch0 rk1 bg2 bk3 row5 col7 @123"-style rendering. */
+    std::string str() const;
+};
+
+/**
+ * Observer invoked once per scheduled command. Commands arrive in
+ * engine *commit* order, which is monotone per resource (bank, rank,
+ * bus) but not globally monotone in time -- consumers that need
+ * wall-clock order must sort.
+ */
+using CommandObserver = std::function<void(const Command &)>;
+
+} // namespace sam
+
+#endif // SAM_DRAM_COMMAND_HH

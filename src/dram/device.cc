@@ -37,10 +37,25 @@ Device::Device(const Geometry &geom, const TimingParams &timing)
     for (auto &r : ranks_) {
         r.groupCasReady.assign(geom_.bankGroups, 0);
         r.groupActReady.assign(geom_.bankGroups, 0);
+        r.groupRdReady.assign(geom_.bankGroups, 0);
         // Stagger initial refreshes across ranks is unnecessary at this
         // fidelity; refresh starts one interval in.
         r.nextRefresh = timing_.tREFI;
     }
+}
+
+void
+Device::emit(CmdKind kind, Cycle at, const MappedAddr &addr,
+             AccessMode mode)
+{
+    if (!cmdObserver_)
+        return;
+    Command cmd;
+    cmd.kind = kind;
+    cmd.at = at;
+    cmd.addr = addr;
+    cmd.mode = mode;
+    cmdObserver_(cmd);
 }
 
 Device::BankState &
@@ -74,22 +89,52 @@ Device::openRow(const MappedAddr &addr) const
 }
 
 void
-Device::applyRefresh(RankState &rank_state, unsigned rank_id, Cycle t)
+Device::applyRefresh(RankState &rank_state, unsigned channel,
+                     unsigned rank_nr, Cycle t)
 {
     if (timing_.tREFI == 0)
         return; // non-volatile technology: no refresh
+    const unsigned rank_id = channel * geom_.ranks + rank_nr;
     while (rank_state.nextRefresh <= t) {
-        const Cycle ref_start = rank_state.nextRefresh;
+        // REF requires every bank of the rank precharged (tRP honoured)
+        // and must not start before previously committed activity on
+        // the rank completes -- the engine runs event-driven, so work
+        // scheduled by earlier accesses may already extend past the
+        // nominal tREFI deadline. Close open rows first and defer the
+        // refresh start accordingly (real controllers postpone refresh
+        // the same way, by up to 8 intervals).
+        Cycle ref_start = std::max(rank_state.nextRefresh,
+                                   rank_state.refreshUntil);
+        for (unsigned b = 0; b < geom_.banksPerRank(); ++b) {
+            BankState &bs = banks_[rank_id * geom_.banksPerRank() + b];
+            if (!bs.rowOpen)
+                continue;
+            // Implicit precharge-all ahead of the refresh. Not counted
+            // in stats_.precharges: its energy is part of the refresh
+            // operation (IDD5), as before.
+            MappedAddr pre_addr;
+            pre_addr.channel = channel;
+            pre_addr.rank = rank_nr;
+            pre_addr.bankGroup = b / geom_.banksPerGroup;
+            pre_addr.bank = b % geom_.banksPerGroup;
+            pre_addr.row = bs.row;
+            emit(CmdKind::Pre, bs.preReady, pre_addr);
+            bs.rowOpen = false;
+            ref_start = std::max(ref_start, bs.preReady + timing_.tRP);
+        }
         const Cycle ref_end = ref_start + timing_.tRFC;
         rank_state.refreshUntil = std::max(rank_state.refreshUntil,
                                            ref_end);
-        // All banks of the rank are precharged and blocked.
+        // All banks of the rank are blocked until tRFC completes.
         for (unsigned b = 0; b < geom_.banksPerRank(); ++b) {
             BankState &bs = banks_[rank_id * geom_.banksPerRank() + b];
-            bs.rowOpen = false;
             bs.actReady = std::max(bs.actReady, ref_end);
             bs.casReady = std::max(bs.casReady, ref_end);
         }
+        MappedAddr ref_addr;
+        ref_addr.channel = channel;
+        ref_addr.rank = rank_nr;
+        emit(CmdKind::Ref, ref_start, ref_addr);
         rank_state.nextRefresh += timing_.tREFI;
         ++stats_.refreshes;
     }
@@ -106,8 +151,8 @@ Device::access(const DeviceAccess &acc, Cycle earliest)
 
     BankState &bs = bank(a);
     RankState &rs = rank(a);
+    applyRefresh(rs, a.channel, a.rank, earliest);
     const unsigned rank_id = a.channel * geom_.ranks + a.rank;
-    applyRefresh(rs, rank_id, earliest);
 
     AccessResult result;
     Cycle t = std::max(earliest, rs.refreshUntil);
@@ -123,6 +168,9 @@ Device::access(const DeviceAccess &acc, Cycle earliest)
         Cycle act_floor = t;
         if (bs.rowOpen) {
             const Cycle pre_at = std::max(t, bs.preReady);
+            MappedAddr pre_addr = a;
+            pre_addr.row = bs.row;
+            emit(CmdKind::Pre, pre_at, pre_addr);
             act_floor = pre_at + timing_.tRP;
             ++stats_.precharges;
         } else {
@@ -145,6 +193,7 @@ Device::access(const DeviceAccess &acc, Cycle earliest)
         bs.preReady = act_at + timing_.tRAS;
         bs.casReady = std::max(bs.casReady, act_at + timing_.tRCD);
         cas_earliest = act_at + timing_.tRCD;
+        emit(CmdKind::Act, act_at, a);
         result.activates = 1;
         ++stats_.activates;
         if (acc.columnActivate)
@@ -153,10 +202,12 @@ Device::access(const DeviceAccess &acc, Cycle earliest)
 
     // ----- I/O mode switch (Section 5.3: costs tRTR on the rank) ----
     if (rs.ioMode != acc.mode) {
-        const Cycle sw_at = std::max(cas_earliest, rs.modeReady);
+        const Cycle sw_at = std::max({cas_earliest, rs.modeReady,
+                                      rs.modeSwitchFloor});
         cas_earliest = sw_at + timing_.tRTR;
         rs.ioMode = acc.mode;
         rs.modeReady = cas_earliest;
+        emit(CmdKind::ModeSwitch, sw_at, a, acc.mode);
         result.modeSwitched = true;
         ++stats_.modeSwitches;
     }
@@ -169,7 +220,10 @@ Device::access(const DeviceAccess &acc, Cycle earliest)
         Cycle cas_at = std::max({cas_earliest, bs.casReady, rs.casReady,
                                  rs.groupCasReady[a.bankGroup]});
         cas_at = std::max(cas_at,
-                          acc.isWrite ? rs.wrReady : rs.rdReady);
+                          acc.isWrite
+                              ? rs.wrReady
+                              : std::max(rs.rdReady,
+                                         rs.groupRdReady[a.bankGroup]));
 
         // Data bus: the burst occupies [data_at, data_at + tBL); a rank
         // switch on the bus inserts a tRTR bubble.
@@ -189,17 +243,27 @@ Device::access(const DeviceAccess &acc, Cycle earliest)
         rs.casReady = cas_at + timing_.tCCD_S;
         rs.groupCasReady[a.bankGroup] = cas_at + timing_.tCCD_L;
         bs.casReady = std::max(bs.casReady, cas_at + timing_.tCCD_L);
+        rs.modeSwitchFloor = std::max(rs.modeSwitchFloor, cas_at + 1);
         if (acc.isWrite) {
             const Cycle wr_end = cas_at + timing_.cwl + timing_.tBL;
             bs.preReady = std::max(bs.preReady, wr_end + timing_.tWR);
             rs.rdReady = std::max(rs.rdReady, wr_end + timing_.tWTR_S);
+            rs.groupRdReady[a.bankGroup] =
+                std::max(rs.groupRdReady[a.bankGroup],
+                         wr_end + timing_.tWTR_L);
         } else {
             bs.preReady = std::max(bs.preReady, cas_at + timing_.tRTP);
-            // Read-to-write bus turnaround: one bubble beyond burst end.
+            // Read-to-write bus turnaround: write data may start no
+            // earlier than one bubble past read-burst end. Guarded so
+            // a hypothetical cwl > cl + tBL + 2 cannot wrap.
+            const Cycle rd_end = cas_at + timing_.cl + timing_.tBL;
             rs.wrReady = std::max(rs.wrReady,
-                                  cas_at + timing_.cl + timing_.tBL + 2 -
-                                      timing_.cwl);
+                                  rd_end + 2 > timing_.cwl
+                                      ? rd_end + 2 - timing_.cwl
+                                      : 0);
         }
+        emit(acc.isWrite ? CmdKind::Wr : CmdKind::Rd, cas_at, a,
+             acc.mode);
 
         ch.busFree = data_at + timing_.tBL;
         ch.lastBusRank = static_cast<int>(rank_id);

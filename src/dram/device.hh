@@ -21,12 +21,10 @@
 #include "src/common/stats.hh"
 #include "src/common/types.hh"
 #include "src/dram/address.hh"
+#include "src/dram/command.hh"
 #include "src/dram/timing.hh"
 
 namespace sam {
-
-/** I/O mode a request requires on its rank (Section 5.3). */
-enum class AccessMode { Regular, Stride };
 
 /** One column access presented to the device by the controller. */
 struct DeviceAccess
@@ -122,6 +120,18 @@ class Device
                                          const AccessResult &)>;
     void setTraceHook(TraceHook hook) { traceHook_ = std::move(hook); }
 
+    /**
+     * Observer invoked once per scheduled DDR command (ACT/PRE/RD/WR/
+     * REF/mode switch) with the cycle it issues at. Commands arrive in
+     * commit order (monotone per bank/rank/bus, not globally monotone
+     * in time). Used by the src/check protocol oracle.
+     */
+    void
+    setCommandObserver(CommandObserver obs)
+    {
+        cmdObserver_ = std::move(obs);
+    }
+
     const DeviceStats &stats() const { return stats_; }
     DeviceStats &stats() { return stats_; }
 
@@ -139,13 +149,21 @@ class Device
     {
         std::vector<Cycle> groupCasReady;  ///< tCCD_L per bank group.
         std::vector<Cycle> groupActReady;  ///< tRRD_L per bank group.
+        std::vector<Cycle> groupRdReady;   ///< tWTR_L per bank group.
         Cycle casReady = 0;                ///< tCCD_S rank-wide.
         Cycle actReady = 0;                ///< tRRD_S rank-wide.
-        Cycle rdReady = 0;                 ///< Write-to-read (tWTR).
+        Cycle rdReady = 0;                 ///< Write-to-read (tWTR_S).
         Cycle wrReady = 0;                 ///< Read-to-write turnaround.
         std::deque<Cycle> actWindow;       ///< Last ACTs for tFAW.
         AccessMode ioMode = AccessMode::Regular;
         Cycle modeReady = 0;
+        /**
+         * Mode switches must serialize behind the rank's last CAS so
+         * the command stream stays well-ordered (a switch issued
+         * before an already-committed CAS would retroactively change
+         * that CAS's mode). Timing-neutral while tRTR + 1 <= tCCD_S.
+         */
+        Cycle modeSwitchFloor = 0;
         Cycle nextRefresh = 0;
         Cycle refreshUntil = 0;
     };
@@ -155,7 +173,12 @@ class Device
     RankState &rank(const MappedAddr &a);
 
     /** Retire refreshes due before `t`; returns updated floor time. */
-    void applyRefresh(RankState &rank, unsigned rank_id, Cycle t);
+    void applyRefresh(RankState &rank, unsigned channel, unsigned rank_nr,
+                      Cycle t);
+
+    /** Report one command to the observer, if any is attached. */
+    void emit(CmdKind kind, Cycle at, const MappedAddr &addr,
+              AccessMode mode = AccessMode::Regular);
 
     struct ChannelState
     {
@@ -170,6 +193,7 @@ class Device
     std::vector<ChannelState> channels_;
     DeviceStats stats_;
     TraceHook traceHook_;
+    CommandObserver cmdObserver_;
 };
 
 } // namespace sam

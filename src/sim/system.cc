@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "src/check/protocol_checker.hh"
 #include "src/common/logging.hh"
 
 namespace sam {
@@ -137,7 +138,18 @@ System::runQuery(const Query &query)
     Device device(geom_, timing_);
     MemoryController controller(device, dataPath_, mapping_, {},
                                 /*functional=*/false);
+    std::unique_ptr<ProtocolChecker> checker;
+    if (config_.check) {
+        checker = std::make_unique<ProtocolChecker>(geom_, timing_);
+        checker->attach(device);
+    }
     rs.cycles = replay(ports, device, controller, model);
+    if (checker) {
+        rs.checkedCommands = checker->commandCount();
+        if (!checker->clean())
+            panic("timing engine emitted an illegal command stream\n",
+                  checker->report());
+    }
 
     // ----- Statistics ------------------------------------------------
     const DeviceStats &ds = device.stats();

@@ -56,6 +56,14 @@ struct SimConfig
 
     Cycle computePerRecord = 1;
     Cycle computePerValue = 1;
+
+    /**
+     * Run the protocol-checker oracle over the replay's command stream
+     * and panic on any timing/state violation. On by default so every
+     * simulation doubles as a protocol conformance test; disable for
+     * large sweeps where the extra bookkeeping matters.
+     */
+    bool check = true;
 };
 
 /** Everything measured for one query run. */
@@ -81,6 +89,8 @@ struct RunStats
     std::uint64_t modeSwitches = 0;
     std::uint64_t eccCorrectedLines = 0;
     std::uint64_t eccUncorrectable = 0;
+    /** Commands validated by the protocol checker (0 when disabled). */
+    std::uint64_t checkedCommands = 0;
 
     double rowHitRate() const
     {

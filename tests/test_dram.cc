@@ -61,6 +61,78 @@ TEST(Timing, ZeroOverheadIsIdentity)
     EXPECT_EQ(d.tRAS, base.tRAS);
 }
 
+TEST(Timing, Ddr4PresetInvariants)
+{
+    const TimingParams t = ddr4Timing();
+    // Relationships every JEDEC-plausible DDR4 grade satisfies; the
+    // protocol checker and the timing engine both rely on them.
+    EXPECT_EQ(t.tRC(), Cycle{t.tRAS} + t.tRP);
+    EXPECT_GE(t.tRAS, t.tRCD);         // row restore outlasts ACT->CAS
+    EXPECT_GE(t.tCCD_L, t.tCCD_S);
+    EXPECT_GE(t.tRRD_L, t.tRRD_S);
+    EXPECT_GT(t.tWTR_L, t.tWTR_S);
+    EXPECT_GE(t.tFAW, t.tRRD_S);       // window binds beyond pair rule
+    EXPECT_GT(t.tREFI, t.tRFC);        // refresh fits in its interval
+    EXPECT_GT(t.cl, t.cwl);            // DDR4: read latency > write
+    EXPECT_GE(t.tCCD_S, t.tBL);        // back-to-back bursts fit
+    // The mode-switch ordering in the engine (see RankState::
+    // modeSwitchFloor) is timing-neutral only while this holds.
+    EXPECT_GE(t.tCCD_S, t.tRTR + 1);
+}
+
+TEST(Timing, RramPresetInvariants)
+{
+    const TimingParams r = rramTiming();
+    const TimingParams d = ddr4Timing();
+    EXPECT_EQ(r.tRP, 1u);         // non-destructive reads: no restore
+    EXPECT_EQ(r.tREFI, 0u);       // non-volatile: refresh disabled...
+    EXPECT_EQ(r.tRFC, 0u);        // ...and no refresh cycle time
+    EXPECT_GT(r.tRCD, d.tRCD);    // slow cell activation
+    EXPECT_LT(r.tRAS, d.tRAS);    // no restore phase
+    EXPECT_GT(r.tWR, d.tWR);      // long write pulse
+    EXPECT_GT(r.tWTR_S, d.tWTR_S);
+    EXPECT_GT(r.tWTR_L, r.tWTR_S);
+    // Interface-side parameters reuse the DDR4 bus.
+    EXPECT_EQ(r.cl, d.cl);
+    EXPECT_EQ(r.tBL, d.tBL);
+    EXPECT_EQ(r.tCCD_S, d.tCCD_S);
+    EXPECT_EQ(r.tRTR, d.tRTR);
+    EXPECT_GE(r.tCCD_S, r.tRTR + 1);
+}
+
+TEST(Timing, DeratingLeavesIoSideUntouched)
+{
+    for (const TimingParams &base : {ddr4Timing(), rramTiming()}) {
+        for (const double overhead : {0.02, 0.33, 1.0}) {
+            const TimingParams d = base.derated(overhead);
+            // Array-side parameters scale up (or round to equal).
+            EXPECT_GE(d.tRCD, base.tRCD);
+            EXPECT_GE(d.tRP, base.tRP);
+            EXPECT_GE(d.tRAS, base.tRAS);
+            EXPECT_GE(d.tRRD_S, base.tRRD_S);
+            EXPECT_GE(d.tRRD_L, base.tRRD_L);
+            EXPECT_GE(d.tFAW, base.tFAW);
+            EXPECT_GE(d.tWR, base.tWR);
+            EXPECT_GE(d.tRTP, base.tRTP);
+            EXPECT_GT(Cycle{d.tRCD} + d.tRAS + d.tWR,
+                      Cycle{base.tRCD} + base.tRAS + base.tWR);
+            // I/O-side parameters must be bit-identical: the paper
+            // keeps core frequency and interface pipelines unchanged.
+            EXPECT_EQ(d.cl, base.cl);
+            EXPECT_EQ(d.cwl, base.cwl);
+            EXPECT_EQ(d.tBL, base.tBL);
+            EXPECT_EQ(d.tCCD_S, base.tCCD_S);
+            EXPECT_EQ(d.tCCD_L, base.tCCD_L);
+            EXPECT_EQ(d.tRTR, base.tRTR);
+            EXPECT_EQ(d.tWTR_S, base.tWTR_S);
+            EXPECT_EQ(d.tWTR_L, base.tWTR_L);
+            EXPECT_EQ(d.tREFI, base.tREFI);
+            EXPECT_EQ(d.tRFC, base.tRFC);
+            EXPECT_DOUBLE_EQ(d.tCkNs, base.tCkNs);
+        }
+    }
+}
+
 TEST(Timing, GeometryCapacity)
 {
     const Geometry g;
@@ -331,7 +403,7 @@ TEST_F(DeviceTest, RandomTrafficKeepsResourceInvariants)
         acc.addr = mkAddr(static_cast<unsigned>(rng.below(2)),
                           static_cast<unsigned>(rng.below(4)),
                           static_cast<unsigned>(rng.below(4)),
-                          rng.below(64), 
+                          rng.below(64),
                           static_cast<unsigned>(rng.below(128)));
         acc.isWrite = rng.chance(0.3);
         acc.mode = rng.chance(0.2) ? AccessMode::Stride

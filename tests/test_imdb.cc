@@ -250,8 +250,9 @@ TEST(QueryDefs, ReferenceResultsAreConsistent)
     const TableSchema tb{"Tb", 16, 1024};
     for (const auto &q : benchmarkQQueries()) {
         const auto r = referenceResult(q, ta, tb);
-        if (q.kind != QueryKind::Join)
+        if (q.kind != QueryKind::Join) {
             EXPECT_GT(r.rows, 0u) << q.name;
+        }
         // Re-running gives identical results (pure function).
         EXPECT_TRUE(r == referenceResult(q, ta, tb)) << q.name;
     }

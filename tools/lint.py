@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Project-convention linter.
+
+Checks that clang-tidy cannot express:
+
+  * include guards follow the ``SAM_<DIR>_<FILE>_HH`` convention and the
+    ``#ifndef``/``#define`` pair matches;
+  * project headers are included by their repo-root-relative path, e.g.
+    ``src/dram/device.hh`` (so every translation unit compiles with the
+    single repo-root include dir);
+  * statistics hygiene: every ``Counter``/``Accum`` member of a ``*Stats``
+    struct is registered in the corresponding ``registerIn`` implementation
+    (an unregistered counter silently vanishes from stats dumps).
+
+Run from the repository root:  python3 tools/lint.py
+Exits non-zero when any finding is reported.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+SOURCE_DIRS = ["src", "tests", "tools", "bench", "examples"]
+
+findings = []
+
+
+def report(path, line, message):
+    findings.append(f"{path.relative_to(ROOT)}:{line}: {message}")
+
+
+def expected_guard(header):
+    rel = header.relative_to(ROOT / "src")
+    parts = [p.upper().replace("-", "_").replace(".", "_")
+             for p in rel.parts]
+    return "SAM_" + "_".join(parts)
+
+
+def check_include_guard(header, text):
+    match = re.search(r"^#ifndef\s+(\S+)\s*\n#define\s+(\S+)", text,
+                      re.MULTILINE)
+    if not match:
+        report(header, 1, "missing #ifndef/#define include guard")
+        return
+    guard = expected_guard(header)
+    line = text[:match.start()].count("\n") + 1
+    if match.group(1) != guard:
+        report(header, line,
+               f"include guard '{match.group(1)}' should be '{guard}'")
+    elif match.group(2) != guard:
+        report(header, line + 1,
+               f"guard #define '{match.group(2)}' does not match "
+               f"#ifndef '{guard}'")
+
+
+def check_includes(path, text):
+    for i, line in enumerate(text.splitlines(), start=1):
+        match = re.match(r'\s*#include\s+"([^"]+)"', line)
+        if match and not (ROOT / match.group(1)).exists():
+            report(path, i,
+                   f'project include "{match.group(1)}" must use the '
+                   f'repo-root-relative form (src/..., bench/...)')
+
+
+def struct_bodies(text, name_pattern):
+    """Yield (name, body) for each struct whose name matches."""
+    for match in re.finditer(r"\bstruct\s+(" + name_pattern + r")\s*\{",
+                             text):
+        depth, start = 1, match.end()
+        pos = start
+        while depth and pos < len(text):
+            if text[pos] == "{":
+                depth += 1
+            elif text[pos] == "}":
+                depth -= 1
+            pos += 1
+        yield match.group(1), text[start:pos - 1]
+
+
+def check_stats_registration(header, text):
+    impl = header.with_suffix(".cc")
+    impl_text = impl.read_text() if impl.exists() else ""
+    registered = set(re.findall(r"add(?:Counter|Accum)\(\s*\"[^\"]+\",\s*"
+                                r"(?:\w+\.)*(\w+)", impl_text + text))
+    for name, body in struct_bodies(text, r"\w*Stats"):
+        if "registerIn" not in body:
+            continue
+        for member in re.findall(r"\b(?:Counter|Accum)\s+(\w+)\s*;",
+                                 body):
+            if member not in registered:
+                line = text.count("\n", 0, text.find(body)) + 1
+                report(header, line,
+                       f"{name}::{member} is never registered via "
+                       f"addCounter/addAccum in {impl.name}")
+
+
+def main():
+    for dirname in SOURCE_DIRS:
+        for path in sorted((ROOT / dirname).rglob("*")):
+            if path.suffix not in (".hh", ".cc", ".cpp", ".h"):
+                continue
+            text = path.read_text()
+            check_includes(path, text)
+            if path.suffix == ".hh" and dirname == "src":
+                check_include_guard(path, text)
+                check_stats_registration(path, text)
+
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print("lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -47,6 +47,8 @@ usage(int code)
         "  --fail-chip <c>        inject a whole-chip failure\n"
         "  --compare              also run the row-store baseline\n"
         "  --no-verify            skip the reference-result check\n"
+        "  --check                print a protocol-checker summary\n"
+        "  --no-check             disable the protocol-checker oracle\n"
         "  --stats                print detailed statistics\n");
     std::exit(code);
 }
@@ -183,6 +185,7 @@ main(int argc, char **argv)
     bool compare = false;
     bool verify = true;
     bool stats = false;
+    bool check_summary = false;
 
     auto next_arg = [&](int &i) -> const char * {
         if (i + 1 >= argc)
@@ -224,6 +227,10 @@ main(int argc, char **argv)
             compare = true;
         else if (a == "--no-verify")
             verify = false;
+        else if (a == "--check")
+            check_summary = true;
+        else if (a == "--no-check")
+            cfg.check = false;
         else if (a == "--stats")
             stats = true;
         else {
@@ -261,6 +268,19 @@ main(int argc, char **argv)
 
         const RunStats run = session.run(design, query);
         printRun(design_name.c_str(), run);
+
+        if (check_summary) {
+            // A violation would have aborted the run inside runQuery;
+            // reaching this point means the stream validated clean.
+            if (cfg.check) {
+                std::printf("protocol check: %llu commands validated, "
+                            "0 violations\n",
+                            static_cast<unsigned long long>(
+                                run.checkedCommands));
+            } else {
+                std::printf("protocol check: disabled (--no-check)\n");
+            }
+        }
 
         if (verify) {
             const QueryResult expect = referenceResult(
