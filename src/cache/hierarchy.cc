@@ -21,10 +21,11 @@ CacheHierarchy::CacheHierarchy(const CacheParams &l1,
 void
 CacheHierarchy::fillLevel(unsigned lvl, Addr line, std::uint8_t mask,
                           const std::uint8_t *data64,
-                          std::uint8_t dirty_mask)
+                          std::uint8_t dirty_mask,
+                          std::uint8_t poison_mask)
 {
     auto victim = levels_[lvl]->fill(line, mask, data64,
-                                     dirty_mask != 0);
+                                     dirty_mask != 0, poison_mask);
     // fill() marks all inserted sectors dirty when dirty=true; tighten
     // to the actual dirty mask by re-merging is unnecessary at this
     // fidelity (over-writeback of a few clean sectors is harmless: the
@@ -33,7 +34,8 @@ CacheHierarchy::fillLevel(unsigned lvl, Addr line, std::uint8_t mask,
         return;
     if (lvl + 1 < levels_.size()) {
         fillLevel(lvl + 1, victim->line, victim->validMask,
-                  victim->data.data(), victim->dirtyMask);
+                  victim->data.data(), victim->dirtyMask,
+                  victim->poisonMask);
     } else {
         backend_.writeback(*victim);
     }
@@ -41,9 +43,10 @@ CacheHierarchy::fillLevel(unsigned lvl, Addr line, std::uint8_t mask,
 
 std::uint8_t
 CacheHierarchy::collect(Addr line, std::uint8_t &dirty_mask,
-                        std::uint8_t *data64)
+                        std::uint8_t *data64, std::uint8_t *poison_mask)
 {
     std::uint8_t valid = 0;
+    std::uint8_t poison = 0;
     dirty_mask = 0;
     const unsigned sector_bytes = l1_.params().sectorBytes;
     for (auto *cache : levels_) {
@@ -57,11 +60,27 @@ CacheHierarchy::collect(Addr line, std::uint8_t &dirty_mask,
                             wb->data.data() + s * sector_bytes,
                             sector_bytes);
                 valid |= bit;
+                poison |= wb->poisonMask & bit;
             }
         }
         dirty_mask |= wb->dirtyMask;
     }
+    if (poison_mask != nullptr)
+        *poison_mask = poison;
     return valid;
+}
+
+std::uint8_t
+CacheHierarchy::fullCoverMask(unsigned offset, unsigned bytes) const
+{
+    const unsigned sector_bytes = l1_.params().sectorBytes;
+    std::uint8_t mask = 0;
+    for (unsigned s = 0; s < l1_.sectorsPerLine(); ++s) {
+        const unsigned lo = s * sector_bytes;
+        if (offset <= lo && offset + bytes >= lo + sector_bytes)
+            mask |= static_cast<std::uint8_t>(1u << s);
+    }
+    return mask;
 }
 
 HierResult
@@ -75,8 +94,10 @@ CacheHierarchy::ensureLine(Addr line, std::uint8_t mask)
                 // Exclusive promotion to L1.
                 std::uint8_t data[kCachelineBytes];
                 std::uint8_t dirty = 0;
-                const std::uint8_t valid = collect(line, dirty, data);
-                fillLevel(0, line, valid, data, dirty);
+                std::uint8_t poison = 0;
+                const std::uint8_t valid =
+                    collect(line, dirty, data, &poison);
+                fillLevel(0, line, valid, data, dirty, poison);
             }
             return res;
         }
@@ -86,10 +107,18 @@ CacheHierarchy::ensureLine(Addr line, std::uint8_t mask)
     // resident sectors (which may be dirtier than memory).
     std::uint8_t cached[kCachelineBytes];
     std::uint8_t dirty = 0;
-    const std::uint8_t cached_valid = collect(line, dirty, cached);
+    std::uint8_t cached_poison = 0;
+    const std::uint8_t cached_valid =
+        collect(line, dirty, cached, &cached_poison);
 
     const auto fresh = backend_.fetchLine(line);
     sam_assert(fresh.size() == kCachelineBytes, "short line fetch");
+    // A poisoned fetch taints the fetched sectors; resident sectors
+    // keep their own (possibly clean) state since they overlay the
+    // fetched bytes.
+    const std::uint8_t fetch_poison = backend_.lastFetchPoisoned()
+        ? static_cast<std::uint8_t>(l1_.fullMask() & ~cached_valid)
+        : 0;
     std::uint8_t merged[kCachelineBytes];
     std::memcpy(merged, fresh.data(), kCachelineBytes);
     const unsigned sector_bytes = l1_.params().sectorBytes;
@@ -99,7 +128,8 @@ CacheHierarchy::ensureLine(Addr line, std::uint8_t mask)
                         cached + s * sector_bytes, sector_bytes);
         }
     }
-    fillLevel(0, line, l1_.fullMask(), merged, dirty);
+    fillLevel(0, line, l1_.fullMask(), merged, dirty,
+              static_cast<std::uint8_t>(cached_poison | fetch_poison));
     res.delay = llc_.params().hitLatency;
     res.memTouched = true;
     return res;
@@ -110,8 +140,10 @@ CacheHierarchy::read(Addr addr, unsigned bytes, std::uint8_t *out)
 {
     const Addr line = addr & ~Addr{kCachelineBytes - 1};
     const unsigned offset = static_cast<unsigned>(addr - line);
-    const HierResult res = ensureLine(line, l1_.maskFor(offset, bytes));
+    const std::uint8_t mask = l1_.maskFor(offset, bytes);
+    HierResult res = ensureLine(line, mask);
     l1_.readBytes(line, offset, bytes, out);
+    res.poisoned = (l1_.poisonMask(line) & mask) != 0;
     return res;
 }
 
@@ -129,8 +161,9 @@ CacheHierarchy::write(Addr addr, const std::uint8_t *src, unsigned bytes)
         // (a sector-cache benefit; plain caches never take this path
         // for sub-line stores since their only sector is the line).
         std::uint8_t dirty = 0;
+        std::uint8_t poison = 0;
         std::uint8_t cached[kCachelineBytes];
-        const std::uint8_t valid = collect(line, dirty, cached);
+        const std::uint8_t valid = collect(line, dirty, cached, &poison);
         // Overlay previous content, then the new store.
         std::uint8_t merged[kCachelineBytes] = {};
         for (unsigned s = 0; s < l1_.sectorsPerLine(); ++s) {
@@ -143,7 +176,8 @@ CacheHierarchy::write(Addr addr, const std::uint8_t *src, unsigned bytes)
         const std::uint8_t store_mask = l1_.maskFor(offset, bytes);
         fillLevel(0, line, static_cast<std::uint8_t>(valid | store_mask),
                   merged,
-                  static_cast<std::uint8_t>(dirty | store_mask));
+                  static_cast<std::uint8_t>(dirty | store_mask),
+                  static_cast<std::uint8_t>(poison & ~store_mask));
         return {l1_.params().hitLatency, false};
     }
 
@@ -179,30 +213,39 @@ CacheHierarchy::strideRead(const GatherPlan &plan, unsigned unit,
     }
 
     if (all_hit) {
+        HierResult res{worst, false};
         for (unsigned i = 0; i < g; ++i) {
             for (auto *cache : levels_) {
                 if (cache->lookup(plan.lines[i], sector_bit)) {
                     cache->readBytes(plan.lines[i], plan.sector * unit,
                                      unit, out64 + i * unit);
+                    if (cache->poisonMask(plan.lines[i]) & sector_bit) {
+                        res.poisoned = true;
+                        res.poisonBits |= std::uint32_t{1} << i;
+                    }
                     break;
                 }
             }
         }
-        return {worst, false};
+        return res;
     }
 
     // One sload fetches all G chunks; overlay any dirtier cached chunk.
     const auto fetched = backend_.fetchStride(plan);
     sam_assert(fetched.size() == kCachelineBytes, "short stride fetch");
+    const std::uint32_t fetch_poison = backend_.lastStridePoisonBits();
     std::memcpy(out64, fetched.data(), kCachelineBytes);
 
+    HierResult res{llc_.params().hitLatency, true};
     for (unsigned i = 0; i < g; ++i) {
         const Addr line = plan.lines[i];
         std::uint8_t dirty = 0;
+        std::uint8_t poison = 0;
         std::uint8_t cached[kCachelineBytes];
-        const std::uint8_t valid = collect(line, dirty, cached);
+        const std::uint8_t valid = collect(line, dirty, cached, &poison);
         std::uint8_t buf[kCachelineBytes] = {};
         std::uint8_t valid_now = valid;
+        std::uint8_t chunk_poison;
         const unsigned sector_bytes = l1_.params().sectorBytes;
         for (unsigned s = 0; s < l1_.sectorsPerLine(); ++s) {
             if (valid & (1u << s)) {
@@ -214,16 +257,25 @@ CacheHierarchy::strideRead(const GatherPlan &plan, unsigned unit,
             // Cache is newer than memory for this chunk.
             std::memcpy(out64 + i * unit, buf + plan.sector * unit,
                         unit);
+            chunk_poison = static_cast<std::uint8_t>(poison & sector_bit);
         } else {
             std::memcpy(buf + plan.sector * unit, out64 + i * unit,
                         unit);
             valid_now |= sector_bit;
+            chunk_poison = (fetch_poison >> i) & 1u ? sector_bit
+                                                    : std::uint8_t{0};
+        }
+        if (chunk_poison != 0) {
+            res.poisoned = true;
+            res.poisonBits |= std::uint32_t{1} << i;
         }
         fillLevel(0, line, static_cast<std::uint8_t>(valid_now |
                                                      sector_bit),
-                  buf, dirty);
+                  buf, dirty,
+                  static_cast<std::uint8_t>((poison & ~sector_bit) |
+                                            chunk_poison));
     }
-    return {llc_.params().hitLatency, true};
+    return res;
 }
 
 HierResult
@@ -240,8 +292,9 @@ CacheHierarchy::strideWrite(const GatherPlan &plan, unsigned unit,
     for (unsigned i = 0; i < g; ++i) {
         const Addr line = plan.lines[i];
         std::uint8_t dirty = 0;
+        std::uint8_t poison = 0;
         std::uint8_t cached[kCachelineBytes];
-        const std::uint8_t valid = collect(line, dirty, cached);
+        const std::uint8_t valid = collect(line, dirty, cached, &poison);
         std::uint8_t buf[kCachelineBytes] = {};
         for (unsigned s = 0; s < l1_.sectorsPerLine(); ++s) {
             if (valid & (1u << s)) {
@@ -254,7 +307,8 @@ CacheHierarchy::strideWrite(const GatherPlan &plan, unsigned unit,
         fillLevel(0, line,
                   static_cast<std::uint8_t>(valid | sector_bit), buf,
                   static_cast<std::uint8_t>(dirty &
-                                            ~unsigned{sector_bit}));
+                                            ~unsigned{sector_bit}),
+                  static_cast<std::uint8_t>(poison & ~sector_bit));
     }
     backend_.writeStride(plan, src64);
     return {l1_.params().hitLatency, true};
@@ -267,8 +321,9 @@ CacheHierarchy::writeAllocate(Addr addr, const std::uint8_t *src,
     const Addr line = addr & ~Addr{kCachelineBytes - 1};
     const unsigned offset = static_cast<unsigned>(addr - line);
     std::uint8_t dirty = 0;
+    std::uint8_t poison = 0;
     std::uint8_t cached[kCachelineBytes];
-    const std::uint8_t valid = collect(line, dirty, cached);
+    const std::uint8_t valid = collect(line, dirty, cached, &poison);
     std::uint8_t merged[kCachelineBytes] = {};
     const unsigned sector_bytes = l1_.params().sectorBytes;
     for (unsigned s = 0; s < l1_.sectorsPerLine(); ++s) {
@@ -278,7 +333,9 @@ CacheHierarchy::writeAllocate(Addr addr, const std::uint8_t *src,
         }
     }
     std::memcpy(merged + offset, src, bytes);
-    fillLevel(0, line, l1_.fullMask(), merged, l1_.fullMask());
+    fillLevel(0, line, l1_.fullMask(), merged, l1_.fullMask(),
+              static_cast<std::uint8_t>(poison &
+                                        ~fullCoverMask(offset, bytes)));
     return {l1_.params().hitLatency, false};
 }
 

@@ -49,6 +49,16 @@ class MemBackend
      */
     virtual void writeStride(const GatherPlan &plan,
                              const std::uint8_t *line64) = 0;
+
+    // ----- RAS poison reporting (optional) ---------------------------
+    /** Whether the last fetchLine() returned poisoned data. */
+    virtual bool lastFetchPoisoned() const { return false; }
+
+    /**
+     * Per-source-line poison bits of the last fetchStride() (bit i =
+     * source line i of the gather).
+     */
+    virtual std::uint32_t lastStridePoisonBits() const { return 0; }
 };
 
 /** Outcome of a hierarchy access. */
@@ -56,6 +66,9 @@ struct HierResult
 {
     Cycle delay = 0;        ///< Core-visible latency (hit path).
     bool memTouched = false;///< A memory request was generated.
+    bool poisoned = false;  ///< Returned data includes poisoned bytes.
+    /** Stride reads: bit i set when chunk i of the line is poisoned. */
+    std::uint32_t poisonBits = 0;
 };
 
 class CacheHierarchy
@@ -101,14 +114,19 @@ class CacheHierarchy
   private:
     /** Fill into level `lvl`, cascading evictions downward. */
     void fillLevel(unsigned lvl, Addr line, std::uint8_t mask,
-                   const std::uint8_t *data64, std::uint8_t dirty_mask);
+                   const std::uint8_t *data64, std::uint8_t dirty_mask,
+                   std::uint8_t poison_mask = 0);
 
     /**
      * Extract `line` from every level and merge into a single record
      * (upper levels win on overlap). Returns merged valid mask.
      */
     std::uint8_t collect(Addr line, std::uint8_t &dirty_mask,
-                         std::uint8_t *data64);
+                         std::uint8_t *data64,
+                         std::uint8_t *poison_mask = nullptr);
+
+    /** Sector mask fully covered by a byte span of a line. */
+    std::uint8_t fullCoverMask(unsigned offset, unsigned bytes) const;
 
     /** Ensure the `mask` sectors of `line` are resident in L1. */
     HierResult ensureLine(Addr line, std::uint8_t mask);

@@ -112,13 +112,23 @@ SectorCache::writeBytes(Addr line, unsigned offset, unsigned bytes,
     const std::uint8_t mask = maskFor(offset, bytes);
     e->dirtyMask |= mask;
     e->validMask |= mask;
+    // A fully overwritten sector is sound again regardless of what the
+    // memory read back; partially covered sectors keep their poison.
+    for (unsigned s = 0; s < sectorsPerLine_; ++s) {
+        const unsigned s_lo = s * params_.sectorBytes;
+        const unsigned s_hi = s_lo + params_.sectorBytes;
+        if (offset <= s_lo && offset + bytes >= s_hi)
+            e->poisonMask &= static_cast<std::uint8_t>(~(1u << s));
+    }
     e->lru = ++lruClock_;
 }
 
 std::optional<Writeback>
 SectorCache::fill(Addr line, std::uint8_t mask,
-                  const std::uint8_t *data64, bool dirty)
+                  const std::uint8_t *data64, bool dirty,
+                  std::uint8_t poison_mask)
 {
+    poison_mask &= mask;
     Entry *e = find(line);
     if (e != nullptr) {
         // Merge into the resident line, sector by sector.
@@ -132,6 +142,8 @@ SectorCache::fill(Addr line, std::uint8_t mask,
         e->validMask |= mask;
         if (dirty)
             e->dirtyMask |= mask;
+        e->poisonMask = static_cast<std::uint8_t>(
+            (e->poisonMask & ~mask) | poison_mask);
         e->lru = ++lruClock_;
         return std::nullopt;
     }
@@ -146,7 +158,8 @@ SectorCache::fill(Addr line, std::uint8_t mask,
         if (lru_it->dirtyMask != 0) {
             ++stats_.dirtyEvictions;
             victim = Writeback{lru_it->line, lru_it->dirtyMask,
-                               lru_it->validMask, std::move(lru_it->data)};
+                               lru_it->validMask, std::move(lru_it->data),
+                               lru_it->poisonMask};
         }
         set.erase(lru_it);
     }
@@ -155,6 +168,7 @@ SectorCache::fill(Addr line, std::uint8_t mask,
     fresh.line = line;
     fresh.validMask = mask;
     fresh.dirtyMask = dirty ? mask : 0;
+    fresh.poisonMask = poison_mask;
     fresh.lru = ++lruClock_;
     fresh.data.resize(kCachelineBytes);
     for (unsigned s = 0; s < sectorsPerLine_; ++s) {
@@ -175,12 +189,19 @@ SectorCache::extract(Addr line)
     for (auto it = set.begin(); it != set.end(); ++it) {
         if (it->line == line) {
             Writeback wb{it->line, it->dirtyMask, it->validMask,
-                         std::move(it->data)};
+                         std::move(it->data), it->poisonMask};
             set.erase(it);
             return wb;
         }
     }
     return std::nullopt;
+}
+
+std::uint8_t
+SectorCache::poisonMask(Addr line) const
+{
+    const Entry *e = find(line);
+    return e != nullptr ? e->poisonMask : 0;
 }
 
 void
@@ -190,7 +211,8 @@ SectorCache::flush(std::vector<Writeback> &out)
         for (auto &e : set) {
             if (e.dirtyMask != 0) {
                 out.push_back(Writeback{e.line, e.dirtyMask, e.validMask,
-                                        std::move(e.data)});
+                                        std::move(e.data),
+                                        e.poisonMask});
             }
         }
         set.clear();

@@ -36,6 +36,8 @@ struct Writeback
     std::uint8_t dirtyMask = 0;
     std::uint8_t validMask = 0;
     std::vector<std::uint8_t> data;  ///< 64B (garbage in invalid sectors).
+    /** Sectors whose data is RAS-poisoned (uncorrectable memory). */
+    std::uint8_t poisonMask = 0;
 };
 
 /** Per-cache counters. */
@@ -77,17 +79,28 @@ class SectorCache
     void readBytes(Addr line, unsigned offset, unsigned bytes,
                    std::uint8_t *out) const;
 
-    /** Write bytes into a resident line and mark its sectors dirty. */
+    /**
+     * Write bytes into a resident line and mark its sectors dirty.
+     * Sectors the write fully covers shed any poison (overwritten
+     * data is sound again); partially covered poisoned sectors stay
+     * poisoned.
+     */
     void writeBytes(Addr line, unsigned offset, unsigned bytes,
                     const std::uint8_t *src);
 
     /**
-     * Insert or merge `mask` sectors of `line`. Returns the evicted
-     * victim if an allocation displaced a line.
+     * Insert or merge `mask` sectors of `line`. `poison_mask` marks
+     * which of the incoming sectors carry poisoned data (replacing the
+     * poison state of merged sectors). Returns the evicted victim if
+     * an allocation displaced a line.
      */
     std::optional<Writeback> fill(Addr line, std::uint8_t mask,
                                   const std::uint8_t *data64,
-                                  bool dirty);
+                                  bool dirty,
+                                  std::uint8_t poison_mask = 0);
+
+    /** Poisoned-sector mask of a resident line (0 when absent). */
+    std::uint8_t poisonMask(Addr line) const;
 
     /** Remove `line` (for exclusive-hierarchy promotion). */
     std::optional<Writeback> extract(Addr line);
@@ -106,6 +119,7 @@ class SectorCache
         Addr line = kInvalidAddr;
         std::uint8_t validMask = 0;
         std::uint8_t dirtyMask = 0;
+        std::uint8_t poisonMask = 0;
         std::uint64_t lru = 0;
         std::vector<std::uint8_t> data;
     };

@@ -16,6 +16,8 @@ ControllerStats::registerIn(StatGroup &group) const
     group.addCounter("frRowHitPicks", frRowHitPicks,
                      "FR-FCFS row-hit first picks");
     group.addCounter("fcfsPicks", fcfsPicks, "oldest-first picks");
+    group.addCounter("scrubWrites", scrubWrites,
+                     "RAS demand-scrub writebacks");
     group.addAccum("totalReadLatency", totalReadLatency,
                    "sum of read latencies (cycles)");
 }
@@ -94,26 +96,32 @@ MemoryController::serve(MemRequest req)
 
     switch (req.type) {
       case AccessType::Read:
-        if (functional_)
+        if (functional_) {
             c.outcome = dataPath_.readLine(req.gatherLines[0]);
+            pushScrubs(c.outcome, c.done, req.coreId);
+        }
         ++stats_.readsServed;
         stats_.totalReadLatency += static_cast<double>(c.done -
                                                        req.arrival);
         break;
       case AccessType::StrideRead:
-        if (functional_)
+        if (functional_) {
             c.outcome = dataPath_.strideRead(req.gatherLines, req.sector,
                                              req.strideUnit);
+            pushScrubs(c.outcome, c.done, req.coreId);
+        }
         ++stats_.strideReadsServed;
         stats_.totalReadLatency += static_cast<double>(c.done -
                                                        req.arrival);
         break;
       case AccessType::Write:
-        if (functional_) {
+        if (functional_ && !req.isScrub) {
             sam_assert(req.writeData.size() == kCachelineBytes,
                        "write without a full-line payload");
             dataPath_.writeLine(req.gatherLines[0], req.writeData);
         }
+        if (req.isScrub)
+            ++stats_.scrubWrites;
         ++stats_.writesServed;
         break;
       case AccessType::StrideWrite:
@@ -127,6 +135,28 @@ MemoryController::serve(MemRequest req)
         break;
     }
     return c;
+}
+
+void
+MemoryController::pushScrubs(const ReadOutcome &outcome, Cycle when,
+                             unsigned core_id)
+{
+    // Corrected lines are written back as real writes so the scrub
+    // traffic competes for write-queue slots and bus slots. The data
+    // movement already happened inside the DataPath; these requests are
+    // timing-only.
+    for (Addr line : outcome.scrubbedLines) {
+        MemRequest scrub;
+        scrub.type = AccessType::Write;
+        scrub.addr = line;
+        scrub.isScrub = true;
+        scrub.arrival = when;
+        scrub.coreId = core_id;
+        scrub.device.addr = mapping_.decompose(line);
+        scrub.device.isWrite = true;
+        scrub.gatherLines = {line};
+        push(std::move(scrub));
+    }
 }
 
 std::optional<Completion>

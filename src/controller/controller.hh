@@ -37,6 +37,7 @@ struct ControllerStats
     Counter strideWritesServed;
     Counter frRowHitPicks;   ///< Scheduling picks that were row hits.
     Counter fcfsPicks;       ///< Fallback oldest-first picks.
+    Counter scrubWrites;     ///< RAS demand-scrub writebacks issued.
     Accum totalReadLatency;  ///< Sum of (done - arrival) over reads.
 
     void registerIn(StatGroup &group) const;
@@ -104,6 +105,10 @@ class MemoryController
 
     /** Issue to device + functional data movement. */
     Completion serve(MemRequest req);
+
+    /** Enqueue timing-only scrub writebacks a read outcome triggered. */
+    void pushScrubs(const ReadOutcome &outcome, Cycle when,
+                    unsigned core_id);
 
     Device &device_;
     DataPath &dataPath_;

@@ -53,6 +53,13 @@ struct MemRequest
     /** Write payload (64B) for Write / StrideWrite. */
     std::vector<std::uint8_t> writeData;
 
+    /**
+     * RAS demand-scrub writeback: timing-only, carries no payload (the
+     * DataPath already healed the backing store when it corrected the
+     * line); it still occupies the write queue and the bus.
+     */
+    bool isScrub = false;
+
     Cycle arrival = 0;
     unsigned coreId = 0;
     std::uint64_t id = 0;

@@ -23,7 +23,11 @@ BackingStore::writeLine(Addr line_addr,
                "unaligned line write: ", line_addr);
     sam_assert(blob.size() == blobBytes_,
                "blob size mismatch: ", blob.size(), " vs ", blobBytes_);
-    lines_[line_addr] = blob;
+    auto [it, inserted] = lines_.try_emplace(line_addr, blob);
+    if (inserted)
+        order_.push_back(line_addr);
+    else
+        it->second = blob;
 }
 
 bool
@@ -36,14 +40,22 @@ void
 BackingStore::corruptLine(Addr line_addr,
                           const std::vector<std::uint8_t> &xor_mask)
 {
+    sam_assert(line_addr % kCachelineBytes == 0,
+               "unaligned line corrupt: ", line_addr);
     sam_assert(xor_mask.size() == blobBytes_, "mask size mismatch");
-    auto it = lines_.find(line_addr);
-    if (it == lines_.end()) {
-        lines_[line_addr] = xor_mask;
-        return;
-    }
+    auto [it, inserted] = lines_.try_emplace(
+        line_addr, std::vector<std::uint8_t>(blobBytes_, 0));
+    if (inserted)
+        order_.push_back(line_addr);
     for (std::size_t i = 0; i < blobBytes_; ++i)
         it->second[i] ^= xor_mask[i];
+}
+
+Addr
+BackingStore::sampleLine(Rng &rng) const
+{
+    sam_assert(!order_.empty(), "sampleLine on empty store");
+    return order_[rng.below(order_.size())];
 }
 
 } // namespace sam

@@ -14,6 +14,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/random.hh"
 #include "src/common/types.hh"
 
 namespace sam {
@@ -44,16 +45,29 @@ class BackingStore
     /** True if the line was ever written. */
     bool contains(Addr line_addr) const;
 
-    /** XOR a mask into stored bytes of a line (error injection). */
+    /**
+     * XOR a mask into stored bytes of a line (error injection). A
+     * never-written line is materialized zero-filled first, so faults
+     * land on untouched addresses instead of being silently dropped
+     * relative to the all-zero read value.
+     */
     void corruptLine(Addr line_addr,
                      const std::vector<std::uint8_t> &xor_mask);
 
     /** Number of distinct lines stored. */
     std::size_t lineCount() const { return lines_.size(); }
 
+    /**
+     * Pick a uniformly random stored line address (fault-injection
+     * target selection). lineCount() must be nonzero.
+     */
+    Addr sampleLine(Rng &rng) const;
+
   private:
     unsigned blobBytes_;
     std::unordered_map<Addr, std::vector<std::uint8_t>> lines_;
+    /** Insertion-order line addresses for O(1) uniform sampling. */
+    std::vector<Addr> order_;
 };
 
 } // namespace sam

@@ -23,28 +23,80 @@ DataPath::DataPath(EccScheme scheme)
 {
 }
 
-ReadOutcome
-DataPath::fetchDecoded(Addr line_addr)
+Addr
+DataPath::resolved(Addr line_addr) const
 {
-    auto blob = store_.readLine(line_addr);
-    for (unsigned chip : failedChips_)
-        ecc_.corruptChip(blob, chip);
+    return ras_ ? ras_->resolve(line_addr) : line_addr;
+}
 
-    const EccLineResult r = ecc_.decodeLine(blob);
-    ++stats_.linesChecked;
-    if (r.corrected) {
-        ++stats_.correctedLines;
-        stats_.correctedSymbols += r.symbolsCorrected;
-    }
-    if (r.uncorrectable)
+ReadOutcome
+DataPath::fetchDecoded(Addr line_addr, bool rmw)
+{
+    const Addr phys = resolved(line_addr);
+    if (faults_)
+        faults_->tick(now_, store_, ecc_);
+
+    unsigned attempt = 0;
+    for (;;) {
+        auto blob = store_.readLine(phys);
+        for (unsigned chip : failedChips_)
+            ecc_.corruptChip(blob, chip);
+        if (faults_)
+            faults_->beforeDecode(phys, blob, ecc_);
+
+        const EccLineResult r = ecc_.decodeLine(blob);
+        ++stats_.linesChecked;
+
+        if (!r.uncorrectable) {
+            ReadOutcome out;
+            out.retries = attempt;
+            if (r.corrected) {
+                ++stats_.correctedLines;
+                stats_.correctedSymbols += r.symbolsCorrected;
+                out.corrected = true;
+                if (ras_ && !rmw) {
+                    const auto act = ras_->onCorrected(line_addr, now_);
+                    if (act.scrub) {
+                        // Scrub: persist the healed blob. The caller
+                        // records this as a real timed write.
+                        store_.writeLine(phys, blob);
+                        out.scrubbedLines.push_back(line_addr);
+                    }
+                    if (act.retire) {
+                        // Leaky bucket says permanent: copy the healed
+                        // data to a spare; future accesses remap.
+                        const Addr spare = ras_->retireLine(line_addr);
+                        if (spare != line_addr)
+                            store_.writeLine(spare, blob);
+                    }
+                }
+            }
+            blob.resize(kCachelineBytes);
+            out.data = std::move(blob);
+            return out;
+        }
+
+        if (ras_ && ras_->onUncorrectable(line_addr, now_, attempt)) {
+            ++attempt;
+            continue; // re-read clears transient bus faults
+        }
+
+        // Detected-uncorrectable, retries exhausted (or no RAS
+        // attached): the access fails. `uncorrectable` counts final
+        // failures, not individual retry attempts.
         ++stats_.uncorrectable;
-
-    ReadOutcome out;
-    out.corrected = r.corrected;
-    out.uncorrectable = r.uncorrectable;
-    blob.resize(kCachelineBytes);
-    out.data = std::move(blob);
-    return out;
+        ReadOutcome out;
+        out.retries = attempt;
+        out.uncorrectable = true;
+        if (ras_) {
+            out.poisoned = true;
+            out.poisonBits = 1;
+            ras_->onPoisoned(line_addr);
+        }
+        blob.resize(kCachelineBytes);
+        out.data = std::move(blob);
+        return out;
+    }
 }
 
 ReadOutcome
@@ -56,7 +108,7 @@ DataPath::readLine(Addr line_addr)
 void
 DataPath::writeLine(Addr line_addr, const std::vector<std::uint8_t> &data)
 {
-    store_.writeLine(line_addr, ecc_.encodeLine(data));
+    store_.writeLine(resolved(line_addr), ecc_.encodeLine(data));
 }
 
 ReadOutcome
@@ -66,10 +118,17 @@ DataPath::strideRead(const std::vector<Addr> &line_addrs, unsigned sector,
     std::vector<std::vector<std::uint8_t>> lines;
     lines.reserve(line_addrs.size());
     ReadOutcome out;
-    for (Addr a : line_addrs) {
-        ReadOutcome one = fetchDecoded(a);
+    for (std::size_t i = 0; i < line_addrs.size(); ++i) {
+        ReadOutcome one = fetchDecoded(line_addrs[i]);
         out.corrected = out.corrected || one.corrected;
         out.uncorrectable = out.uncorrectable || one.uncorrectable;
+        out.poisoned = out.poisoned || one.poisoned;
+        out.retries += one.retries;
+        if (one.poisoned)
+            out.poisonBits |= std::uint32_t{1} << i;
+        out.scrubbedLines.insert(out.scrubbedLines.end(),
+                                 one.scrubbedLines.begin(),
+                                 one.scrubbedLines.end());
         lines.push_back(std::move(one.data));
     }
     out.data = StrideGather::gather(lines, sector, unit);
@@ -87,12 +146,14 @@ DataPath::strideWrite(const std::vector<Addr> &line_addrs, unsigned sector,
     std::vector<std::vector<std::uint8_t>> lines;
     lines.reserve(line_addrs.size());
     for (Addr a : line_addrs)
-        lines.push_back(fetchDecoded(a).data);
+        lines.push_back(fetchDecoded(a, /*rmw=*/true).data);
 
     StrideGather::scatter(stride_line, lines, sector, unit);
 
-    for (std::size_t i = 0; i < line_addrs.size(); ++i)
-        store_.writeLine(line_addrs[i], ecc_.encodeLine(lines[i]));
+    for (std::size_t i = 0; i < line_addrs.size(); ++i) {
+        store_.writeLine(resolved(line_addrs[i]),
+                         ecc_.encodeLine(lines[i]));
+    }
 }
 
 void
@@ -103,7 +164,8 @@ DataPath::writePartial(Addr line_addr,
     sam_assert(data.size() >= kCachelineBytes, "short partial write");
     sam_assert(sector_bytes > 0 && kCachelineBytes % sector_bytes == 0,
                "bad sector size");
-    std::vector<std::uint8_t> line = fetchDecoded(line_addr).data;
+    std::vector<std::uint8_t> line =
+        fetchDecoded(line_addr, /*rmw=*/true).data;
     const unsigned sectors = kCachelineBytes / sector_bytes;
     for (unsigned s = 0; s < sectors; ++s) {
         if (sector_mask & (1u << s)) {
@@ -112,7 +174,7 @@ DataPath::writePartial(Addr line_addr,
                       line.begin() + s * sector_bytes);
         }
     }
-    store_.writeLine(line_addr, ecc_.encodeLine(line));
+    store_.writeLine(resolved(line_addr), ecc_.encodeLine(line));
 }
 
 void

@@ -10,6 +10,7 @@
 #ifndef SAM_DRAM_DATA_PATH_HH
 #define SAM_DRAM_DATA_PATH_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <set>
 #include <vector>
@@ -17,6 +18,7 @@
 #include "src/common/stats.hh"
 #include "src/common/types.hh"
 #include "src/dram/backing_store.hh"
+#include "src/dram/ras_hooks.hh"
 #include "src/ecc/ecc_engine.hh"
 
 namespace sam {
@@ -38,6 +40,17 @@ struct ReadOutcome
     std::vector<std::uint8_t> data;  ///< 64 corrected data bytes.
     bool corrected = false;
     bool uncorrectable = false;
+    /** Uncorrectable survived the RAS retry budget: data is invalid. */
+    bool poisoned = false;
+    /** Re-read attempts spent across the access's source lines. */
+    unsigned retries = 0;
+    /**
+     * Per-source-line poison bits: bit i set when source line i of a
+     * stride gather is poisoned (bit 0 for regular reads).
+     */
+    std::uint32_t poisonBits = 0;
+    /** Logical line addresses scrubbed (corrected data written back). */
+    std::vector<Addr> scrubbedLines;
 };
 
 class DataPath
@@ -93,14 +106,44 @@ class DataPath
     const EccStats &stats() const { return stats_; }
     BackingStore &store() { return store_; }
 
+    // ----- RAS integration ------------------------------------------
+    /** Attach a live fault source (nullptr detaches). */
+    void setFaultHook(FaultInjectionHook *hook) { faults_ = hook; }
+
+    /** Attach the read-path RAS policy (nullptr detaches). */
+    void setRasPolicy(RasPolicy *ras) { ras_ = ras; }
+
+    /**
+     * Advance the data path's notion of phase-1 time (drives the fault
+     * injector and the error log's leaky buckets). Monotone within a
+     * run; beginRun() rewinds it for the next run's core clocks.
+     */
+    void setNow(Cycle now) { now_ = std::max(now_, now); }
+
+    /** Start a new query run: core clocks restart at zero. */
+    void beginRun() { now_ = 0; }
+
+    Cycle now() const { return now_; }
+
   private:
-    /** Fetch blob with failures applied, decode, account stats. */
-    ReadOutcome fetchDecoded(Addr line_addr);
+    /**
+     * Fetch blob with failures applied, decode, account stats, and run
+     * the RAS read path (inject / retry / scrub / retire / poison).
+     * `rmw` suppresses scrubbing: the caller immediately overwrites
+     * the line, which heals it anyway.
+     */
+    ReadOutcome fetchDecoded(Addr line_addr, bool rmw = false);
+
+    /** Current physical location of a logical line (RAS remap). */
+    Addr resolved(Addr line_addr) const;
 
     EccEngine ecc_;
     BackingStore store_;
     std::set<unsigned> failedChips_;
     EccStats stats_;
+    FaultInjectionHook *faults_ = nullptr;
+    RasPolicy *ras_ = nullptr;
+    Cycle now_ = 0;
 };
 
 } // namespace sam

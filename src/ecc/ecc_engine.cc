@@ -30,6 +30,19 @@ store64(std::uint8_t *p, std::uint64_t v)
 
 } // namespace
 
+void
+EccEngineStats::registerIn(StatGroup &group) const
+{
+    group.addCounter("linesDecoded", linesDecoded,
+                     "lines run through the decoder");
+    group.addCounter("codewordsCorrected", codewordsCorrected,
+                     "codewords repaired in place");
+    group.addCounter("codewordsDetected", codewordsDetected,
+                     "codewords detected-uncorrectable");
+    group.addCounter("symbolsCorrected", symbolsCorrected,
+                     "symbols/bits repaired in total");
+}
+
 EccEngine::EccEngine(EccScheme scheme)
     : scheme_(scheme)
 {
@@ -141,7 +154,8 @@ EccEngine::decodeLine(std::vector<std::uint8_t> &blob) const
                "decodeLine: wrong blob size ", blob.size());
 
     EccLineResult result;
-    auto note = [&result](DecodeStatus status, unsigned n_fixed) {
+    ++stats_.linesDecoded;
+    auto note = [this, &result](DecodeStatus status, unsigned n_fixed) {
         switch (status) {
           case DecodeStatus::Clean:
             break;
@@ -149,10 +163,13 @@ EccEngine::decodeLine(std::vector<std::uint8_t> &blob) const
             result.clean = false;
             result.corrected = true;
             result.symbolsCorrected += n_fixed;
+            ++stats_.codewordsCorrected;
+            stats_.symbolsCorrected += n_fixed;
             break;
           case DecodeStatus::Detected:
             result.clean = false;
             result.uncorrectable = true;
+            ++stats_.codewordsDetected;
             break;
         }
     };

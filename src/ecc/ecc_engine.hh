@@ -37,6 +37,22 @@
 
 namespace sam {
 
+/**
+ * Per-scheme codeword-granular decode counters (finer than the
+ * line-granular EccStats the DataPath keeps): one engine instance
+ * serves one rank, so these are the rank's per-scheme corrected /
+ * detected totals surfaced in stats dumps.
+ */
+struct EccEngineStats
+{
+    Counter linesDecoded;        ///< decodeLine() invocations.
+    Counter codewordsCorrected;  ///< Codewords repaired in place.
+    Counter codewordsDetected;   ///< Codewords detected-uncorrectable.
+    Counter symbolsCorrected;    ///< Symbols/bits repaired in total.
+
+    void registerIn(StatGroup &group) const;
+};
+
 /** Per-line decode outcome reported to the memory controller. */
 struct EccLineResult
 {
@@ -100,6 +116,8 @@ class EccEngine
     /** Whether a whole-chip failure is correctable under this scheme. */
     bool toleratesChipFailure() const;
 
+    const EccEngineStats &stats() const { return stats_; }
+
   private:
     /** Byte indices within the blob that chip `chip` contributes to. */
     std::vector<std::size_t> chipBytes(unsigned chip) const;
@@ -109,6 +127,8 @@ class EccEngine
 
     EccScheme scheme_;
     std::optional<ReedSolomon> rs_;
+    /** Mutable: decodeLine() is logically const w.r.t. the codec. */
+    mutable EccEngineStats stats_;
 };
 
 } // namespace sam

@@ -1,0 +1,48 @@
+#include "src/faults/error_log.hh"
+
+#include <algorithm>
+
+namespace sam {
+
+double
+ErrorLog::leaked(const Bucket &b, Cycle now) const
+{
+    if (now <= b.last || window_ == 0)
+        return b.level;
+    const double dt = static_cast<double>(now - b.last);
+    const double leak = dt * threshold_ / static_cast<double>(window_);
+    return b.level > leak ? b.level - leak : 0.0;
+}
+
+bool
+ErrorLog::record(Addr line, Cycle now, bool corrected)
+{
+    ++total_;
+    if (events_.size() < kMaxEvents)
+        events_.push_back(Event{line, now, corrected});
+
+    Bucket &b = buckets_[line];
+    b.level = leaked(b, now) + 1.0;
+    b.last = std::max(b.last, now);
+    if (!b.permanent && b.level > threshold_) {
+        b.permanent = true;
+        return true;
+    }
+    return false;
+}
+
+bool
+ErrorLog::isPermanent(Addr line) const
+{
+    auto it = buckets_.find(line);
+    return it != buckets_.end() && it->second.permanent;
+}
+
+double
+ErrorLog::bucketLevel(Addr line, Cycle now) const
+{
+    auto it = buckets_.find(line);
+    return it != buckets_.end() ? leaked(it->second, now) : 0.0;
+}
+
+} // namespace sam

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Read-path RAS policy engine: corrected errors are logged and
+ * scrubbed (the corrected line is written back as a real, timed
+ * write); uncorrectable errors get a bounded re-read retry (clears
+ * transient bus faults) and are poisoned on exhaustion; the per-rank
+ * ErrorLog's leaky bucket classifies repeat offenders as permanent
+ * faults, which retires the line to a spare region (subsequent
+ * accesses remapped, scrubbing stops -- rewriting a dead cell buys
+ * nothing).
+ */
+
+#ifndef SAM_FAULTS_RAS_ENGINE_HH
+#define SAM_FAULTS_RAS_ENGINE_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "src/common/stats.hh"
+#include "src/common/types.hh"
+#include "src/dram/ras_hooks.hh"
+#include "src/faults/error_log.hh"
+
+namespace sam {
+
+/** RAS policy knobs. */
+struct RasConfig
+{
+    /** Re-read attempts before an uncorrectable read is poisoned. */
+    unsigned maxRetries = 2;
+
+    /** Write corrected lines back (demand scrubbing). */
+    bool scrubEnabled = true;
+
+    /** Leaky bucket: events above this level classify permanent. */
+    double bucketThreshold = 4.0;
+    /** Cycles for a full bucket to leak empty. */
+    Cycle bucketWindow = 1'000'000;
+
+    /** Spare-line pool for retirement. */
+    unsigned maxSpareLines = 256;
+    /**
+     * Base of the spare region, far above any table so the remap
+     * cannot collide with real data. Retirement remapping is a
+     * functional-store concern only: traces keep logical addresses,
+     * so the timing replay is unaffected.
+     */
+    Addr spareBase = Addr{1} << 40;
+};
+
+/** RAS event counters. */
+struct RasStats
+{
+    Counter correctedErrors;    ///< Corrected-error events seen.
+    Counter uncorrectableErrors;///< Accesses that hit uncorrectable.
+    Counter scrubWritebacks;    ///< Corrected lines written back.
+    Counter scrubsSuppressed;   ///< Skipped: line classified permanent.
+    Counter retriesAttempted;   ///< Re-reads issued.
+    Counter retriesExhausted;   ///< Retry budgets that ran out.
+    Counter poisonedReads;      ///< Reads returned poisoned.
+    Counter linesRetired;       ///< Lines remapped to spares.
+    Counter spareExhausted;     ///< Retirements denied: no spares left.
+
+    void registerIn(StatGroup &group) const;
+};
+
+class RasEngine final : public RasPolicy
+{
+  public:
+    explicit RasEngine(const RasConfig &config = {});
+
+    const RasConfig &config() const { return config_; }
+    const RasStats &stats() const { return stats_; }
+    const ErrorLog &errorLog() const { return log_; }
+
+    /** Number of lines currently remapped to spares. */
+    std::size_t retiredLineCount() const { return remap_.size(); }
+
+    // ----- RasPolicy -------------------------------------------------
+    Addr resolve(Addr line) const override;
+    CorrectedDirective onCorrected(Addr line, Cycle now) override;
+    bool onUncorrectable(Addr line, Cycle now, unsigned attempt) override;
+    void onPoisoned(Addr line) override;
+    Addr retireLine(Addr line) override;
+
+  private:
+    RasConfig config_;
+    ErrorLog log_;
+    RasStats stats_;
+    std::unordered_map<Addr, Addr> remap_;
+    unsigned sparesUsed_ = 0;
+};
+
+} // namespace sam
+
+#endif // SAM_FAULTS_RAS_ENGINE_HH

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <map>
+#include <set>
 #include <unordered_map>
 
 #include "src/common/logging.hh"
@@ -192,16 +193,30 @@ class CoreExec
             if (lc.group != group || !lc.valid) {
                 lc.plan = t.gatherPlan(group, f, env_.strideUnit);
                 lc.line = port_.strideLoad(lc.plan);
+                lc.poisonBits = port_.strideLoadPoisonBits();
                 lc.group = group;
                 lc.valid = true;
             }
+            const unsigned chunk =
+                static_cast<unsigned>(rec % t.gather());
+            lastPoisoned_ = (lc.poisonBits >> chunk) & 1u;
             const unsigned off =
-                static_cast<unsigned>(rec % t.gather()) *
-                    env_.strideUnit +
+                chunk * env_.strideUnit +
                 (f * TableSchema::kFieldBytes) % env_.strideUnit;
             return extract64(lc.line, off);
         }
-        return port_.load(t.fieldAddr(rec, f), 8);
+        const std::uint64_t v = port_.load(t.fieldAddr(rec, f), 8);
+        lastPoisoned_ = port_.lastAccessPoisoned();
+        return v;
+    }
+
+    /** Whether the value returned by the last readField was poisoned. */
+    bool lastPoisoned() const { return lastPoisoned_; }
+
+    /** Per-chunk poison bits of the last strideUpdateGroup read. */
+    std::uint32_t lastStridePoisonBits() const
+    {
+        return lastStridePoison_;
     }
 
     /**
@@ -214,6 +229,7 @@ class CoreExec
     {
         GatherPlan plan = t.gatherPlan(group, f, env_.strideUnit);
         std::vector<std::uint8_t> line = port_.strideLoad(plan);
+        lastStridePoison_ = port_.strideLoadPoisonBits();
         for (std::uint64_t rec : recs) {
             const unsigned off =
                 static_cast<unsigned>(rec % t.gather()) *
@@ -234,11 +250,15 @@ class CoreExec
         std::vector<std::uint8_t> line;
         std::uint64_t group = ~std::uint64_t{0};
         bool valid = false;
+        /** Poison bits of the gathered chunks (bit i = chunk i). */
+        std::uint32_t poisonBits = 0;
     };
 
     ExecEnv &env_;
     MemPort &port_;
     std::map<std::pair<const Table *, unsigned>, LineCache> lineCache_;
+    bool lastPoisoned_ = false;
+    std::uint32_t lastStridePoison_ = 0;
 };
 
 /** Predicate evaluation from a value actually loaded from memory. */
@@ -304,6 +324,14 @@ executeQuery(const Query &q, ExecEnv &env)
 
     Table &primary = q.table == TableRef::Ta ? *env.ta : *env.tb;
 
+    // Rows whose data came back RAS-poisoned. Poisoned values never
+    // enter the result (no silent corruption); the rows are tallied so
+    // the caller sees a degraded-but-honest answer.
+    std::set<std::pair<const Table *, std::uint64_t>> poisoned_rows;
+    auto note_poison = [&](const Table &t, std::uint64_t rec) {
+        poisoned_rows.insert({&t, rec});
+    };
+
     // Crude cost-based plan selection, as any engine would do:
     //
     //  * Column plans (field-major order, sload field scans) pay off
@@ -352,8 +380,14 @@ executeQuery(const Query &q, ExecEnv &env)
                                q.rowPreferred);
                 part.forEachRecord([&](std::uint64_t rec) {
                     ex.port().compute(env.computePerRecord);
-                    qual[rec] = passes(ex.readField(t, rec, q.predField),
-                                       q.selectivity);
+                    const std::uint64_t v =
+                        ex.readField(t, rec, q.predField);
+                    if (ex.lastPoisoned()) {
+                        note_poison(t, rec);
+                        qual[rec] = 0;
+                        return;
+                    }
+                    qual[rec] = passes(v, q.selectivity);
                 });
             }
             env.barrier();
@@ -365,9 +399,14 @@ executeQuery(const Query &q, ExecEnv &env)
                 part.forEachRecord([&](std::uint64_t rec) {
                     if (!qual[rec])
                         return;
-                    qual[rec] =
-                        passes(ex.readField(t, rec, q.predField2),
-                               q.selectivity2);
+                    const std::uint64_t v =
+                        ex.readField(t, rec, q.predField2);
+                    if (ex.lastPoisoned()) {
+                        note_poison(t, rec);
+                        qual[rec] = 0;
+                        return;
+                    }
+                    qual[rec] = passes(v, q.selectivity2);
                 });
             }
             env.barrier();
@@ -399,21 +438,33 @@ executeQuery(const Query &q, ExecEnv &env)
                     ex.port().compute(env.computePerRecord);
                     bool ok = true;
                     if (q.hasPredicate) {
-                        ok = passes(
-                            ex.readField(primary, rec, q.predField),
-                            q.selectivity);
+                        const std::uint64_t v =
+                            ex.readField(primary, rec, q.predField);
+                        if (ex.lastPoisoned()) {
+                            note_poison(primary, rec);
+                            return;
+                        }
+                        ok = passes(v, q.selectivity);
                     }
                     if (ok && q.hasPredicate2) {
-                        ok = passes(
-                            ex.readField(primary, rec, q.predField2),
-                            q.selectivity2);
+                        const std::uint64_t v =
+                            ex.readField(primary, rec, q.predField2);
+                        if (ex.lastPoisoned()) {
+                            note_poison(primary, rec);
+                            return;
+                        }
+                        ok = passes(v, q.selectivity2);
                     }
                     if (!ok)
                         return;
                     ++total.rows;
                     for (unsigned f : fields) {
-                        total.checksum += ex.readField(primary, rec, f,
-                                                       stride_project);
+                        const std::uint64_t v = ex.readField(
+                            primary, rec, f, stride_project);
+                        if (ex.lastPoisoned())
+                            note_poison(primary, rec);
+                        else
+                            total.checksum += v;
                         ex.port().compute(env.computePerValue);
                     }
                 });
@@ -430,8 +481,12 @@ executeQuery(const Query &q, ExecEnv &env)
                     part.forEachRecord([&](std::uint64_t rec) {
                         if (!qual[rec])
                             return;
-                        total.checksum += ex.readField(
+                        const std::uint64_t v = ex.readField(
                             primary, rec, f, stride_project);
+                        if (ex.lastPoisoned())
+                            note_poison(primary, rec);
+                        else
+                            total.checksum += v;
                         ex.port().compute(env.computePerValue);
                     });
                 }
@@ -481,10 +536,15 @@ executeQuery(const Query &q, ExecEnv &env)
                             for (std::uint64_t rec = lo; rec < hi;
                                  ++rec) {
                                 ex.port().compute(env.computePerRecord);
-                                qual[rec - lo] = passes(
-                                    ex.readField(primary, rec,
-                                                 q.predField),
-                                    q.selectivity);
+                                const std::uint64_t v = ex.readField(
+                                    primary, rec, q.predField);
+                                if (ex.lastPoisoned()) {
+                                    note_poison(primary, rec);
+                                    qual[rec - lo] = 0;
+                                    continue;
+                                }
+                                qual[rec - lo] =
+                                    passes(v, q.selectivity);
                             }
                         }
                         if (block_sweeps) {
@@ -493,9 +553,13 @@ executeQuery(const Query &q, ExecEnv &env)
                                      ++rec) {
                                     if (!qual[rec - lo])
                                         continue;
-                                    total.aggregate += ex.readField(
-                                        primary, rec, f,
-                                        stride_project);
+                                    const std::uint64_t v =
+                                        ex.readField(primary, rec, f,
+                                                     stride_project);
+                                    if (ex.lastPoisoned())
+                                        note_poison(primary, rec);
+                                    else
+                                        total.aggregate += v;
                                     ex.port().compute(
                                         env.computePerValue);
                                 }
@@ -506,9 +570,13 @@ executeQuery(const Query &q, ExecEnv &env)
                                 if (!qual[rec - lo])
                                     continue;
                                 for (unsigned f : q.fields) {
-                                    total.aggregate += ex.readField(
-                                        primary, rec, f,
-                                        stride_project);
+                                    const std::uint64_t v =
+                                        ex.readField(primary, rec, f,
+                                                     stride_project);
+                                    if (ex.lastPoisoned())
+                                        note_poison(primary, rec);
+                                    else
+                                        total.aggregate += v;
                                     ex.port().compute(
                                         env.computePerValue);
                                 }
@@ -533,8 +601,12 @@ executeQuery(const Query &q, ExecEnv &env)
                     part.forEachRecord([&](std::uint64_t rec) {
                         if (!qual[rec])
                             return;
-                        total.aggregate += ex.readField(
+                        const std::uint64_t v = ex.readField(
                             primary, rec, f, stride_project);
+                        if (ex.lastPoisoned())
+                            note_poison(primary, rec);
+                        else
+                            total.aggregate += v;
                         ex.port().compute(env.computePerValue);
                     });
                 }
@@ -570,6 +642,17 @@ executeQuery(const Query &q, ExecEnv &env)
                     if (stride_write) {
                         ex.strideUpdateGroup(primary, group, f,
                                              qualifying);
+                        // Chunks that came back poisoned and were not
+                        // overwritten went back to memory unrepaired:
+                        // flag their rows rather than pretend the
+                        // read-modify-write healed them.
+                        const std::uint32_t pb =
+                            ex.lastStridePoisonBits();
+                        for (std::uint64_t rec = lo;
+                             pb != 0 && rec < hi; ++rec) {
+                            if ((pb >> (rec - lo)) & 1u)
+                                note_poison(primary, rec);
+                        }
                     } else {
                         for (std::uint64_t rec : qualifying) {
                             ex.port().store(primary.fieldAddr(rec, f),
@@ -625,6 +708,10 @@ executeQuery(const Query &q, ExecEnv &env)
                 ex.port().compute(env.computePerRecord);
                 const std::uint64_t v =
                     ex.readField(*env.tb, rec, q.joinField);
+                if (ex.lastPoisoned()) {
+                    note_poison(*env.tb, rec);
+                    return;
+                }
                 if (v < jthresh) {
                     auto it = build.find(v);
                     if (it == build.end() || rec < it->second)
@@ -641,6 +728,10 @@ executeQuery(const Query &q, ExecEnv &env)
                     ex.port().compute(env.computePerRecord);
                     const std::uint64_t v =
                         ex.readField(*env.ta, rec, q.joinField);
+                    if (ex.lastPoisoned()) {
+                        note_poison(*env.ta, rec);
+                        return;
+                    }
                     auto it = build.find(v);
                     if (it == build.end())
                         return;
@@ -648,16 +739,34 @@ executeQuery(const Query &q, ExecEnv &env)
                     if (q.joinExtraFilter) {
                         const std::uint64_t f1a =
                             ex.readField(*env.ta, rec, 1);
+                        if (ex.lastPoisoned()) {
+                            note_poison(*env.ta, rec);
+                            return;
+                        }
                         const std::uint64_t f1b =
                             ex.readField(*env.tb, tb_rec, 1, false);
+                        if (ex.lastPoisoned()) {
+                            note_poison(*env.tb, tb_rec);
+                            return;
+                        }
                         if (!(f1a > f1b))
                             return;
                     }
-                    ++total.rows;
-                    total.checksum +=
-                        ex.readField(*env.ta, rec, q.fields[0]) +
+                    const std::uint64_t va =
+                        ex.readField(*env.ta, rec, q.fields[0]);
+                    const bool pa = ex.lastPoisoned();
+                    const std::uint64_t vb =
                         ex.readField(*env.tb, tb_rec, q.fields[1],
                                      false);
+                    const bool pb = ex.lastPoisoned();
+                    if (pa)
+                        note_poison(*env.ta, rec);
+                    if (pb)
+                        note_poison(*env.tb, tb_rec);
+                    if (pa || pb)
+                        return;
+                    ++total.rows;
+                    total.checksum += va + vb;
                     ex.port().compute(env.computePerValue);
                 });
             }
@@ -675,6 +784,10 @@ executeQuery(const Query &q, ExecEnv &env)
                     ex.port().compute(env.computePerRecord);
                     const std::uint64_t v =
                         ex.readField(*env.ta, rec, q.joinField);
+                    if (ex.lastPoisoned()) {
+                        note_poison(*env.ta, rec);
+                        return;
+                    }
                     auto it = build.find(v);
                     if (it != build.end())
                         matches[c].emplace_back(rec, it->second);
@@ -689,8 +802,16 @@ executeQuery(const Query &q, ExecEnv &env)
                     for (auto [rec, tb_rec] : matches[c]) {
                         const std::uint64_t f1a =
                             ex.readField(*env.ta, rec, 1);
+                        if (ex.lastPoisoned()) {
+                            note_poison(*env.ta, rec);
+                            continue;
+                        }
                         const std::uint64_t f1b =
                             ex.readField(*env.tb, tb_rec, 1, false);
+                        if (ex.lastPoisoned()) {
+                            note_poison(*env.tb, tb_rec);
+                            continue;
+                        }
                         if (f1a > f1b)
                             kept.emplace_back(rec, tb_rec);
                     }
@@ -701,11 +822,21 @@ executeQuery(const Query &q, ExecEnv &env)
             for (unsigned c = 0; c < num_cores; ++c) {
                 CoreExec ex(env, c);
                 for (auto [rec, tb_rec] : matches[c]) {
-                    ++total.rows;
-                    total.checksum +=
-                        ex.readField(*env.ta, rec, q.fields[0]) +
+                    const std::uint64_t va =
+                        ex.readField(*env.ta, rec, q.fields[0]);
+                    const bool pa = ex.lastPoisoned();
+                    const std::uint64_t vb =
                         ex.readField(*env.tb, tb_rec, q.fields[1],
                                      false);
+                    const bool pb = ex.lastPoisoned();
+                    if (pa)
+                        note_poison(*env.ta, rec);
+                    if (pb)
+                        note_poison(*env.tb, tb_rec);
+                    if (pa || pb)
+                        continue;
+                    ++total.rows;
+                    total.checksum += va + vb;
                     ex.port().compute(env.computePerValue);
                 }
             }
@@ -714,6 +845,7 @@ executeQuery(const Query &q, ExecEnv &env)
         break;
       }
     }
+    total.poisonedRows = poisoned_rows.size();
     return total;
 }
 

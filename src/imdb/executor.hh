@@ -52,6 +52,16 @@ class MemPort
 
     /** Account `cycles` of core compute time. */
     virtual void compute(Cycle cycles) = 0;
+
+    // ----- RAS poison reporting (optional) ---------------------------
+    /** Whether the last load() returned RAS-poisoned data. */
+    virtual bool lastAccessPoisoned() const { return false; }
+
+    /**
+     * Per-chunk poison bits of the last strideLoad() (bit i = chunk i
+     * of the gathered line, i.e. source line i of the plan).
+     */
+    virtual std::uint32_t strideLoadPoisonBits() const { return 0; }
 };
 
 /** Merged functional result of a query (compared against a reference). */
@@ -60,6 +70,19 @@ struct QueryResult
     std::uint64_t rows = 0;      ///< Selected / updated / emitted rows.
     std::uint64_t aggregate = 0; ///< Sum over aggregate fields.
     std::uint64_t checksum = 0;  ///< Sum of all projected values.
+
+    /**
+     * Rows whose data was RAS-poisoned (uncorrectable memory errors
+     * that survived retry). Such rows contribute nothing to rows /
+     * aggregate / checksum: the query degrades gracefully instead of
+     * silently returning corrupt values. Not part of equality --
+     * a degraded result is compared on what it *did* compute, and
+     * callers must check degraded() before trusting a mismatch.
+     */
+    std::uint64_t poisonedRows = 0;
+
+    /** The result is incomplete due to uncorrectable memory errors. */
+    bool degraded() const { return poisonedRows != 0; }
 
     bool
     operator==(const QueryResult &o) const

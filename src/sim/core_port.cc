@@ -45,8 +45,10 @@ std::uint64_t
 CorePort::load(Addr addr, unsigned bytes)
 {
     sam_assert(bytes >= 1 && bytes <= 8, "load size");
+    dataPath_.setNow(clock_);
     std::uint8_t buf[8] = {};
     const HierResult r = hierarchy_.read(addr, bytes, buf);
+    loadPoisoned_ = r.poisoned;
     clock_ += r.delay;
     std::uint64_t v = 0;
     for (int i = static_cast<int>(bytes) - 1; i >= 0; --i)
@@ -58,6 +60,7 @@ void
 CorePort::store(Addr addr, std::uint64_t value, unsigned bytes)
 {
     sam_assert(bytes >= 1 && bytes <= 8, "store size");
+    dataPath_.setNow(clock_);
     std::uint8_t buf[8];
     for (unsigned i = 0; i < bytes; ++i) {
         buf[i] = static_cast<std::uint8_t>(value & 0xff);
@@ -71,6 +74,7 @@ void
 CorePort::storeStream(Addr addr, std::uint64_t value, unsigned bytes)
 {
     sam_assert(bytes >= 1 && bytes <= 8, "store size");
+    dataPath_.setNow(clock_);
     std::uint8_t buf[8];
     for (unsigned i = 0; i < bytes; ++i) {
         buf[i] = static_cast<std::uint8_t>(value & 0xff);
@@ -83,9 +87,11 @@ CorePort::storeStream(Addr addr, std::uint64_t value, unsigned bytes)
 std::vector<std::uint8_t>
 CorePort::strideLoad(const GatherPlan &plan)
 {
+    dataPath_.setNow(clock_);
     std::vector<std::uint8_t> out(kCachelineBytes);
     const HierResult r =
         hierarchy_.strideRead(plan, strideUnit_, out.data());
+    strideLoadPoison_ = r.poisonBits;
     clock_ += r.delay;
     return out;
 }
@@ -95,6 +101,7 @@ CorePort::strideStore(const GatherPlan &plan,
                       const std::vector<std::uint8_t> &line)
 {
     sam_assert(line.size() == kCachelineBytes, "stride store size");
+    dataPath_.setNow(clock_);
     const HierResult r =
         hierarchy_.strideWrite(plan, strideUnit_, line.data());
     clock_ += r.delay;
@@ -106,19 +113,34 @@ CorePort::compute(Cycle cycles)
     clock_ += cycles;
 }
 
+void
+CorePort::recordScrubs(const ReadOutcome &outcome)
+{
+    // Demand scrubs are real timed writes: the corrected line goes back
+    // over the bus, so the replay must charge their bandwidth/power.
+    for (Addr scrubbed : outcome.scrubbedLines)
+        record(AccessType::Write, {scrubbed}, 0);
+}
+
 std::vector<std::uint8_t>
 CorePort::fetchLine(Addr line)
 {
     record(AccessType::Read, {line}, 0);
-    return dataPath_.readLine(line).data;
+    ReadOutcome outcome = dataPath_.readLine(line);
+    recordScrubs(outcome);
+    fetchPoisoned_ = outcome.poisoned;
+    return std::move(outcome.data);
 }
 
 std::vector<std::uint8_t>
 CorePort::fetchStride(const GatherPlan &plan)
 {
     record(AccessType::StrideRead, plan.lines, plan.sector);
-    return dataPath_.strideRead(plan.lines, plan.sector, strideUnit_)
-        .data;
+    ReadOutcome outcome =
+        dataPath_.strideRead(plan.lines, plan.sector, strideUnit_);
+    recordScrubs(outcome);
+    strideFetchPoison_ = outcome.poisonBits;
+    return std::move(outcome.data);
 }
 
 void

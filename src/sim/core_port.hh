@@ -49,6 +49,11 @@ class CorePort : public MemPort, public MemBackend
     void strideStore(const GatherPlan &plan,
                      const std::vector<std::uint8_t> &line) override;
     void compute(Cycle cycles) override;
+    bool lastAccessPoisoned() const override { return loadPoisoned_; }
+    std::uint32_t strideLoadPoisonBits() const override
+    {
+        return strideLoadPoison_;
+    }
 
     // ----- MemBackend (cache memory side) ---------------------------
     std::vector<std::uint8_t> fetchLine(Addr line) override;
@@ -56,6 +61,11 @@ class CorePort : public MemPort, public MemBackend
     void writeback(const Writeback &wb) override;
     void writeStride(const GatherPlan &plan,
                      const std::uint8_t *line64) override;
+    bool lastFetchPoisoned() const override { return fetchPoisoned_; }
+    std::uint32_t lastStridePoisonBits() const override
+    {
+        return strideFetchPoison_;
+    }
 
     /** Start a new barrier epoch. */
     void newEpoch();
@@ -72,6 +82,9 @@ class CorePort : public MemPort, public MemBackend
     void record(AccessType type, std::vector<Addr> lines,
                 unsigned sector);
 
+    /** Record demand-scrub writebacks a read outcome triggered. */
+    void recordScrubs(const ReadOutcome &outcome);
+
     unsigned coreId_;
     unsigned strideUnit_;
     DataPath &dataPath_;
@@ -79,6 +92,12 @@ class CorePort : public MemPort, public MemBackend
     CoreTrace trace_;
     Cycle clock_ = 0;
     Cycle lastRecord_ = 0;
+    // Poison state of the most recent memory-side fetches (MemBackend
+    // queries) and core-side accesses (MemPort queries).
+    bool fetchPoisoned_ = false;
+    std::uint32_t strideFetchPoison_ = 0;
+    bool loadPoisoned_ = false;
+    std::uint32_t strideLoadPoison_ = 0;
 };
 
 } // namespace sam

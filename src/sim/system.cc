@@ -32,9 +32,15 @@ System::System(const SimConfig &config)
       timing_(timingFor(spec_.tech).derated(spec_.areaOverhead)),
       strideUnit_(strideUnitBytes(config.ecc)),
       mapping_(geom_),
-      dataPath_(spec_.ecc)
+      dataPath_(spec_.ecc),
+      ras_(std::make_unique<RasEngine>(config.ras))
 {
     sam_assert(config.cores > 0, "need at least one core");
+    dataPath_.setRasPolicy(ras_.get());
+    if (config.faults.model != FaultModel::None) {
+        injector_ = std::make_unique<FaultInjector>(config.faults);
+        dataPath_.setFaultHook(injector_.get());
+    }
 }
 
 TableSchema
@@ -97,6 +103,10 @@ System::runQuery(const Query &query)
 {
     TablePair &tp = tablesFor(layoutFor(query));
 
+    // Core clocks restart at zero each run; rewind the data path's
+    // phase-1 clock so the fault injector and error-log buckets follow.
+    dataPath_.beginRun();
+
     // ----- Phase 1: functional execution + trace capture -----------
     const unsigned sector_bytes =
         spec_.supportsStride ? strideUnit_ : kCachelineBytes;
@@ -127,6 +137,14 @@ System::runQuery(const Query &query)
         dataPath_.stats().correctedLines.value();
     const std::uint64_t ecc_uncorr_before =
         dataPath_.stats().uncorrectable.value();
+    const RasStats &ras_stats = ras_->stats();
+    const std::uint64_t scrubs_before =
+        ras_stats.scrubWritebacks.value();
+    const std::uint64_t retries_before =
+        ras_stats.retriesAttempted.value();
+    const std::uint64_t poisoned_before =
+        ras_stats.poisonedReads.value();
+    const std::uint64_t retired_before = ras_stats.linesRetired.value();
 
     RunStats rs;
     rs.result = executeQuery(query, env);
@@ -164,6 +182,17 @@ System::runQuery(const Query &query)
         StatGroup ecc_group("ecc");
         dataPath_.stats().registerIn(ecc_group);
         ecc_group.dump(oss);
+        StatGroup engine_group("ecc." + eccSchemeName(spec_.ecc));
+        dataPath_.ecc().stats().registerIn(engine_group);
+        engine_group.dump(oss);
+        StatGroup ras_group("ras");
+        ras_->stats().registerIn(ras_group);
+        ras_group.dump(oss);
+        if (injector_) {
+            StatGroup fault_group("faults");
+            injector_->stats().registerIn(fault_group);
+            fault_group.dump(oss);
+        }
         for (unsigned c = 0; c < config_.cores; ++c) {
             for (unsigned lvl = 0; lvl < 3; ++lvl) {
                 StatGroup cache_group(
@@ -188,6 +217,12 @@ System::runQuery(const Query &query)
         dataPath_.stats().correctedLines.value() - ecc_corrected_before;
     rs.eccUncorrectable =
         dataPath_.stats().uncorrectable.value() - ecc_uncorr_before;
+    rs.scrubWritebacks =
+        ras_stats.scrubWritebacks.value() - scrubs_before;
+    rs.readRetries = ras_stats.retriesAttempted.value() - retries_before;
+    rs.poisonedReads =
+        ras_stats.poisonedReads.value() - poisoned_before;
+    rs.linesRetired = ras_stats.linesRetired.value() - retired_before;
 
     const double total_cas =
         static_cast<double>(rs.memReads + rs.memWrites + rs.strideReads +

@@ -26,6 +26,8 @@
 #include "src/designs/design_model.hh"
 #include "src/dram/data_path.hh"
 #include "src/dram/device.hh"
+#include "src/faults/fault_injector.hh"
+#include "src/faults/ras_engine.hh"
 #include "src/imdb/executor.hh"
 #include "src/imdb/query.hh"
 #include "src/imdb/table.hh"
@@ -64,6 +66,12 @@ struct SimConfig
      * large sweeps where the extra bookkeeping matters.
      */
     bool check = true;
+
+    /** Live fault injection (model None disables the injector). */
+    FaultConfig faults;
+
+    /** Read-path RAS policy (always attached). */
+    RasConfig ras;
 };
 
 /** Everything measured for one query run. */
@@ -92,6 +100,12 @@ struct RunStats
     /** Commands validated by the protocol checker (0 when disabled). */
     std::uint64_t checkedCommands = 0;
 
+    // ----- RAS pipeline (per-run deltas) -----------------------------
+    std::uint64_t scrubWritebacks = 0; ///< Corrected lines written back.
+    std::uint64_t readRetries = 0;     ///< Re-reads after uncorrectable.
+    std::uint64_t poisonedReads = 0;   ///< Reads that returned poison.
+    std::uint64_t linesRetired = 0;    ///< Lines remapped to spares.
+
     double rowHitRate() const
     {
         const double total =
@@ -115,6 +129,13 @@ class System
 
     /** Functional memory (for error injection in tests/examples). */
     DataPath &dataPath() { return dataPath_; }
+
+    /** The RAS policy engine (error log, retirement state, counters). */
+    RasEngine &ras() { return *ras_; }
+    const RasEngine &ras() const { return *ras_; }
+
+    /** The live fault injector; nullptr when faults.model is None. */
+    FaultInjector *injector() { return injector_.get(); }
 
     /** The schemas (for reference-result computation). */
     TableSchema taSchema() const;
@@ -146,6 +167,8 @@ class System
     unsigned strideUnit_;
     AddressMapping mapping_;
     DataPath dataPath_;
+    std::unique_ptr<RasEngine> ras_;
+    std::unique_ptr<FaultInjector> injector_;
     std::map<LayoutKind, TablePair> tables_;
 };
 

@@ -45,6 +45,13 @@ usage(int code)
         "  --cores <n>            cores (default 4)\n"
         "  --mshrs <n>            outstanding misses/core (default 8)\n"
         "  --fail-chip <c>        inject a whole-chip failure\n"
+        "  --fault-model <name>   live faults: none, transient,\n"
+        "                         stuckat, chipkill\n"
+        "  --fit <f>              transient flips per Mcycle (def. 10)\n"
+        "  --chipkill-at <cycle>  kill a chip mid-run (implies\n"
+        "                         --fault-model chipkill)\n"
+        "  --chipkill-chip <c>    which chip dies (default 5)\n"
+        "  --fault-seed <n>       fault injector RNG seed\n"
         "  --compare              also run the row-store baseline\n"
         "  --no-verify            skip the reference-result check\n"
         "  --check                print a protocol-checker summary\n"
@@ -153,6 +160,14 @@ printStats(const RunStats &r)
                 static_cast<unsigned long long>(r.eccCorrectedLines));
     std::printf("  ECC uncorrectable    %12llu\n",
                 static_cast<unsigned long long>(r.eccUncorrectable));
+    std::printf("  RAS scrub writebacks %12llu\n",
+                static_cast<unsigned long long>(r.scrubWritebacks));
+    std::printf("  RAS read retries     %12llu\n",
+                static_cast<unsigned long long>(r.readRetries));
+    std::printf("  RAS poisoned reads   %12llu\n",
+                static_cast<unsigned long long>(r.poisonedReads));
+    std::printf("  RAS lines retired    %12llu\n",
+                static_cast<unsigned long long>(r.linesRetired));
     std::printf("  energy (uJ)          %15.3f\n",
                 r.power.totalEnergyPj() / 1e6);
     std::printf("    activation         %15.3f\n",
@@ -223,6 +238,19 @@ main(int argc, char **argv)
                 static_cast<unsigned>(std::atoi(next_arg(i)));
         else if (a == "--fail-chip")
             fail_chip = std::atoi(next_arg(i));
+        else if (a == "--fault-model")
+            cfg.faults.model = parseFaultModel(next_arg(i));
+        else if (a == "--fit")
+            cfg.faults.fitPerMcycle = std::atof(next_arg(i));
+        else if (a == "--chipkill-at") {
+            cfg.faults.model = FaultModel::Chipkill;
+            cfg.faults.chipkillAt =
+                std::strtoull(next_arg(i), nullptr, 10);
+        } else if (a == "--chipkill-chip")
+            cfg.faults.chipkillChip =
+                static_cast<unsigned>(std::atoi(next_arg(i)));
+        else if (a == "--fault-seed")
+            cfg.faults.seed = std::strtoull(next_arg(i), nullptr, 10);
         else if (a == "--compare")
             compare = true;
         else if (a == "--no-verify")
@@ -287,7 +315,13 @@ main(int argc, char **argv)
                 query,
                 TableSchema{"Ta", cfg.taFields, cfg.taRecords},
                 TableSchema{"Tb", cfg.tbFields, cfg.tbRecords});
-            if (run.result == expect) {
+            if (run.result.degraded()) {
+                std::printf("result: DEGRADED -- %llu rows poisoned "
+                            "(graceful failure; no silent "
+                            "corruption)\n",
+                            static_cast<unsigned long long>(
+                                run.result.poisonedRows));
+            } else if (run.result == expect) {
                 std::printf("result: VERIFIED against reference "
                             "executor\n");
             } else {
