@@ -10,10 +10,13 @@
  *     the tRTR-class switch penalty (Section 5.3 claims "negligible").
  *  3. MSHR (memory-level parallelism) sweep: how much the results rely
  *     on outstanding-miss depth.
+ *
+ * All simulations are queued up front and fanned across the SAM_JOBS
+ * campaign pool; the variant re-pricing and sweep arithmetic run on
+ * the collected results.
  */
 
 #include "bench/bench_common.hh"
-#include "src/sim/system.hh"
 
 using namespace sam;
 using namespace sam::bench;
@@ -31,16 +34,30 @@ main()
     cfg.tbRecords = 2048;
     const Query q3 = benchmarkQQueries()[2];
 
+    BenchCampaign camp;
+    camp.add(DesignKind::Baseline, cfg, q3);
+    camp.add(DesignKind::SamEn, cfg, q3);
+    camp.add(DesignKind::SamIo, cfg, q3);
+    for (unsigned mshrs : {2u, 4u, 8u, 16u, 32u}) {
+        for (DesignKind d : {DesignKind::Baseline, DesignKind::SamEn}) {
+            SimConfig vcfg = cfg;
+            vcfg.mshrsPerCore = mshrs;
+            vcfg.design = d;
+            camp.add("mshr" + std::to_string(mshrs) + "/" +
+                         designName(d),
+                     vcfg, q3);
+        }
+    }
+    camp.run();
+
+    const Cycle base_cycles = camp.cycles("baseline/" + q3.name);
+
     // ----- 1. SAM-en option split ------------------------------------
     {
         std::cout << "-- SAM-en enhancement options (vs SAM-IO) --\n";
         TablePrinter tp;
         tp.header({"variant", "cycles", "RD/WR mW", "total mW",
                    "speedup vs baseline"});
-
-        SimConfig bcfg = cfg;
-        bcfg.design = DesignKind::Baseline;
-        const Cycle base_cycles = System(bcfg).runQuery(q3).cycles;
 
         struct Variant
         {
@@ -60,20 +77,20 @@ main()
             {"SAM-en (both)", 1.0, 0.5, 0},
         };
         for (const Variant &v : variants) {
-            SimConfig vcfg = cfg;
-            vcfg.design = DesignKind::SamEn;
-            System sys(vcfg);
-            // Patch the spec knobs through a local design run: emulate
-            // by running SamIo/SamEn where they match, otherwise
-            // recompute power offline from the SAM-en run.
-            SimConfig io_cfg = cfg;
-            io_cfg.design = DesignKind::SamIo;
-            System io_sys(io_cfg);
-            System &chosen = (v.cwf_latency == 0) ? sys : io_sys;
-            RunStats r = chosen.runQuery(q3);
-            // Re-price the energy under the variant's power knobs.
+            const bool is_en = v.cwf_latency == 0;
+            const std::string id =
+                (is_en ? std::string("SAM-en/") : std::string("SAM-IO/")) +
+                q3.name;
+            const RunStats &r = camp.at(id).stats;
+            // Re-price the energy under the variant's power knobs,
+            // using the timing of the design the run came from.
             const PowerAdjust adj{1.0, v.stride_burst, v.stride_act};
-            const PowerModel pm(ddr4Idd(), chosen.timing(), 18, adj);
+            SimConfig run_cfg = cfg;
+            run_cfg.design =
+                is_en ? DesignKind::SamEn : DesignKind::SamIo;
+            System timing_probe(run_cfg);
+            const PowerModel pm(ddr4Idd(), timing_probe.timing(), 18,
+                                adj);
             const double frac =
                 static_cast<double>(r.strideReads + r.strideWrites) /
                 std::max<std::uint64_t>(
@@ -106,17 +123,11 @@ main()
         TablePrinter tp;
         tp.header({"switch cycles", "cycles", "mode switches",
                    "speedup"});
-        SimConfig bcfg = cfg;
-        bcfg.design = DesignKind::Baseline;
-        const Cycle base_cycles = System(bcfg).runQuery(q3).cycles;
+        const RunStats &r = camp.at("SAM-en/" + q3.name).stats;
         for (unsigned rtr : {0u, 2u, 8u, 32u, 128u}) {
-            SimConfig vcfg = cfg;
-            vcfg.design = DesignKind::SamEn;
-            System sys(vcfg);
             // tRTR is a timing parameter; emulate the sweep by running
             // with the default and noting switches are rare, except we
             // can scale the observed switch count cost analytically.
-            RunStats r = sys.runQuery(q3);
             const Cycle adjusted =
                 r.cycles + r.modeSwitches *
                                (static_cast<Cycle>(rtr) -
@@ -138,18 +149,16 @@ main()
         tp.header({"MSHRs", "baseline cycles", "SAM-en cycles",
                    "speedup"});
         for (unsigned mshrs : {2u, 4u, 8u, 16u, 32u}) {
-            SimConfig vcfg = cfg;
-            vcfg.mshrsPerCore = mshrs;
-            vcfg.design = DesignKind::Baseline;
-            const Cycle base_cycles = System(vcfg).runQuery(q3).cycles;
-            vcfg.design = DesignKind::SamEn;
-            const Cycle sam_cycles = System(vcfg).runQuery(q3).cycles;
-            tp.row({std::to_string(mshrs), std::to_string(base_cycles),
-                    std::to_string(sam_cycles),
-                    fmtNum(static_cast<double>(base_cycles) /
-                           static_cast<double>(sam_cycles))});
+            const std::string pre = "mshr" + std::to_string(mshrs) + "/";
+            const Cycle bc = camp.cycles(pre + "baseline");
+            const Cycle sc = camp.cycles(pre + "SAM-en");
+            tp.row({std::to_string(mshrs), std::to_string(bc),
+                    std::to_string(sc),
+                    fmtNum(static_cast<double>(bc) /
+                           static_cast<double>(sc))});
         }
         tp.print(std::cout);
     }
+    maybeWriteBenchJson("ablation", camp);
     return 0;
 }

@@ -1,11 +1,16 @@
 /**
  * @file
  * Shared helpers for the figure-reproduction benches: the evaluated
- * design list, benchmark-scale configuration, and result printing.
+ * design list, benchmark-scale configuration, campaign plumbing, and
+ * result printing.
  *
  * Every bench prints the same rows/series as the corresponding paper
  * figure. Set SAM_QUICK=1 in the environment for a reduced-scale run
- * (smaller tables; same shapes, less wall time).
+ * (smaller tables; same shapes, less wall time). Set SAM_JOBS=N to
+ * fan the independent simulations across N worker threads (0 or unset
+ * = one per host core); the printed tables are byte-identical for any
+ * jobs count. Set SAM_BENCH_JSON=<dir> to also emit the campaign's
+ * machine-readable BENCH_<figure>.json into that directory.
  */
 
 #ifndef SAM_BENCH_BENCH_COMMON_HH
@@ -13,6 +18,7 @@
 
 #include <cstdlib>
 #include <iostream>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -20,6 +26,7 @@
 #include "src/common/table_printer.hh"
 #include "src/core/session.hh"
 #include "src/imdb/query.hh"
+#include "src/runner/campaign.hh"
 
 namespace sam::bench {
 
@@ -36,8 +43,24 @@ figureDesigns()
 inline bool
 quickMode()
 {
-    const char *q = std::getenv("SAM_QUICK");
-    return q != nullptr && q[0] != '0';
+    static const bool quick = [] {
+        const char *q = std::getenv("SAM_QUICK");
+        return q != nullptr && q[0] != '0';
+    }();
+    return quick;
+}
+
+/** SAM_JOBS worker-thread count for the campaigns; 0 = host cores. */
+inline unsigned
+jobsCount()
+{
+    static const unsigned jobs = [] {
+        const char *j = std::getenv("SAM_JOBS");
+        return j != nullptr
+            ? static_cast<unsigned>(std::strtoul(j, nullptr, 10))
+            : 0u;
+    }();
+    return jobs;
 }
 
 /**
@@ -67,6 +90,98 @@ printHeader(const std::string &title, const std::string &what)
     if (quickMode())
         std::cout << "(SAM_QUICK reduced scale)\n";
     std::cout << "\n";
+}
+
+/**
+ * A figure bench's campaign: collect RunSpecs (deduplicated by id),
+ * fan them across a SAM_JOBS-wide pool, then look results up by id
+ * while printing the paper tables.
+ */
+class BenchCampaign
+{
+  public:
+    BenchCampaign() : runner_(jobsCount()) {}
+
+    /** Queue a run; duplicate ids collapse to the first spec. */
+    void
+    add(std::string id, const SimConfig &config, const Query &query,
+        bool verify = false)
+    {
+        if (index_.count(id))
+            return;
+        index_.emplace(id, specs_.size());
+        specs_.push_back(RunSpec{std::move(id), config, query, verify});
+    }
+
+    /** Convenience: id is "<design name>/<query name>". */
+    void
+    add(DesignKind design, const SimConfig &base, const Query &query,
+        bool verify = false)
+    {
+        SimConfig cfg = base;
+        cfg.design = design;
+        add(designName(design) + "/" + query.name, cfg, query, verify);
+    }
+
+    /** Run everything queued; callable once. */
+    void
+    run()
+    {
+        sam_assert(results_.empty(), "campaign already ran");
+        results_ = runner_.run(specs_);
+    }
+
+    const RunResult &
+    at(const std::string &id) const
+    {
+        auto it = index_.find(id);
+        sam_assert(it != index_.end(), "no campaign run '", id, "'");
+        return results_.at(it->second);
+    }
+
+    Cycle
+    cycles(const std::string &id) const
+    {
+        const Cycle c = at(id).stats.cycles;
+        sam_assert(c > 0, "run '", id, "' produced no work");
+        return c;
+    }
+
+    /** Figure 12 metric: baseline cycles over design cycles. */
+    double
+    speedup(const std::string &design_id,
+            const std::string &baseline_id) const
+    {
+        return static_cast<double>(cycles(baseline_id)) /
+               static_cast<double>(cycles(design_id));
+    }
+
+    unsigned jobs() const { return runner_.jobs(); }
+    const std::vector<RunResult> &results() const { return results_; }
+
+  private:
+    CampaignRunner runner_;
+    std::vector<RunSpec> specs_;
+    std::vector<RunResult> results_;
+    std::map<std::string, std::size_t> index_;
+};
+
+/**
+ * When SAM_BENCH_JSON names a directory, dump the campaign's raw runs
+ * to <dir>/BENCH_<figure>.json for tools/bench_diff.py.
+ */
+inline void
+maybeWriteBenchJson(const std::string &figure, const BenchCampaign &camp)
+{
+    const char *dir = std::getenv("SAM_BENCH_JSON");
+    if (dir == nullptr || dir[0] == '\0')
+        return;
+    Json doc = campaignJson(figure, camp.jobs(), camp.results());
+    doc.set("scale", quickMode() ? "quick" : "full");
+    const std::string path =
+        std::string(dir) + "/BENCH_" + figure + ".json";
+    writeJsonFile(path, doc);
+    std::cout << "wrote " << path << "\n";
 }
 
 } // namespace sam::bench

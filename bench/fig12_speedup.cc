@@ -4,6 +4,10 @@
  * baseline) of every design on the Q1-Q12 (column-preferring) and
  * Qs1-Qs6 (row-preferring) benchmark queries, with geometric means.
  *
+ * All (design x query) simulations are independent, so they fan out
+ * across the SAM_JOBS campaign pool; the table is printed from the
+ * collected results and is byte-identical for any jobs count.
+ *
  * Paper reference points (gmean over Q / degradation on Qs):
  *   SAM-sub 3.8x / -30%, SAM-IO 4.1x / <1%, SAM-en 4.2x / <1%,
  *   GS-DRAM-ecc 2.7x / -41%, RC-NVM-bit 2.6x / -58%,
@@ -23,8 +27,20 @@ main()
                 "Speedup (normalized to row-store) of all designs on "
                 "the Table 3 queries");
 
-    Session session(benchConfig());
+    const SimConfig cfg = benchConfig();
     const auto designs = figureDesigns();
+    const auto qq = benchmarkQQueries();
+    const auto qs = benchmarkQsQueries();
+
+    BenchCampaign camp;
+    for (const auto *queries : {&qq, &qs}) {
+        for (const Query &q : *queries) {
+            camp.add(DesignKind::Baseline, cfg, q);
+            for (DesignKind d : designs)
+                camp.add(d, cfg, q, /*verify=*/true);
+        }
+    }
+    camp.run();
 
     auto run_block = [&](const std::vector<Query> &queries,
                          const std::string &gmean_label) {
@@ -37,11 +53,12 @@ main()
         std::map<DesignKind, std::vector<double>> speedups;
         for (const Query &q : queries) {
             std::vector<std::string> row{q.name};
+            const std::string base_id = "baseline/" + q.name;
             for (DesignKind d : designs) {
-                const Comparison c = session.compare(d, q);
-                session.checkResult(q, c.design);
-                row.push_back(fmtNum(c.speedup));
-                speedups[d].push_back(c.speedup);
+                const double sp =
+                    camp.speedup(designName(d) + "/" + q.name, base_id);
+                row.push_back(fmtNum(sp));
+                speedups[d].push_back(sp);
             }
             tp.row(row);
         }
@@ -54,10 +71,11 @@ main()
         std::cout << "\n";
     };
 
-    run_block(benchmarkQQueries(), "Gmean(Q)");
-    run_block(benchmarkQsQueries(), "Gmean(Qs)");
+    run_block(qq, "Gmean(Q)");
+    run_block(qs, "Gmean(Qs)");
 
     std::cout << "Every result above was verified against the pure "
                  "reference executor.\n";
+    maybeWriteBenchJson("fig12", camp);
     return 0;
 }

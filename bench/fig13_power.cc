@@ -6,6 +6,10 @@
  * read-type Q (Q1-Q10), write-type Q (Q11-Q12), read-type Qs
  * (Qs1-Qs4), write-type Qs (Qs5-Qs6).
  *
+ * Every (design x query) run is independent; the campaign pool
+ * executes them in parallel and the category aggregation happens on
+ * the collected per-run power breakdowns.
+ *
  * Paper reference points: SAM-IO read-Q power ~1.8x baseline but
  * energy efficiency 2.4x; SAM-en power near baseline; NVM designs show
  * low read power (no background) but high write power; on Qs all
@@ -25,7 +29,7 @@ main()
                 "Power (mW) and energy efficiency (normalized to "
                 "row-store) by query category");
 
-    Session session(benchConfig());
+    const SimConfig cfg = benchConfig();
     const auto designs = figureDesigns();
 
     const auto qq = benchmarkQQueries();
@@ -45,6 +49,19 @@ main()
     for (std::size_t i = 0; i < qs.size(); ++i)
         cats[i < 4 ? 2 : 3].queries.push_back(qs[i]);
 
+    BenchCampaign camp;
+    for (const Category &cat : cats) {
+        for (const Query &q : cat.queries) {
+            camp.add(DesignKind::Baseline, cfg, q);
+            for (DesignKind d : designs) {
+                if (d == DesignKind::Ideal)
+                    continue; // the paper's ideal bar is layout only
+                camp.add(d, cfg, q);
+            }
+        }
+    }
+    camp.run();
+
     for (const Category &cat : cats) {
         std::cout << "-- " << cat.name << " --\n";
         TablePrinter tp;
@@ -55,7 +72,8 @@ main()
         auto aggregate = [&](DesignKind d) {
             PowerBreakdown sum;
             for (const Query &q : cat.queries) {
-                const RunStats r = session.run(d, q);
+                const RunStats &r =
+                    camp.at(designName(d) + "/" + q.name).stats;
                 sum.actEnergyPj += r.power.actEnergyPj;
                 sum.rdwrEnergyPj += r.power.rdwrEnergyPj;
                 sum.backgroundEnergyPj += r.power.backgroundEnergyPj;
@@ -66,16 +84,13 @@ main()
         };
 
         const PowerBreakdown base = aggregate(DesignKind::Baseline);
-        {
-            TablePrinter &t = tp;
-            t.row({"baseline", fmtNum(base.backgroundPowerMw(), 1),
-                   fmtNum(base.rdwrPowerMw(), 1),
-                   fmtNum(base.actPowerMw(), 1),
-                   fmtNum(base.totalPowerMw(), 1), fmtNum(1.0)});
-        }
+        tp.row({"baseline", fmtNum(base.backgroundPowerMw(), 1),
+                fmtNum(base.rdwrPowerMw(), 1),
+                fmtNum(base.actPowerMw(), 1),
+                fmtNum(base.totalPowerMw(), 1), fmtNum(1.0)});
         for (DesignKind d : designs) {
             if (d == DesignKind::Ideal)
-                continue; // the paper's ideal bar is layout, not power
+                continue;
             const PowerBreakdown p = aggregate(d);
             const double eff = p.totalEnergyPj() > 0
                 ? base.totalEnergyPj() / p.totalEnergyPj()
@@ -88,5 +103,6 @@ main()
         tp.print(std::cout);
         std::cout << "\n";
     }
+    maybeWriteBenchJson("fig13", camp);
     return 0;
 }

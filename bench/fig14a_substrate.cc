@@ -4,13 +4,15 @@
  * when both are built on the NVM (RRAM) substrate vs the DRAM
  * substrate; gmean speedup over all queries (Q and Qs).
  *
+ * The (design x substrate x query) grid plus the DRAM baseline runs
+ * fan out across the SAM_JOBS campaign pool.
+ *
  * Paper reference: RC-NVM-wd and SAM-sub are nearly equal on the same
  * substrate; RC-NVM always falls behind SAM-IO / SAM-en regardless of
  * substrate; DRAM beats RRAM for every design (writes especially).
  */
 
 #include "bench/bench_common.hh"
-#include "src/sim/system.hh"
 
 int
 main()
@@ -30,38 +32,46 @@ main()
     const auto qs = benchmarkQsQueries();
     all_queries.insert(all_queries.end(), qs.begin(), qs.end());
 
-    // Baseline: commodity DRAM row-store.
-    SimConfig bcfg = base_cfg;
-    bcfg.design = DesignKind::Baseline;
-    System baseline(bcfg);
-    std::map<std::string, Cycle> base_cycles;
-    for (const Query &q : all_queries)
-        base_cycles[q.name] = baseline.runQuery(q).cycles;
-
     const std::vector<DesignKind> designs = {
         DesignKind::RcNvmWord, DesignKind::SamSub, DesignKind::SamIo,
         DesignKind::SamEn};
+    const std::vector<MemTech> techs = {MemTech::RRAM, MemTech::DRAM};
+
+    BenchCampaign camp;
+    for (const Query &q : all_queries) {
+        // Baseline: commodity DRAM row-store (no substrate override).
+        camp.add(DesignKind::Baseline, base_cfg, q);
+        for (DesignKind d : designs) {
+            for (MemTech tech : techs) {
+                SimConfig cfg = base_cfg;
+                cfg.design = d;
+                cfg.overrideTech = true;
+                cfg.tech = tech;
+                camp.add(designName(d) + "/" + memTechName(tech) + "/" +
+                             q.name,
+                         cfg, q);
+            }
+        }
+    }
+    camp.run();
 
     TablePrinter tp;
     tp.header({"design", "NVM substrate", "DRAM substrate"});
     for (DesignKind d : designs) {
         std::vector<std::string> row{designName(d)};
-        for (MemTech tech : {MemTech::RRAM, MemTech::DRAM}) {
-            SimConfig cfg = base_cfg;
-            cfg.design = d;
-            cfg.overrideTech = true;
-            cfg.tech = tech;
-            System sys(cfg);
+        for (MemTech tech : techs) {
             std::vector<double> sp;
             for (const Query &q : all_queries) {
-                const RunStats r = sys.runQuery(q);
-                sp.push_back(static_cast<double>(base_cycles[q.name]) /
-                             static_cast<double>(r.cycles));
+                sp.push_back(camp.speedup(
+                    designName(d) + "/" + memTechName(tech) + "/" +
+                        q.name,
+                    "baseline/" + q.name));
             }
             row.push_back(fmtNum(geometricMean(sp)));
         }
         tp.row(row);
     }
     tp.print(std::cout);
+    maybeWriteBenchJson("fig14a", camp);
     return 0;
 }

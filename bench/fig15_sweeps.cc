@@ -12,6 +12,10 @@
  *   (h)     aggregate query, projectivity sweep at 100% selectivity;
  *   (i)     record-size sweep at 100% selectivity and projectivity.
  *
+ * Every sweep point is an independent simulation; the whole grid
+ * (deduplicated across overlapping panels) fans out across the
+ * SAM_JOBS campaign pool before the panels are printed.
+ *
  * Paper reference shapes: speedup rises with selectivity and falls
  * with projectivity (the row store catches up); the aggregate query
  * lifts RC-NVM-wd to SAM-en's level (field-major processing removes
@@ -20,7 +24,6 @@
  */
 
 #include "bench/bench_common.hh"
-#include "src/sim/system.hh"
 
 using namespace sam;
 using namespace sam::bench;
@@ -40,16 +43,40 @@ sweepConfig()
     return cfg;
 }
 
-/** Run one parameterized query on all panel designs via a session. */
+/** Stable id of one sweep point, e.g. "arith/p8/s40". */
+std::string
+pointId(const char *kind, unsigned proj, double sel)
+{
+    return std::string(kind) + "/p" + std::to_string(proj) + "/s" +
+           std::to_string(static_cast<unsigned>(sel * 100 + 0.5));
+}
+
+/** Queue one sweep point (all panel designs plus the baseline). */
 void
-panelRow(Session &session, const Query &q, TablePrinter &tp,
-         const std::string &x_label)
+addPoint(BenchCampaign &camp, const SimConfig &cfg,
+         const std::string &point, const Query &q)
+{
+    camp.add(point + "/baseline", [&] {
+        SimConfig c = cfg;
+        c.design = DesignKind::Baseline;
+        return c;
+    }(), q);
+    for (DesignKind d : kPanelDesigns) {
+        SimConfig c = cfg;
+        c.design = d;
+        camp.add(point + "/" + designName(d), c, q, /*verify=*/true);
+    }
+}
+
+/** Print one panel row from the campaign results. */
+void
+panelRow(const BenchCampaign &camp, const std::string &point,
+         TablePrinter &tp, const std::string &x_label)
 {
     std::vector<std::string> row{x_label};
     for (DesignKind d : kPanelDesigns) {
-        const Comparison c = session.compare(d, q);
-        session.checkResult(q, c.design);
-        row.push_back(fmtNum(c.speedup));
+        row.push_back(fmtNum(camp.speedup(point + "/" + designName(d),
+                                          point + "/baseline")));
     }
     tp.row(row);
 }
@@ -74,11 +101,43 @@ main()
                 "over selectivity, projectivity, and record size");
 
     const SimConfig cfg = sweepConfig();
-    Session session(cfg);
     const unsigned nf = cfg.taFields;
     const std::vector<double> sels = {0.1, 0.2, 0.3, 0.4, 0.5,
                                       0.6, 0.7, 0.8, 0.9, 1.0};
     const std::vector<unsigned> projs = {2, 4, 8, 16, 32, 64, nf};
+
+    auto recordId = [](unsigned fields) {
+        return "rec" + std::to_string(fields * 8) + "B";
+    };
+    auto recordConfig = [&](unsigned fields) {
+        SimConfig scfg = cfg;
+        scfg.taFields = fields;
+        // Keep the scanned volume roughly constant.
+        scfg.taRecords = std::max<std::uint64_t>(
+            1024, cfg.taRecords * nf / fields / 4);
+        return scfg;
+    };
+
+    BenchCampaign camp;
+    for (unsigned proj : {8u, 64u, nf})
+        for (double sel : sels)
+            addPoint(camp, cfg, pointId("arith", proj, sel),
+                     arithQuery(proj, sel, nf));
+    for (double sel : {0.1, 0.5, 1.0})
+        for (unsigned proj : projs)
+            addPoint(camp, cfg, pointId("arith", proj, sel),
+                     arithQuery(proj, sel, nf));
+    for (double sel : sels)
+        addPoint(camp, cfg, pointId("aggr", 8, sel),
+                 aggrQuery(8, sel, nf));
+    for (unsigned proj : projs)
+        addPoint(camp, cfg, pointId("aggr", proj, 1.0),
+                 aggrQuery(proj, 1.0, nf));
+    for (unsigned fields : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
+        addPoint(camp, recordConfig(fields), recordId(fields),
+                 aggrQuery(fields, 1.0, fields));
+    }
+    camp.run();
 
     // ----- (a)-(c): arithmetic, selectivity sweeps -------------------
     for (unsigned proj : {8u, 64u, nf}) {
@@ -87,7 +146,7 @@ main()
         TablePrinter tp;
         tp.header(panelHeader("selectivity"));
         for (double sel : sels) {
-            panelRow(session, arithQuery(proj, sel, nf), tp,
+            panelRow(camp, pointId("arith", proj, sel), tp,
                      fmtPercent(sel, 0));
         }
         tp.print(std::cout);
@@ -102,7 +161,7 @@ main()
         TablePrinter tp;
         tp.header(panelHeader("fields"));
         for (unsigned proj : projs) {
-            panelRow(session, arithQuery(proj, sel, nf), tp,
+            panelRow(camp, pointId("arith", proj, sel), tp,
                      std::to_string(proj));
         }
         tp.print(std::cout);
@@ -116,7 +175,7 @@ main()
         TablePrinter tp;
         tp.header(panelHeader("selectivity"));
         for (double sel : sels) {
-            panelRow(session, aggrQuery(8, sel, nf), tp,
+            panelRow(camp, pointId("aggr", 8, sel), tp,
                      fmtPercent(sel, 0));
         }
         tp.print(std::cout);
@@ -130,7 +189,7 @@ main()
         TablePrinter tp;
         tp.header(panelHeader("fields"));
         for (unsigned proj : projs) {
-            panelRow(session, aggrQuery(proj, 1.0, nf), tp,
+            panelRow(camp, pointId("aggr", proj, 1.0), tp,
                      std::to_string(proj));
         }
         tp.print(std::cout);
@@ -143,24 +202,10 @@ main()
                      "projectivity --\n";
         TablePrinter tp;
         tp.header(panelHeader("record"));
-        for (unsigned fields : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
-            SimConfig scfg = cfg;
-            scfg.taFields = fields;
-            // Keep the scanned volume roughly constant.
-            scfg.taRecords = std::max<std::uint64_t>(
-                1024, cfg.taRecords * nf / fields / 4);
-            Session ssession(scfg);
-            const Query q = aggrQuery(fields, 1.0, fields);
-            std::vector<std::string> row{std::to_string(fields * 8) +
-                                         "B"};
-            for (DesignKind d : kPanelDesigns) {
-                const Comparison c = ssession.compare(d, q);
-                ssession.checkResult(q, c.design);
-                row.push_back(fmtNum(c.speedup));
-            }
-            tp.row(row);
-        }
+        for (unsigned fields : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u})
+            panelRow(camp, recordId(fields), tp, recordId(fields).substr(3));
         tp.print(std::cout);
     }
+    maybeWriteBenchJson("fig15", camp);
     return 0;
 }

@@ -19,6 +19,7 @@
 #include "bench/bench_common.hh"
 #include "src/common/random.hh"
 #include "src/ecc/ecc_engine.hh"
+#include "src/runner/thread_pool.hh"
 
 using namespace sam;
 using namespace sam::bench;
@@ -134,26 +135,48 @@ main()
          }},
     };
 
-    for (const Scenario &sc : scenarios) {
-        std::cout << "-- " << sc.name << " (" << trials
+    // Every (scenario, scheme) cell has its own deterministically
+    // seeded RNG, so the cells are independent: fan them across the
+    // SAM_JOBS pool and print from the collected rates.
+    std::vector<std::vector<Rates>> rates(
+        scenarios.size(), std::vector<Rates>(schemes.size()));
+    {
+        ThreadPool pool(jobsCount());
+        std::vector<std::function<void()>> tasks;
+        for (std::size_t s = 0; s < scenarios.size(); ++s) {
+            for (std::size_t e = 0; e < schemes.size(); ++e) {
+                tasks.push_back([&, s, e] {
+                    const Scenario &sc = scenarios[s];
+                    const EccScheme scheme = schemes[e];
+                    const EccEngine engine(scheme);
+                    Rng rng(0xC0FFEE ^
+                            static_cast<std::uint64_t>(scheme));
+                    Rates cell;
+                    for (unsigned t = 0; t < trials; ++t) {
+                        const auto line = randomLine(rng);
+                        classify(engine, line,
+                                 sc.inject(engine, line, rng), cell);
+                    }
+                    rates[s][e] = cell;
+                });
+            }
+        }
+        pool.run(std::move(tasks));
+    }
+
+    for (std::size_t s = 0; s < scenarios.size(); ++s) {
+        std::cout << "-- " << scenarios[s].name << " (" << trials
                   << " trials) --\n";
         TablePrinter tp;
         tp.header({"scheme", "corrected", "detected", "SILENT",
                    "survives"});
-        for (EccScheme scheme : schemes) {
-            const EccEngine engine(scheme);
-            Rng rng(0xC0FFEE ^ static_cast<std::uint64_t>(scheme));
-            Rates rates;
-            for (unsigned t = 0; t < trials; ++t) {
-                const auto line = randomLine(rng);
-                classify(engine, line, sc.inject(engine, line, rng),
-                         rates);
-            }
-            tp.row({eccSchemeName(scheme),
-                    rateCell(rates.corrected + rates.clean, trials),
-                    rateCell(rates.detected, trials),
-                    rateCell(rates.silent, trials),
-                    rateCell(rates.corrected + rates.clean, trials)});
+        for (std::size_t e = 0; e < schemes.size(); ++e) {
+            const Rates &cell = rates[s][e];
+            tp.row({eccSchemeName(schemes[e]),
+                    rateCell(cell.corrected + cell.clean, trials),
+                    rateCell(cell.detected, trials),
+                    rateCell(cell.silent, trials),
+                    rateCell(cell.corrected + cell.clean, trials)});
         }
         tp.print(std::cout);
         std::cout << "\n";

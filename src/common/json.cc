@@ -1,0 +1,162 @@
+#include "src/common/json.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "src/common/logging.hh"
+
+namespace sam {
+
+Json &
+Json::set(const std::string &key, Json value)
+{
+    sam_assert(kind_ == Kind::Object, "Json::set on a non-object");
+    for (auto &member : object_) {
+        if (member.first == key) {
+            member.second = std::move(value);
+            return *this;
+        }
+    }
+    object_.emplace_back(key, std::move(value));
+    return *this;
+}
+
+Json &
+Json::push(Json value)
+{
+    sam_assert(kind_ == Kind::Array, "Json::push on a non-array");
+    array_.push_back(std::move(value));
+    return *this;
+}
+
+namespace {
+
+void
+appendEscaped(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+void
+appendDouble(std::string &out, double v)
+{
+    if (!std::isfinite(v)) {
+        // JSON has no inf/nan; null is the conventional stand-in.
+        out += "null";
+        return;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    // Trim the round-trip precision back when a shorter form is exact.
+    char shorter[32];
+    for (int prec = 1; prec < 17; ++prec) {
+        std::snprintf(shorter, sizeof(shorter), "%.*g", prec, v);
+        double back = 0.0;
+        std::sscanf(shorter, "%lf", &back);
+        if (back == v) {
+            out += shorter;
+            return;
+        }
+    }
+    out += buf;
+}
+
+void
+appendNewlineIndent(std::string &out, int indent, int depth)
+{
+    if (indent <= 0)
+        return;
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent) *
+               static_cast<std::size_t>(depth), ' ');
+}
+
+} // namespace
+
+void
+Json::dumpTo(std::string &out, int indent, int depth) const
+{
+    switch (kind_) {
+      case Kind::Null:
+        out += "null";
+        break;
+      case Kind::Bool:
+        out += bool_ ? "true" : "false";
+        break;
+      case Kind::Int:
+        out += std::to_string(int_);
+        break;
+      case Kind::Uint:
+        out += std::to_string(uint_);
+        break;
+      case Kind::Double:
+        appendDouble(out, double_);
+        break;
+      case Kind::String:
+        appendEscaped(out, string_);
+        break;
+      case Kind::Array:
+        if (array_.empty()) {
+            out += "[]";
+            break;
+        }
+        out += '[';
+        for (std::size_t i = 0; i < array_.size(); ++i) {
+            if (i)
+                out += ',';
+            appendNewlineIndent(out, indent, depth + 1);
+            array_[i].dumpTo(out, indent, depth + 1);
+        }
+        appendNewlineIndent(out, indent, depth);
+        out += ']';
+        break;
+      case Kind::Object:
+        if (object_.empty()) {
+            out += "{}";
+            break;
+        }
+        out += '{';
+        for (std::size_t i = 0; i < object_.size(); ++i) {
+            if (i)
+                out += ',';
+            appendNewlineIndent(out, indent, depth + 1);
+            appendEscaped(out, object_[i].first);
+            out += indent > 0 ? ": " : ":";
+            object_[i].second.dumpTo(out, indent, depth + 1);
+        }
+        appendNewlineIndent(out, indent, depth);
+        out += '}';
+        break;
+    }
+}
+
+std::string
+Json::dump(int indent) const
+{
+    std::string out;
+    dumpTo(out, indent, 0);
+    if (indent > 0)
+        out += '\n';
+    return out;
+}
+
+} // namespace sam

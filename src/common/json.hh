@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Minimal JSON value type and serializer.
+ *
+ * The campaign runner emits machine-readable benchmark results
+ * (BENCH_*.json) that tools/bench_diff.py consumes; this is the small
+ * dependency-free writer behind that. Objects preserve insertion order
+ * so emitted files diff cleanly across runs. Serialization only — the
+ * repo never needs to parse JSON in C++.
+ */
+
+#ifndef SAM_COMMON_JSON_HH
+#define SAM_COMMON_JSON_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sam {
+
+class Json
+{
+  public:
+    enum class Kind { Null, Bool, Int, Uint, Double, String, Array, Object };
+
+    Json() = default;
+    Json(bool v) : kind_(Kind::Bool), bool_(v) {}
+    Json(int v) : kind_(Kind::Int), int_(v) {}
+    Json(std::int64_t v) : kind_(Kind::Int), int_(v) {}
+    Json(unsigned v) : kind_(Kind::Uint), uint_(v) {}
+    Json(std::uint64_t v) : kind_(Kind::Uint), uint_(v) {}
+    Json(double v) : kind_(Kind::Double), double_(v) {}
+    Json(const char *v) : kind_(Kind::String), string_(v) {}
+    Json(std::string v) : kind_(Kind::String), string_(std::move(v)) {}
+
+    static Json object() { return Json(Kind::Object); }
+    static Json array() { return Json(Kind::Array); }
+
+    Kind kind() const { return kind_; }
+
+    /** Object member insert/overwrite; keeps first-insertion order. */
+    Json &set(const std::string &key, Json value);
+
+    /** Array append. */
+    Json &push(Json value);
+
+    /** Serialize; `indent` spaces per level, 0 for compact. */
+    std::string dump(int indent = 2) const;
+
+  private:
+    explicit Json(Kind kind) : kind_(kind) {}
+
+    void dumpTo(std::string &out, int indent, int depth) const;
+
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    std::int64_t int_ = 0;
+    std::uint64_t uint_ = 0;
+    double double_ = 0.0;
+    std::string string_;
+    std::vector<Json> array_;
+    std::vector<std::pair<std::string, Json>> object_;
+};
+
+} // namespace sam
+
+#endif // SAM_COMMON_JSON_HH

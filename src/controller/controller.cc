@@ -27,7 +27,8 @@ MemoryController::MemoryController(Device &device, DataPath &data_path,
                                    ControllerParams params,
                                    bool functional)
     : device_(device), dataPath_(data_path), mapping_(mapping),
-      params_(params), functional_(functional)
+      params_(params), functional_(functional),
+      readQ_(device.geometry()), writeQ_(device.geometry())
 {
 }
 
@@ -37,44 +38,9 @@ MemoryController::push(MemRequest req)
     sam_assert(!req.gatherLines.empty(),
                "request not expanded by a design model");
     if (isWrite(req.type))
-        writeQ_.push_back(std::move(req));
+        writeQ_.push(std::move(req));
     else
-        readQ_.push_back(std::move(req));
-}
-
-std::size_t
-MemoryController::pickFrFcfs(const std::deque<MemRequest> &q)
-{
-    // Prefer the oldest *eligible* (arrived) row-hit request; fall back
-    // to the oldest arrived request; if nothing has arrived yet, the
-    // earliest-arriving one.
-    std::size_t best_hit = q.size();
-    std::size_t best_arrived = q.size();
-    std::size_t earliest = 0;
-    for (std::size_t i = 0; i < q.size(); ++i) {
-        const MemRequest &r = q[i];
-        if (r.arrival < q[earliest].arrival)
-            earliest = i;
-        if (r.arrival > now_)
-            continue;
-        if (best_arrived == q.size())
-            best_arrived = i;
-        const MappedAddr &a = r.device.addr;
-        if (best_hit == q.size() && device_.rowOpen(a) &&
-            device_.openRow(a) == a.row) {
-            best_hit = i;
-        }
-    }
-    if (best_hit != q.size()) {
-        ++stats_.frRowHitPicks;
-        return best_hit;
-    }
-    if (best_arrived != q.size()) {
-        ++stats_.fcfsPicks;
-        return best_arrived;
-    }
-    ++stats_.fcfsPicks;
-    return earliest;
+        readQ_.push(std::move(req));
 }
 
 Completion
@@ -175,10 +141,13 @@ MemoryController::serviceNext()
     const bool serve_write =
         !writeQ_.empty() && (drainingWrites_ || readQ_.empty());
 
-    auto &q = serve_write ? writeQ_ : readQ_;
-    const std::size_t idx = pickFrFcfs(q);
-    MemRequest req = std::move(q[idx]);
-    q.erase(q.begin() + static_cast<std::ptrdiff_t>(idx));
+    RequestQueue &q = serve_write ? writeQ_ : readQ_;
+    bool row_hit_pick = false;
+    MemRequest req = q.popBest(now_, device_, row_hit_pick);
+    if (row_hit_pick)
+        ++stats_.frRowHitPicks;
+    else
+        ++stats_.fcfsPicks;
     return serve(std::move(req));
 }
 

@@ -8,12 +8,12 @@
 #define SAM_CONTROLLER_CONTROLLER_HH
 
 #include <cstdint>
-#include <deque>
 #include <optional>
 
 #include "src/common/stats.hh"
 #include "src/controller/address_mapping.hh"
 #include "src/controller/request.hh"
+#include "src/controller/request_queue.hh"
 #include "src/dram/data_path.hh"
 #include "src/dram/device.hh"
 
@@ -100,9 +100,6 @@ class MemoryController
     DataPath &dataPath() { return dataPath_; }
 
   private:
-    /** Pick index of the best request in `q` under FR-FCFS. */
-    std::size_t pickFrFcfs(const std::deque<MemRequest> &q);
-
     /** Issue to device + functional data movement. */
     Completion serve(MemRequest req);
 
@@ -116,8 +113,8 @@ class MemoryController
     ControllerParams params_;
 
     bool functional_;
-    std::deque<MemRequest> readQ_;
-    std::deque<MemRequest> writeQ_;
+    RequestQueue readQ_;
+    RequestQueue writeQ_;
     bool drainingWrites_ = false;
     Cycle now_ = 0;
     ControllerStats stats_;

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Indexed FR-FCFS scheduling queue.
+ *
+ * Replaces the controller's former O(n) scan per scheduling pick with
+ * three incremental indexes over the queued requests:
+ *
+ *  - a min-heap by (arrival, seq) of requests that have not yet
+ *    arrived ("pending");
+ *  - a min-heap by insertion sequence of arrived requests
+ *    ("eligible") -- the FCFS order;
+ *  - per-(bank, row) buckets of arrived requests, each a min-heap by
+ *    insertion sequence -- the row-hit candidates, probed only for
+ *    banks whose open row matches.
+ *
+ * Eligibility is monotone (the controller clock never runs backwards),
+ * so a request moves pending -> eligible exactly once. Heap entries
+ * are removed lazily: a pick invalidates the request's entries in the
+ * other indexes, which are skipped when probed and compacted away once
+ * they outnumber live entries, keeping memory proportional to the
+ * actual backlog.
+ *
+ * The pick rule is bit-identical to the original scan's:
+ *   1. the oldest-inserted arrived request targeting its bank's open
+ *      row;
+ *   2. else the oldest-inserted arrived request;
+ *   3. else the earliest-arriving request (ties by insertion order).
+ */
+
+#ifndef SAM_CONTROLLER_REQUEST_QUEUE_HH
+#define SAM_CONTROLLER_REQUEST_QUEUE_HH
+
+#include <cstdint>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "src/controller/request.hh"
+#include "src/dram/device.hh"
+
+namespace sam {
+
+class RequestQueue
+{
+  public:
+    explicit RequestQueue(const Geometry &geom);
+
+    void push(MemRequest req);
+
+    bool empty() const { return live_ == 0; }
+    std::size_t size() const { return live_; }
+
+    /**
+     * Remove and return the FR-FCFS-best request given the scheduling
+     * clock `now` and the device's current bank state. `row_hit_pick`
+     * reports whether rule 1 (open-row hit) selected the request.
+     * The queue must be non-empty.
+     */
+    MemRequest popBest(Cycle now, const Device &device,
+                       bool &row_hit_pick);
+
+  private:
+    enum class SlotState : std::uint8_t { Free, Pending, Eligible };
+
+    struct Slot
+    {
+        MemRequest req;
+        std::uint64_t seq = 0;
+        SlotState state = SlotState::Free;
+    };
+
+    /** Heap entry: insertion order first (FCFS). */
+    using SeqEntry = std::pair<std::uint64_t, std::uint32_t>;
+    /** Heap entry: arrival first, insertion order second. */
+    using ArrEntry = std::tuple<Cycle, std::uint64_t, std::uint32_t>;
+
+    template <typename T>
+    using MinHeap = std::priority_queue<T, std::vector<T>,
+                                        std::greater<T>>;
+
+    std::uint64_t bucketKey(const MappedAddr &addr) const
+    {
+        return (static_cast<std::uint64_t>(addr.flatBank(geom_)) << 40) |
+               addr.row;
+    }
+
+    bool stale(const SeqEntry &e, SlotState expect) const
+    {
+        const Slot &s = slots_[e.second];
+        return s.state != expect || s.seq != e.first;
+    }
+
+    /** Move every request with arrival <= now into the arrived indexes. */
+    void promote(Cycle now);
+
+    /** Detach the request from its slot and free the slot. */
+    MemRequest take(std::uint32_t slot_idx);
+
+    /** Rebuild the arrived indexes once stale entries dominate. */
+    void maybeCompact();
+
+    Geometry geom_;
+    std::vector<MappedAddr> bankAddrs_;  ///< One probe address per bank.
+
+    std::vector<Slot> slots_;
+    std::vector<std::uint32_t> freeSlots_;
+    std::uint64_t nextSeq_ = 0;
+    std::size_t live_ = 0;          ///< Queued requests (all states).
+    std::size_t eligibleLive_ = 0;  ///< Queued requests in Eligible.
+
+    MinHeap<ArrEntry> pending_;
+    MinHeap<SeqEntry> eligible_;
+    std::unordered_map<std::uint64_t, MinHeap<SeqEntry>> rowBuckets_;
+    std::size_t bucketEntries_ = 0;
+};
+
+} // namespace sam
+
+#endif // SAM_CONTROLLER_REQUEST_QUEUE_HH

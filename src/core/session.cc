@@ -6,9 +6,11 @@
 
 namespace sam {
 
-Session::Session(SimConfig base)
-    : base_(std::move(base))
+Session::Session(SimConfig base, std::shared_ptr<TableCache> tables)
+    : base_(std::move(base)), tables_(std::move(tables))
 {
+    if (!tables_)
+        tables_ = std::make_shared<TableCache>();
 }
 
 System &
@@ -18,8 +20,8 @@ Session::system(DesignKind design)
     if (it == systems_.end()) {
         SimConfig cfg = base_;
         cfg.design = design;
-        it = systems_.emplace(design,
-                              std::make_unique<System>(cfg)).first;
+        it = systems_.emplace(
+            design, std::make_unique<System>(cfg, tables_)).first;
     }
     return *it->second;
 }

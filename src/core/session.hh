@@ -45,10 +45,23 @@ struct Comparison
 class Session
 {
   public:
-    /** `base` carries everything except the design kind. */
-    explicit Session(SimConfig base = {});
+    /**
+     * `base` carries everything except the design kind. `tables` is
+     * the materialized-table cache shared by the session's systems; a
+     * private cache is created when none is given. A campaign passes
+     * one cache to many sessions so each distinct table pair is
+     * ECC-encoded exactly once per process.
+     */
+    explicit Session(SimConfig base = {},
+                     std::shared_ptr<TableCache> tables = nullptr);
 
     const SimConfig &baseConfig() const { return base_; }
+
+    /** The materialized-table cache backing this session's systems. */
+    const std::shared_ptr<TableCache> &tableCache() const
+    {
+        return tables_;
+    }
 
     /** The system simulating `design` (built on first use). */
     System &system(DesignKind design);
@@ -67,6 +80,7 @@ class Session
 
   private:
     SimConfig base_;
+    std::shared_ptr<TableCache> tables_;
     std::map<DesignKind, std::unique_ptr<System>> systems_;
 };
 

@@ -1,18 +1,49 @@
 #include "src/dram/backing_store.hh"
 
+#include <algorithm>
+
 #include "src/common/logging.hh"
 
 namespace sam {
+
+const BlobPtr *
+BackingStore::findOverlay(Addr addr) const
+{
+    if (overlay_.empty())
+        return nullptr;
+    auto it = overlay_.find(addr);
+    return it != overlay_.end() ? &it->second : nullptr;
+}
+
+const BlobPtr *
+BackingStore::findLayer(Addr addr) const
+{
+    // Newest layer wins (matters only if layers ever overlapped).
+    for (auto layer = layers_.rbegin(); layer != layers_.rend();
+         ++layer) {
+        auto it = (*layer)->index.find(addr);
+        if (it != (*layer)->index.end())
+            return &(*layer)->lines[it->second].second;
+    }
+    return nullptr;
+}
+
+bool
+BackingStore::inAnyLayer(Addr addr) const
+{
+    return findLayer(addr) != nullptr;
+}
 
 std::vector<std::uint8_t>
 BackingStore::readLine(Addr line_addr) const
 {
     sam_assert(line_addr % kCachelineBytes == 0,
                "unaligned line read: ", line_addr);
-    auto it = lines_.find(line_addr);
-    if (it == lines_.end())
-        return std::vector<std::uint8_t>(blobBytes_, 0);
-    return it->second;
+    if (const BlobPtr *b = findOverlay(line_addr))
+        return **b;
+    if (const BlobPtr *b = findLayer(line_addr))
+        return **b;
+    return std::vector<std::uint8_t>(blobBytes_, 0);
 }
 
 void
@@ -23,17 +54,21 @@ BackingStore::writeLine(Addr line_addr,
                "unaligned line write: ", line_addr);
     sam_assert(blob.size() == blobBytes_,
                "blob size mismatch: ", blob.size(), " vs ", blobBytes_);
-    auto [it, inserted] = lines_.try_emplace(line_addr, blob);
-    if (inserted)
-        order_.push_back(line_addr);
-    else
-        it->second = blob;
+    auto [it, inserted] =
+        overlay_.try_emplace(line_addr,
+                             std::make_shared<const Blob>(blob));
+    if (inserted) {
+        if (!inAnyLayer(line_addr))
+            overlayOrder_.push_back(line_addr);
+    } else {
+        it->second = std::make_shared<const Blob>(blob);
+    }
 }
 
 bool
 BackingStore::contains(Addr line_addr) const
 {
-    return lines_.find(line_addr) != lines_.end();
+    return findOverlay(line_addr) != nullptr || inAnyLayer(line_addr);
 }
 
 void
@@ -43,19 +78,86 @@ BackingStore::corruptLine(Addr line_addr,
     sam_assert(line_addr % kCachelineBytes == 0,
                "unaligned line corrupt: ", line_addr);
     sam_assert(xor_mask.size() == blobBytes_, "mask size mismatch");
-    auto [it, inserted] = lines_.try_emplace(
-        line_addr, std::vector<std::uint8_t>(blobBytes_, 0));
-    if (inserted)
-        order_.push_back(line_addr);
+    // Copy-on-write into the overlay: the current blob may be shared
+    // with a table snapshot installed into other systems.
+    Blob corrupted = readLine(line_addr);
     for (std::size_t i = 0; i < blobBytes_; ++i)
-        it->second[i] ^= xor_mask[i];
+        corrupted[i] ^= xor_mask[i];
+    auto [it, inserted] = overlay_.insert_or_assign(
+        line_addr, std::make_shared<const Blob>(std::move(corrupted)));
+    if (inserted && !inAnyLayer(line_addr))
+        overlayOrder_.push_back(line_addr);
+}
+
+std::size_t
+BackingStore::lineCount() const
+{
+    std::size_t n = overlayOrder_.size();
+    for (const auto &layer : layers_)
+        n += layer->lines.size();
+    return n;
 }
 
 Addr
 BackingStore::sampleLine(Rng &rng) const
 {
-    sam_assert(!order_.empty(), "sampleLine on empty store");
-    return order_[rng.below(order_.size())];
+    sam_assert(lineCount() > 0, "sampleLine on empty store");
+    std::size_t idx = rng.below(lineCount());
+    for (const auto &layer : layers_) {
+        if (idx < layer->lines.size())
+            return layer->lines[idx].first;
+        idx -= layer->lines.size();
+    }
+    return overlayOrder_[idx];
+}
+
+StoreSnapshot
+BackingStore::snapshot() const
+{
+    StoreSnapshot snap;
+    snap.lines.reserve(lineCount());
+    for (const auto &layer : layers_) {
+        for (const auto &[addr, blob] : layer->lines) {
+            if (const BlobPtr *b = findOverlay(addr))
+                snap.append(addr, *b);
+            else
+                snap.append(addr, blob);
+        }
+    }
+    for (Addr addr : overlayOrder_) {
+        auto it = overlay_.find(addr);
+        sam_assert(it != overlay_.end(), "order/overlay mismatch");
+        snap.append(addr, it->second);
+    }
+    return snap;
+}
+
+void
+BackingStore::install(std::shared_ptr<const StoreSnapshot> snap)
+{
+    sam_assert(snap != nullptr, "installing a null snapshot");
+    sam_assert(snap->lines.empty() ||
+                   snap->lines.front().second->size() == blobBytes_,
+               "snapshot blob size mismatch");
+    // Revert overlay writes to lines the snapshot covers, so a
+    // re-install after a write query restores the clean table.
+    if (!overlay_.empty()) {
+        for (auto it = overlay_.begin(); it != overlay_.end();) {
+            if (snap->index.count(it->first))
+                it = overlay_.erase(it);
+            else
+                ++it;
+        }
+        overlayOrder_.erase(
+            std::remove_if(overlayOrder_.begin(), overlayOrder_.end(),
+                           [&](Addr a) { return snap->index.count(a); }),
+            overlayOrder_.end());
+    }
+    for (const auto &layer : layers_) {
+        if (layer == snap)
+            return; // already mounted; overlay revert was the point
+    }
+    layers_.push_back(std::move(snap));
 }
 
 } // namespace sam

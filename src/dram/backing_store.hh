@@ -5,19 +5,50 @@
  * Lines are stored ECC-encoded (data + parity blob) exactly as a real
  * rank would hold them, so chip-failure injection corrupts stored state
  * and the ECC engine's correction is exercised on the actual data path.
+ *
+ * The store is layered for campaign sharing: installed snapshots are
+ * immutable base layers held by shared pointer (a materialized table is
+ * encoded once and installed into many systems in O(1)), and every
+ * write lands in a small per-store overlay checked first on reads.
+ * Corruption copies-on-write into the overlay, so injected faults never
+ * leak into sibling systems sharing the same snapshot.
  */
 
 #ifndef SAM_DRAM_BACKING_STORE_HH
 #define SAM_DRAM_BACKING_STORE_HH
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/common/random.hh"
 #include "src/common/types.hh"
 
 namespace sam {
+
+/** One stored line's encoded bytes (data + parity). */
+using Blob = std::vector<std::uint8_t>;
+using BlobPtr = std::shared_ptr<const Blob>;
+
+/**
+ * An immutable capture of a store's contents in insertion order,
+ * shareable across stores and threads. `index` maps a line address to
+ * its position in `lines`.
+ */
+struct StoreSnapshot
+{
+    std::vector<std::pair<Addr, BlobPtr>> lines;
+    std::unordered_map<Addr, std::size_t> index;
+
+    void
+    append(Addr addr, BlobPtr blob)
+    {
+        index.emplace(addr, lines.size());
+        lines.emplace_back(addr, std::move(blob));
+    }
+};
 
 /**
  * Sparse page-granular byte store addressed by flat physical address.
@@ -55,7 +86,7 @@ class BackingStore
                      const std::vector<std::uint8_t> &xor_mask);
 
     /** Number of distinct lines stored. */
-    std::size_t lineCount() const { return lines_.size(); }
+    std::size_t lineCount() const;
 
     /**
      * Pick a uniformly random stored line address (fault-injection
@@ -63,11 +94,32 @@ class BackingStore
      */
     Addr sampleLine(Rng &rng) const;
 
+    /** Capture every stored line, in insertion order. */
+    StoreSnapshot snapshot() const;
+
+    /**
+     * Mount a snapshot as an immutable base layer (O(1): the blobs and
+     * the index are shared, not copied). Re-installing a snapshot that
+     * is already mounted reverts any overlay writes to its lines (the
+     * dirty-table rebuild path). Layers are expected to cover disjoint
+     * address ranges (each table layout has its own base address).
+     */
+    void install(std::shared_ptr<const StoreSnapshot> snap);
+
   private:
+    /** The overlay blob for `addr`, or null if untouched. */
+    const BlobPtr *findOverlay(Addr addr) const;
+    /** The layer blob for `addr`, or null if no layer holds it. */
+    const BlobPtr *findLayer(Addr addr) const;
+    bool inAnyLayer(Addr addr) const;
+
     unsigned blobBytes_;
-    std::unordered_map<Addr, std::vector<std::uint8_t>> lines_;
-    /** Insertion-order line addresses for O(1) uniform sampling. */
-    std::vector<Addr> order_;
+    /** Immutable shared base layers, oldest first. */
+    std::vector<std::shared_ptr<const StoreSnapshot>> layers_;
+    /** Lines written (or corrupted) in this store; checked first. */
+    std::unordered_map<Addr, BlobPtr> overlay_;
+    /** Insertion order of overlay lines not covered by any layer. */
+    std::vector<Addr> overlayOrder_;
 };
 
 } // namespace sam

@@ -1,0 +1,100 @@
+#include "src/runner/campaign.hh"
+
+#include <chrono>
+#include <fstream>
+
+#include "src/common/logging.hh"
+#include "src/common/types.hh"
+#include "src/core/session.hh"
+
+namespace sam {
+
+CampaignRunner::CampaignRunner(unsigned jobs)
+    : tables_(std::make_shared<TableCache>()), pool_(jobs)
+{
+}
+
+std::vector<RunResult>
+CampaignRunner::run(const std::vector<RunSpec> &specs)
+{
+    std::vector<RunResult> results(specs.size());
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        tasks.push_back([this, &specs, &results, i] {
+            const RunSpec &spec = specs[i];
+            const auto t0 = std::chrono::steady_clock::now();
+            // A fresh Session per run: per-system counters accumulate
+            // across queries, so sharing one Session across runs would
+            // make statsText depend on scheduling order.
+            Session session(spec.config, tables_);
+            RunStats stats = session.run(spec.config.design, spec.query);
+            if (spec.verify)
+                session.checkResult(spec.query, stats);
+            const auto t1 = std::chrono::steady_clock::now();
+            RunResult &r = results[i];
+            r.id = spec.id;
+            r.design = spec.config.design;
+            r.query = spec.query.name;
+            r.stats = std::move(stats);
+            r.wallMs = std::chrono::duration<double, std::milli>(
+                t1 - t0).count();
+        });
+    }
+    pool_.run(std::move(tasks));
+    return results;
+}
+
+Json
+runResultJson(const RunResult &result)
+{
+    const RunStats &s = result.stats;
+    Json run = Json::object();
+    run.set("id", result.id);
+    run.set("design", designName(result.design));
+    run.set("query", result.query);
+    run.set("cycles", s.cycles);
+    run.set("energy_pj", s.power.totalEnergyPj());
+    run.set("mem_reads", s.memReads);
+    run.set("mem_writes", s.memWrites);
+    run.set("stride_reads", s.strideReads);
+    run.set("stride_writes", s.strideWrites);
+    run.set("activates", s.activates);
+    run.set("row_hits", s.rowHits);
+    run.set("row_misses", s.rowMisses);
+    run.set("mode_switches", s.modeSwitches);
+    run.set("ecc_corrected_lines", s.eccCorrectedLines);
+    run.set("ecc_uncorrectable", s.eccUncorrectable);
+    run.set("checked_commands", s.checkedCommands);
+    run.set("result_rows", s.result.rows);
+    run.set("result_checksum", s.result.checksum);
+    run.set("wall_ms", result.wallMs);
+    return run;
+}
+
+Json
+campaignJson(const std::string &name, unsigned jobs,
+             const std::vector<RunResult> &results)
+{
+    Json doc = Json::object();
+    doc.set("schema", "sam-campaign-v1");
+    doc.set("campaign", name);
+    doc.set("jobs", jobs);
+    Json runs = Json::array();
+    for (const RunResult &r : results)
+        runs.push(runResultJson(r));
+    doc.set("runs", std::move(runs));
+    return doc;
+}
+
+void
+writeJsonFile(const std::string &path, const Json &doc)
+{
+    std::ofstream out(path, std::ios::trunc);
+    sam_assert(out.good(), "cannot open ", path, " for writing");
+    out << doc.dump();
+    out.flush();
+    sam_assert(out.good(), "write to ", path, " failed");
+}
+
+} // namespace sam

@@ -1,0 +1,123 @@
+#include "src/runner/thread_pool.hh"
+
+#include <algorithm>
+
+#include "src/common/logging.hh"
+
+namespace sam {
+
+unsigned
+ThreadPool::defaultWorkers()
+{
+    return std::max(1u, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(unsigned workers)
+{
+    if (workers == 0)
+        workers = defaultWorkers();
+    queues_.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w)
+        queues_.push_back(std::make_unique<WorkerQueue>());
+    threads_.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w)
+        threads_.emplace_back([this, w] { workerLoop(w); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    workCv_.notify_all();
+    for (std::thread &t : threads_)
+        t.join();
+}
+
+bool
+ThreadPool::grabTask(unsigned self, std::function<void()> &task)
+{
+    {
+        WorkerQueue &own = *queues_[self];
+        std::lock_guard<std::mutex> lock(own.mutex);
+        if (!own.tasks.empty()) {
+            task = std::move(own.tasks.front());
+            own.tasks.pop_front();
+            return true;
+        }
+    }
+    for (std::size_t i = 1; i < queues_.size(); ++i) {
+        WorkerQueue &victim = *queues_[(self + i) % queues_.size()];
+        std::lock_guard<std::mutex> lock(victim.mutex);
+        if (!victim.tasks.empty()) {
+            task = std::move(victim.tasks.back());
+            victim.tasks.pop_back();
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+ThreadPool::workerLoop(unsigned self)
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            workCv_.wait(lock,
+                         [&] { return stop_ || batch_ != seen; });
+            if (stop_)
+                return;
+            seen = batch_;
+        }
+        std::function<void()> task;
+        while (grabTask(self, task)) {
+            try {
+                task();
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(mutex_);
+                if (!firstError_)
+                    firstError_ = std::current_exception();
+            }
+            task = nullptr;
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                if (--unfinished_ == 0)
+                    doneCv_.notify_all();
+            }
+        }
+    }
+}
+
+void
+ThreadPool::run(std::vector<std::function<void()>> tasks)
+{
+    if (tasks.empty())
+        return;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        sam_assert(unfinished_ == 0, "ThreadPool::run is not reentrant");
+        unfinished_ = tasks.size();
+        firstError_ = nullptr;
+    }
+    // Distribute before announcing the batch: a worker still draining a
+    // previous steal must find the count already provisioned.
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+        WorkerQueue &q = *queues_[i % queues_.size()];
+        std::lock_guard<std::mutex> lock(q.mutex);
+        q.tasks.push_back(std::move(tasks[i]));
+    }
+    std::unique_lock<std::mutex> lock(mutex_);
+    ++batch_;
+    workCv_.notify_all();
+    doneCv_.wait(lock, [&] { return unfinished_ == 0; });
+    if (firstError_) {
+        std::exception_ptr err = firstError_;
+        firstError_ = nullptr;
+        std::rethrow_exception(err);
+    }
+}
+
+} // namespace sam

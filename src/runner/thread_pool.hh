@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Work-stealing thread pool for campaign execution.
+ *
+ * Each worker owns a deque of tasks. A batch is distributed round-robin
+ * across the deques; workers pop from the front of their own deque and,
+ * when empty, steal from the back of a victim's (scanned round-robin
+ * from their own index, so no RNG and no contention hot spot). Tasks
+ * must be independent: the pool provides no ordering guarantees beyond
+ * "every task runs exactly once before run() returns".
+ *
+ * The pool is intentionally mutex-based rather than lock-free: campaign
+ * tasks are whole simulations (milliseconds to minutes), so queue
+ * overhead is irrelevant, and the simple locking is trivially clean
+ * under TSan.
+ */
+
+#ifndef SAM_RUNNER_THREAD_POOL_HH
+#define SAM_RUNNER_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sam {
+
+class ThreadPool
+{
+  public:
+    /** @param workers Worker threads; 0 picks the host's core count. */
+    explicit ThreadPool(unsigned workers = 0);
+
+    /** Joins all workers; outstanding batches must have completed. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    unsigned workers() const
+    {
+        return static_cast<unsigned>(threads_.size());
+    }
+
+    /**
+     * Run every task to completion and return. If tasks throw, the
+     * first exception (in completion order) is rethrown after the
+     * batch drains; the remaining tasks still run. Not reentrant:
+     * tasks must not call run() on the same pool.
+     */
+    void run(std::vector<std::function<void()>> tasks);
+
+    /** The host's hardware concurrency (at least 1). */
+    static unsigned defaultWorkers();
+
+  private:
+    struct WorkerQueue
+    {
+        std::mutex mutex;
+        std::deque<std::function<void()>> tasks;
+    };
+
+    void workerLoop(unsigned self);
+
+    /** Pop from own front, else steal from a victim's back. */
+    bool grabTask(unsigned self, std::function<void()> &task);
+
+    std::vector<std::unique_ptr<WorkerQueue>> queues_;
+    std::vector<std::thread> threads_;
+
+    std::mutex mutex_;
+    std::condition_variable workCv_;  ///< Wakes workers for a batch.
+    std::condition_variable doneCv_;  ///< Wakes run() at batch end.
+    std::size_t unfinished_ = 0;      ///< Tasks not yet completed.
+    std::uint64_t batch_ = 0;         ///< Bumped per run() call.
+    bool stop_ = false;
+    std::exception_ptr firstError_;
+};
+
+} // namespace sam
+
+#endif // SAM_RUNNER_THREAD_POOL_HH

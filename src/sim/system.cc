@@ -1,7 +1,6 @@
 #include "src/sim/system.hh"
 
 #include <algorithm>
-#include <unordered_map>
 
 #include "src/check/protocol_checker.hh"
 #include "src/common/logging.hh"
@@ -25,7 +24,7 @@ layoutIndex(LayoutKind layout)
 
 } // namespace
 
-System::System(const SimConfig &config)
+System::System(const SimConfig &config, std::shared_ptr<TableCache> tables)
     : config_(config),
       spec_(makeDesign(config.design, config.ecc, config.tech,
                        config.overrideTech)),
@@ -33,7 +32,8 @@ System::System(const SimConfig &config)
       strideUnit_(strideUnitBytes(config.ecc)),
       mapping_(geom_),
       dataPath_(spec_.ecc),
-      ras_(std::make_unique<RasEngine>(config.ras))
+      ras_(std::make_unique<RasEngine>(config.ras)),
+      tableCache_(std::move(tables))
 {
     sam_assert(config.cores > 0, "need at least one core");
     dataPath_.setRasPolicy(ras_.get());
@@ -91,8 +91,13 @@ System::tablesFor(LayoutKind layout)
                                         gather, geom_);
         tp.tb = std::make_unique<Table>(tbSchema(), tb_base, layout,
                                         gather, geom_);
-        tp.ta->materialize(dataPath_);
-        tp.tb->materialize(dataPath_);
+        if (tableCache_) {
+            dataPath_.store().install(
+                tableCache_->materialized(*tp.ta, *tp.tb, spec_.ecc));
+        } else {
+            tp.ta->materialize(dataPath_);
+            tp.tb->materialize(dataPath_);
+        }
         tp.dirty = false;
     }
     return tp;
@@ -247,13 +252,24 @@ System::replay(const std::vector<std::unique_ptr<CorePort>> &ports,
                DesignModel &model)
 {
     (void)device;
+    // One in-flight read of a core's MSHR window. `done` stays
+    // kInvalidCycle until the completion arrives.
+    struct Mshr
+    {
+        std::uint64_t id = 0;
+        Cycle done = kInvalidCycle;
+    };
     struct CoreState
     {
         const CoreTrace *trace = nullptr;
         std::size_t idx = 0;
         Cycle clock = 0;
-        std::vector<std::uint64_t> window;  ///< In-flight read ids.
-        std::unordered_map<std::uint64_t, Cycle> done;
+        /**
+         * In-flight reads in issue order. MSHR-sized and flat: the
+         * retire scan and the completion match walk a handful of
+         * contiguous entries instead of churning per-epoch hash maps.
+         */
+        std::vector<Mshr> window;
     };
 
     const unsigned num_cores = static_cast<unsigned>(ports.size());
@@ -261,11 +277,11 @@ System::replay(const std::vector<std::unique_ptr<CorePort>> &ports,
     std::size_t num_epochs = 0;
     for (unsigned c = 0; c < num_cores; ++c) {
         cores[c].trace = &ports[c]->trace();
+        cores[c].window.reserve(config_.mshrsPerCore);
         num_epochs = std::max(num_epochs, cores[c].trace->size());
     }
 
     std::uint64_t next_id = 1;
-    std::unordered_map<std::uint64_t, unsigned> owner;
     Cycle max_done = 0;
 
     for (std::size_t epoch = 0; epoch < num_epochs; ++epoch) {
@@ -274,7 +290,6 @@ System::replay(const std::vector<std::unique_ptr<CorePort>> &ports,
             cs.clock = std::max(cs.clock, max_done);
             cs.idx = 0;
             cs.window.clear();
-            cs.done.clear();
         }
 
         auto issue_some = [&](unsigned c) -> bool {
@@ -299,15 +314,13 @@ System::replay(const std::vector<std::unique_ptr<CorePort>> &ports,
                     Cycle best = kInvalidCycle;
                     std::size_t best_i = cs.window.size();
                     for (std::size_t i = 0; i < cs.window.size(); ++i) {
-                        auto it = cs.done.find(cs.window[i]);
-                        if (it != cs.done.end() && it->second < best) {
-                            best = it->second;
+                        if (cs.window[i].done < best) {
+                            best = cs.window[i].done;
                             best_i = i;
                         }
                     }
                     if (best_i == cs.window.size())
                         break; // stalled on outstanding misses
-                    cs.done.erase(cs.window[best_i]);
                     cs.window.erase(cs.window.begin() +
                                     static_cast<std::ptrdiff_t>(best_i));
                     t = std::max(t, best);
@@ -321,9 +334,8 @@ System::replay(const std::vector<std::unique_ptr<CorePort>> &ports,
                     req = model.lineRequest(e.type, e.lines[0], t, c);
                 }
                 req.id = next_id++;
-                owner[req.id] = c;
                 if (is_read)
-                    cs.window.push_back(req.id);
+                    cs.window.push_back({req.id, kInvalidCycle});
                 controller.push(std::move(req));
                 cs.clock = t;
                 ++cs.idx;
@@ -341,9 +353,18 @@ System::replay(const std::vector<std::unique_ptr<CorePort>> &ports,
             if (auto comp = controller.serviceNext()) {
                 max_done = std::max(max_done, comp->done);
                 if (comp->isRead) {
-                    auto it = owner.find(comp->id);
-                    sam_assert(it != owner.end(), "orphan completion");
-                    cores[it->second].done[comp->id] = comp->done;
+                    sam_assert(comp->coreId < num_cores,
+                               "orphan completion");
+                    CoreState &cs = cores[comp->coreId];
+                    bool matched = false;
+                    for (Mshr &m : cs.window) {
+                        if (m.id == comp->id) {
+                            m.done = comp->done;
+                            matched = true;
+                            break;
+                        }
+                    }
+                    sam_assert(matched, "orphan completion");
                 }
                 progress = true;
             }

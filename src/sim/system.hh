@@ -33,6 +33,7 @@
 #include "src/imdb/table.hh"
 #include "src/power/power_model.hh"
 #include "src/sim/core_port.hh"
+#include "src/sim/table_cache.hh"
 
 namespace sam {
 
@@ -117,7 +118,14 @@ struct RunStats
 class System
 {
   public:
-    explicit System(const SimConfig &config);
+    /**
+     * @param tables Shared materialized-table cache. When given, the
+     *        system installs pre-encoded table snapshots instead of
+     *        re-encoding every line; when null, tables are materialized
+     *        directly (standalone use).
+     */
+    explicit System(const SimConfig &config,
+                    std::shared_ptr<TableCache> tables = nullptr);
 
     const SimConfig &config() const { return config_; }
     const DesignSpec &spec() const { return spec_; }
@@ -169,6 +177,7 @@ class System
     DataPath dataPath_;
     std::unique_ptr<RasEngine> ras_;
     std::unique_ptr<FaultInjector> injector_;
+    std::shared_ptr<TableCache> tableCache_;
     std::map<LayoutKind, TablePair> tables_;
 };
 

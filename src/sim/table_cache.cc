@@ -1,0 +1,44 @@
+#include "src/sim/table_cache.hh"
+
+#include "src/common/logging.hh"
+#include "src/dram/data_path.hh"
+
+namespace sam {
+
+std::shared_ptr<const StoreSnapshot>
+TableCache::materialized(const Table &ta, const Table &tb, EccScheme ecc)
+{
+    sam_assert(ta.layout() == tb.layout(),
+               "table pair with mixed layouts");
+    const Key key{ta.layout(),          ecc,
+                  ta.gather(),          ta.base(),
+                  ta.schema().numRecords, ta.schema().numFields,
+                  tb.base(),            tb.schema().numRecords,
+                  tb.schema().numFields};
+
+    std::shared_ptr<Entry> entry;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto &slot = entries_[key];
+        if (!slot)
+            slot = std::make_shared<Entry>();
+        entry = slot;
+    }
+
+    std::lock_guard<std::mutex> build_lock(entry->build);
+    if (entry->snap) {
+        hits_.fetch_add(1);
+        return entry->snap;
+    }
+    ++misses_;
+    // Encode into a scratch data path with no RAS/fault hooks: the
+    // pristine bytes are what every system starts from.
+    DataPath scratch(ecc);
+    ta.materialize(scratch);
+    tb.materialize(scratch);
+    entry->snap = std::make_shared<const StoreSnapshot>(
+        scratch.store().snapshot());
+    return entry->snap;
+}
+
+} // namespace sam

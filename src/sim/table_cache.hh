@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Process-wide cache of materialized benchmark tables.
+ *
+ * Materializing a table pair ECC-encodes every record line through the
+ * Reed-Solomon encoder -- the dominant setup cost of building a
+ * simulated system. The encoded bytes depend only on (schema, layout,
+ * base address, gather factor, ECC scheme), not on the design being
+ * simulated, so a campaign running many designs and sweep points can
+ * encode each distinct table pair once and share the immutable blobs.
+ *
+ * Thread-safe: campaign workers share one cache. A key is materialized
+ * under its own entry lock, so concurrent first touches of different
+ * keys proceed in parallel while duplicate touches of the same key
+ * wait and then share.
+ */
+
+#ifndef SAM_SIM_TABLE_CACHE_HH
+#define SAM_SIM_TABLE_CACHE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <tuple>
+
+#include "src/dram/backing_store.hh"
+#include "src/dram/timing.hh"
+#include "src/imdb/table.hh"
+
+namespace sam {
+
+class TableCache
+{
+  public:
+    /**
+     * The materialized contents of `ta` and `tb` under `ecc`, encoding
+     * them on first touch. The snapshot lists lines in materialization
+     * order (ta fully, then tb), matching what direct materialization
+     * into an empty store would produce, so installing it keeps
+     * fault-target sampling deterministic.
+     */
+    std::shared_ptr<const StoreSnapshot>
+    materialized(const Table &ta, const Table &tb, EccScheme ecc);
+
+    std::uint64_t hits() const { return hits_.load(); }
+    std::uint64_t misses() const { return misses_.load(); }
+
+  private:
+    /** Everything the encoded bytes depend on. */
+    using Key = std::tuple<LayoutKind, EccScheme, unsigned, // gather
+                           Addr, std::uint64_t, unsigned,   // ta
+                           Addr, std::uint64_t, unsigned>;  // tb
+
+    struct Entry
+    {
+        std::mutex build;
+        std::shared_ptr<const StoreSnapshot> snap;
+    };
+
+    std::mutex mutex_;
+    std::map<Key, std::shared_ptr<Entry>> entries_;
+    std::atomic<std::uint64_t> hits_{0};
+    std::atomic<std::uint64_t> misses_{0};
+};
+
+} // namespace sam
+
+#endif // SAM_SIM_TABLE_CACHE_HH

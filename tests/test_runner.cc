@@ -1,0 +1,287 @@
+/**
+ * @file
+ * Tests for the parallel campaign runner: the work-stealing thread
+ * pool, campaign determinism across jobs counts, materialized-table
+ * sharing through the TableCache, and the JSON writer.
+ */
+
+#include <atomic>
+#include <gtest/gtest.h>
+#include <set>
+#include <stdexcept>
+
+#include "src/common/json.hh"
+#include "src/core/session.hh"
+#include "src/runner/campaign.hh"
+#include "src/runner/thread_pool.hh"
+
+namespace sam {
+namespace {
+
+// ----- ThreadPool ----------------------------------------------------
+
+TEST(ThreadPoolTest, RunsEveryTaskExactlyOnce)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.workers(), 4u);
+
+    constexpr int kTasks = 100;
+    std::vector<std::atomic<int>> hits(kTasks);
+    std::vector<std::function<void()>> tasks;
+    for (int i = 0; i < kTasks; ++i)
+        tasks.push_back([&hits, i] { ++hits[i]; });
+    pool.run(std::move(tasks));
+    for (int i = 0; i < kTasks; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "task " << i;
+}
+
+TEST(ThreadPoolTest, ReusableAcrossBatches)
+{
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    for (int batch = 0; batch < 5; ++batch) {
+        std::vector<std::function<void()>> tasks;
+        for (int i = 0; i < 7; ++i)
+            tasks.push_back([&count] { ++count; });
+        pool.run(std::move(tasks));
+    }
+    EXPECT_EQ(count.load(), 35);
+}
+
+TEST(ThreadPoolTest, EmptyBatchIsANoOp)
+{
+    ThreadPool pool(2);
+    pool.run({});
+}
+
+TEST(ThreadPoolTest, RethrowsFirstTaskError)
+{
+    ThreadPool pool(3);
+    std::atomic<int> completed{0};
+    std::vector<std::function<void()>> tasks;
+    for (int i = 0; i < 10; ++i) {
+        tasks.push_back([&completed, i] {
+            if (i == 4)
+                throw std::runtime_error("task 4 failed");
+            ++completed;
+        });
+    }
+    EXPECT_THROW(pool.run(std::move(tasks)), std::runtime_error);
+    // The failing task doesn't cancel its siblings.
+    EXPECT_EQ(completed.load(), 9);
+
+    // The pool recovers after an error: the next batch runs clean.
+    std::atomic<int> after{0};
+    std::vector<std::function<void()>> next;
+    for (int i = 0; i < 4; ++i)
+        next.push_back([&after] { ++after; });
+    pool.run(std::move(next));
+    EXPECT_EQ(after.load(), 4);
+}
+
+TEST(ThreadPoolTest, DefaultsToHostWorkers)
+{
+    ThreadPool pool;
+    EXPECT_GE(pool.workers(), 1u);
+    EXPECT_EQ(pool.workers(), ThreadPool::defaultWorkers());
+}
+
+// ----- CampaignRunner ------------------------------------------------
+
+SimConfig
+tinyConfig(DesignKind design)
+{
+    SimConfig cfg;
+    cfg.design = design;
+    cfg.taRecords = 256;
+    cfg.tbRecords = 256;
+    return cfg;
+}
+
+std::vector<RunSpec>
+tinySpecs()
+{
+    std::vector<RunSpec> specs;
+    const auto queries = benchmarkQQueries();
+    for (DesignKind d :
+         {DesignKind::Baseline, DesignKind::SamEn, DesignKind::SamIo}) {
+        for (std::size_t qi = 0; qi < 4; ++qi) {
+            const Query &q = queries[qi];
+            specs.push_back(RunSpec{designName(d) + "/" + q.name,
+                                    tinyConfig(d), q,
+                                    /*verify=*/true});
+        }
+    }
+    return specs;
+}
+
+TEST(CampaignRunnerTest, ResultsComeBackInSpecOrder)
+{
+    CampaignRunner runner(4);
+    const auto specs = tinySpecs();
+    const auto results = runner.run(specs);
+    ASSERT_EQ(results.size(), specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        EXPECT_EQ(results[i].id, specs[i].id);
+        EXPECT_EQ(results[i].design, specs[i].config.design);
+        EXPECT_EQ(results[i].query, specs[i].query.name);
+        EXPECT_GT(results[i].stats.cycles, 0u);
+        EXPECT_GE(results[i].wallMs, 0.0);
+    }
+}
+
+/**
+ * The determinism contract of the campaign runner: identical specs
+ * produce bit-identical RunStats (cycles, counters, the full gem5-style
+ * stats dump, and the functional result) no matter how many workers
+ * execute them. This is what makes committed BENCH_*.json baselines
+ * comparable across machines and jobs counts.
+ */
+TEST(CampaignRunnerTest, BitIdenticalAcrossJobsCounts)
+{
+    const auto specs = tinySpecs();
+    CampaignRunner serial(1);
+    CampaignRunner wide(8);
+    const auto a = serial.run(specs);
+    const auto b = wide.run(specs);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        SCOPED_TRACE(a[i].id);
+        EXPECT_EQ(a[i].stats.cycles, b[i].stats.cycles);
+        EXPECT_EQ(a[i].stats.result, b[i].stats.result);
+        EXPECT_EQ(a[i].stats.statsText, b[i].stats.statsText);
+        EXPECT_EQ(a[i].stats.memReads, b[i].stats.memReads);
+        EXPECT_EQ(a[i].stats.memWrites, b[i].stats.memWrites);
+        EXPECT_EQ(a[i].stats.strideReads, b[i].stats.strideReads);
+        EXPECT_EQ(a[i].stats.activates, b[i].stats.activates);
+        EXPECT_EQ(a[i].stats.rowHits, b[i].stats.rowHits);
+        EXPECT_EQ(a[i].stats.rowMisses, b[i].stats.rowMisses);
+        EXPECT_EQ(a[i].stats.eccCorrectedLines,
+                  b[i].stats.eccCorrectedLines);
+        EXPECT_DOUBLE_EQ(a[i].stats.power.totalEnergyPj(),
+                         b[i].stats.power.totalEnergyPj());
+    }
+}
+
+TEST(CampaignRunnerTest, RepeatedRunsShareTheTableCache)
+{
+    CampaignRunner runner(2);
+    const auto specs = tinySpecs();
+    runner.run(specs);
+    const auto &cache = runner.tableCache();
+    const std::uint64_t misses_first = cache->misses();
+    EXPECT_GT(misses_first, 0u);
+    // A second pass over the same specs re-encodes nothing.
+    runner.run(specs);
+    EXPECT_EQ(cache->misses(), misses_first);
+    EXPECT_GT(cache->hits(), 0u);
+}
+
+// ----- Session table sharing ----------------------------------------
+
+TEST(SessionTest, SecondDesignReusesMaterializedTables)
+{
+    const SimConfig cfg = tinyConfig(DesignKind::Baseline);
+    Session session(cfg);
+    const auto &cache = session.tableCache();
+    ASSERT_NE(cache, nullptr);
+
+    // Qs1 is row-preferred, so the ideal design picks the row-store
+    // layout and shares Baseline's table snapshot.
+    const Query q = benchmarkQsQueries()[0];
+    const RunStats first = session.run(DesignKind::Baseline, q);
+    session.checkResult(q, first);
+    const std::uint64_t misses_after_first = cache->misses();
+    EXPECT_GT(misses_after_first, 0u);
+
+    // The second design's system must install the already-encoded
+    // snapshot instead of re-materializing, and still compute the
+    // correct functional result.
+    const RunStats second = session.run(DesignKind::Ideal, q);
+    session.checkResult(q, second);
+    EXPECT_EQ(cache->misses(), misses_after_first);
+    EXPECT_GT(cache->hits(), 0u);
+    EXPECT_EQ(first.result, second.result);
+}
+
+TEST(SessionTest, SessionsSharingACacheEncodeOnce)
+{
+    auto cache = std::make_shared<TableCache>();
+    const SimConfig cfg = tinyConfig(DesignKind::SamEn);
+    const Query q = benchmarkQQueries()[0];
+
+    Session first(cfg, cache);
+    const RunStats a = first.run(DesignKind::SamEn, q);
+    first.checkResult(q, a);
+    const std::uint64_t misses = cache->misses();
+
+    Session second(cfg, cache);
+    const RunStats b = second.run(DesignKind::SamEn, q);
+    second.checkResult(q, b);
+    EXPECT_EQ(cache->misses(), misses);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.statsText, b.statsText);
+}
+
+// ----- Json ----------------------------------------------------------
+
+TEST(JsonTest, SerializesScalarsAndContainers)
+{
+    Json doc = Json::object();
+    doc.set("name", "fig12");
+    doc.set("jobs", 8u);
+    doc.set("speedup", 4.25);
+    doc.set("quick", true);
+    doc.set("note", Json());
+    Json arr = Json::array();
+    arr.push(std::uint64_t{1234567890123456789ull});
+    arr.push(-7);
+    doc.set("runs", std::move(arr));
+
+    EXPECT_EQ(doc.dump(0),
+              "{\"name\":\"fig12\",\"jobs\":8,\"speedup\":4.25,"
+              "\"quick\":true,\"note\":null,"
+              "\"runs\":[1234567890123456789,-7]}");
+}
+
+TEST(JsonTest, EscapesStringsAndKeepsInsertionOrder)
+{
+    Json doc = Json::object();
+    doc.set("b", "quote \" slash \\ nl \n tab \t");
+    doc.set("a", 1);
+    doc.set("b", "replaced"); // overwrite keeps the original slot
+    EXPECT_EQ(doc.dump(0), "{\"b\":\"replaced\",\"a\":1}");
+
+    Json esc = Json::object();
+    esc.set("s", "a\"b\\c\nd");
+    EXPECT_EQ(esc.dump(0), "{\"s\":\"a\\\"b\\\\c\\nd\"}");
+}
+
+TEST(JsonTest, DoublesRoundTripCompactly)
+{
+    Json v(0.1);
+    EXPECT_EQ(v.dump(0), "0.1");
+    Json third(1.0 / 3.0);
+    double back = 0.0;
+    std::sscanf(third.dump(0).c_str(), "%lf", &back);
+    EXPECT_DOUBLE_EQ(back, 1.0 / 3.0);
+}
+
+TEST(JsonTest, RunResultJsonCarriesTheRunCounters)
+{
+    RunResult r;
+    r.id = "SAM-en/Q1";
+    r.design = DesignKind::SamEn;
+    r.query = "Q1";
+    r.stats.cycles = 42;
+    r.stats.memReads = 7;
+    r.wallMs = 1.5;
+    const std::string text = runResultJson(r).dump(0);
+    EXPECT_NE(text.find("\"id\":\"SAM-en/Q1\""), std::string::npos);
+    EXPECT_NE(text.find("\"cycles\":42"), std::string::npos);
+    EXPECT_NE(text.find("\"mem_reads\":7"), std::string::npos);
+    EXPECT_NE(text.find("\"wall_ms\":1.5"), std::string::npos);
+}
+
+} // namespace
+} // namespace sam

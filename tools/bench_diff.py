@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Compare two sam-campaign JSON files and flag cycle regressions.
+
+Usage:
+    tools/bench_diff.py BASELINE.json CURRENT.json [--threshold PCT]
+
+Both files must be `sam-campaign-v1` documents (written by samcampaign
+or by the bench drivers via SAM_BENCH_JSON). Runs are matched by their
+`id`. A run whose cycle count grew by more than the threshold
+(default 5%) is a regression; a run present in the baseline but missing
+from the current file is also an error, since silently dropping a
+campaign point would hide a regression. Newly added runs are reported
+but never fail the diff.
+
+Exit status: 0 when clean, 1 on regression or missing run, 2 on usage
+or schema errors.
+"""
+
+import argparse
+import json
+import sys
+
+
+SCHEMA = "sam-campaign-v1"
+
+
+def load_campaign(path):
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        sys.exit(f"bench_diff: cannot read {path}: {exc}")
+    if doc.get("schema") != SCHEMA:
+        sys.exit(f"bench_diff: {path}: expected schema {SCHEMA!r}, "
+                 f"got {doc.get('schema')!r}")
+    runs = {}
+    for run in doc.get("runs", []):
+        run_id = run.get("id")
+        if not run_id:
+            sys.exit(f"bench_diff: {path}: run without an id")
+        if run_id in runs:
+            sys.exit(f"bench_diff: {path}: duplicate run id {run_id!r}")
+        runs[run_id] = run
+    return doc, runs
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="flag cycle regressions between two campaign files")
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument("current", help="freshly produced JSON")
+    parser.add_argument("--threshold", type=float, default=5.0,
+                        help="regression threshold in percent "
+                             "(default: %(default)s)")
+    args = parser.parse_args()
+
+    base_doc, base_runs = load_campaign(args.baseline)
+    cur_doc, cur_runs = load_campaign(args.current)
+
+    base_scale = base_doc.get("scale")
+    cur_scale = cur_doc.get("scale")
+    if base_scale != cur_scale:
+        sys.exit(f"bench_diff: scale mismatch: baseline is "
+                 f"{base_scale!r}, current is {cur_scale!r} -- "
+                 f"cycle counts are not comparable")
+
+    regressions = []
+    improvements = []
+    missing = sorted(set(base_runs) - set(cur_runs))
+    added = sorted(set(cur_runs) - set(base_runs))
+
+    for run_id in sorted(set(base_runs) & set(cur_runs)):
+        base_cycles = base_runs[run_id].get("cycles", 0)
+        cur_cycles = cur_runs[run_id].get("cycles", 0)
+        if base_cycles <= 0:
+            continue
+        delta_pct = 100.0 * (cur_cycles - base_cycles) / base_cycles
+        entry = (run_id, base_cycles, cur_cycles, delta_pct)
+        if delta_pct > args.threshold:
+            regressions.append(entry)
+        elif delta_pct < -args.threshold:
+            improvements.append(entry)
+
+    name = cur_doc.get("campaign", "?")
+    compared = len(set(base_runs) & set(cur_runs))
+    print(f"bench_diff: campaign {name!r}: {compared} runs compared, "
+          f"threshold {args.threshold:g}%")
+
+    for run_id, base_c, cur_c, pct in sorted(
+            regressions, key=lambda e: -e[3]):
+        print(f"  REGRESSION {run_id}: {base_c} -> {cur_c} cycles "
+              f"({pct:+.2f}%)")
+    for run_id, base_c, cur_c, pct in sorted(
+            improvements, key=lambda e: e[3]):
+        print(f"  improved   {run_id}: {base_c} -> {cur_c} cycles "
+              f"({pct:+.2f}%)")
+    for run_id in missing:
+        print(f"  MISSING    {run_id}: in baseline but not in current")
+    for run_id in added:
+        print(f"  new        {run_id}: not in baseline "
+              f"(refresh the baseline to track it)")
+
+    if regressions or missing:
+        print(f"bench_diff: FAIL ({len(regressions)} regression(s), "
+              f"{len(missing)} missing run(s))")
+        return 1
+    print("bench_diff: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,413 @@
+/**
+ * @file
+ * samcampaign -- parallel figure-campaign driver with machine-readable
+ * output.
+ *
+ * Fans the independent simulations of the paper's figure campaigns
+ * (fig12 speedup, fig13 power, fig15 sweeps) across a work-stealing
+ * thread pool and writes one BENCH_<fig>.json per campaign: the raw
+ * per-run counters (cycles, energy, ECC events, wall time) plus the
+ * figure's derived metrics. tools/bench_diff.py consumes these files
+ * to flag cycle regressions against a committed baseline.
+ *
+ * Per-run results are bit-identical for any --jobs value: every run
+ * executes in a fresh single-threaded Session, sharing only the
+ * immutable materialized-table cache.
+ *
+ * Examples:
+ *   samcampaign --fig 12 --jobs 8 --out bench-results
+ *   samcampaign --fig all --quick --verify
+ *   SAM_QUICK=1 samcampaign --fig 12        # same as --quick
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hh"
+#include "src/common/logging.hh"
+#include "src/runner/campaign.hh"
+
+namespace {
+
+using namespace sam;
+using namespace sam::bench;
+
+[[noreturn]] void
+usage(int code)
+{
+    std::fprintf(
+        code == 0 ? stdout : stderr,
+        "usage: samcampaign [options]\n"
+        "  --fig <12|13|15|all>   campaign(s) to run (default 12)\n"
+        "  --jobs <n>             worker threads (default: host cores;\n"
+        "                         results are identical for any value)\n"
+        "  --out <dir>            output directory (default .)\n"
+        "  --quick                reduced scale (same as SAM_QUICK=1)\n"
+        "  --verify               check results against the reference\n"
+        "                         executor\n");
+    std::exit(code);
+}
+
+/** A campaign's specs plus an id -> result index. */
+struct Book
+{
+    std::vector<RunSpec> specs;
+    std::map<std::string, std::size_t> index;
+    std::vector<RunResult> results;
+
+    void
+    add(std::string id, const SimConfig &cfg, const Query &q,
+        bool verify)
+    {
+        if (index.count(id))
+            return;
+        index.emplace(id, specs.size());
+        specs.push_back(RunSpec{std::move(id), cfg, q, verify});
+    }
+
+    void
+    add(DesignKind d, const SimConfig &base, const Query &q, bool verify)
+    {
+        SimConfig cfg = base;
+        cfg.design = d;
+        add(designName(d) + "/" + q.name, cfg, q, verify);
+    }
+
+    const RunResult &
+    at(const std::string &id) const
+    {
+        auto it = index.find(id);
+        sam_assert(it != index.end(), "no campaign run '", id, "'");
+        return results.at(it->second);
+    }
+
+    double
+    speedup(const std::string &design_id,
+            const std::string &base_id) const
+    {
+        const Cycle d = at(design_id).stats.cycles;
+        const Cycle b = at(base_id).stats.cycles;
+        sam_assert(d > 0 && b > 0, "run produced no work");
+        return static_cast<double>(b) / static_cast<double>(d);
+    }
+};
+
+std::vector<Query>
+allQueries()
+{
+    auto qs = benchmarkQQueries();
+    const auto more = benchmarkQsQueries();
+    qs.insert(qs.end(), more.begin(), more.end());
+    return qs;
+}
+
+// ----- fig12: speedup grid ------------------------------------------
+
+Book
+buildFig12(bool verify)
+{
+    Book book;
+    const SimConfig cfg = benchConfig();
+    for (const Query &q : allQueries()) {
+        book.add(DesignKind::Baseline, cfg, q, false);
+        for (DesignKind d : figureDesigns())
+            book.add(d, cfg, q, verify);
+    }
+    return book;
+}
+
+Json
+derivedFig12(const Book &book)
+{
+    Json derived = Json::object();
+    Json speedups = Json::object();
+    Json gmean_q = Json::object();
+    Json gmean_qs = Json::object();
+    const auto qq = benchmarkQQueries();
+    const auto qs = benchmarkQsQueries();
+    for (DesignKind d : figureDesigns()) {
+        Json per_query = Json::object();
+        std::vector<double> sp_q, sp_qs;
+        for (const Query &q : qq) {
+            const double sp = book.speedup(
+                designName(d) + "/" + q.name, "baseline/" + q.name);
+            per_query.set(q.name, sp);
+            sp_q.push_back(sp);
+        }
+        for (const Query &q : qs) {
+            const double sp = book.speedup(
+                designName(d) + "/" + q.name, "baseline/" + q.name);
+            per_query.set(q.name, sp);
+            sp_qs.push_back(sp);
+        }
+        speedups.set(designName(d), std::move(per_query));
+        gmean_q.set(designName(d), geometricMean(sp_q));
+        gmean_qs.set(designName(d), geometricMean(sp_qs));
+    }
+    derived.set("speedup", std::move(speedups));
+    derived.set("gmean_q", std::move(gmean_q));
+    derived.set("gmean_qs", std::move(gmean_qs));
+    return derived;
+}
+
+// ----- fig13: power by category -------------------------------------
+
+Book
+buildFig13(bool verify)
+{
+    Book book;
+    const SimConfig cfg = benchConfig();
+    for (const Query &q : allQueries()) {
+        book.add(DesignKind::Baseline, cfg, q, false);
+        for (DesignKind d : figureDesigns()) {
+            if (d != DesignKind::Ideal)
+                book.add(d, cfg, q, verify);
+        }
+    }
+    return book;
+}
+
+Json
+derivedFig13(const Book &book)
+{
+    const auto qq = benchmarkQQueries();
+    const auto qs = benchmarkQsQueries();
+    std::vector<std::pair<std::string, std::vector<Query>>> cats(4);
+    cats[0].first = "read_q";
+    cats[1].first = "write_q";
+    cats[2].first = "read_qs";
+    cats[3].first = "write_qs";
+    for (std::size_t i = 0; i < qq.size(); ++i)
+        cats[i < 10 ? 0 : 1].second.push_back(qq[i]);
+    for (std::size_t i = 0; i < qs.size(); ++i)
+        cats[i < 4 ? 2 : 3].second.push_back(qs[i]);
+
+    auto aggregate = [&](DesignKind d,
+                         const std::vector<Query> &queries) {
+        PowerBreakdown sum;
+        for (const Query &q : queries) {
+            const PowerBreakdown &p =
+                book.at(designName(d) + "/" + q.name).stats.power;
+            sum.actEnergyPj += p.actEnergyPj;
+            sum.rdwrEnergyPj += p.rdwrEnergyPj;
+            sum.backgroundEnergyPj += p.backgroundEnergyPj;
+            sum.refreshEnergyPj += p.refreshEnergyPj;
+            sum.elapsedNs += p.elapsedNs;
+        }
+        return sum;
+    };
+
+    Json derived = Json::object();
+    for (const auto &[cat_name, queries] : cats) {
+        Json cat = Json::object();
+        const PowerBreakdown base =
+            aggregate(DesignKind::Baseline, queries);
+        for (DesignKind d : figureDesigns()) {
+            if (d == DesignKind::Ideal)
+                continue;
+            const PowerBreakdown p = aggregate(d, queries);
+            Json row = Json::object();
+            row.set("total_mw", p.totalPowerMw());
+            row.set("energy_eff", p.totalEnergyPj() > 0
+                                      ? base.totalEnergyPj() /
+                                            p.totalEnergyPj()
+                                      : 0.0);
+            cat.set(designName(d), std::move(row));
+        }
+        derived.set(cat_name, std::move(cat));
+    }
+    return derived;
+}
+
+// ----- fig15: parameterized sweeps ----------------------------------
+
+const std::vector<DesignKind> kSweepDesigns = {
+    DesignKind::RcNvmWord, DesignKind::GsDramEcc, DesignKind::SamEn,
+    DesignKind::Ideal};
+
+std::string
+pointId(const char *kind, unsigned proj, double sel)
+{
+    return std::string(kind) + "/p" + std::to_string(proj) + "/s" +
+           std::to_string(static_cast<unsigned>(sel * 100 + 0.5));
+}
+
+void
+addSweepPoint(Book &book, const SimConfig &cfg, const std::string &point,
+              const Query &q, bool verify)
+{
+    SimConfig bcfg = cfg;
+    bcfg.design = DesignKind::Baseline;
+    book.add(point + "/baseline", bcfg, q, false);
+    for (DesignKind d : kSweepDesigns) {
+        SimConfig dcfg = cfg;
+        dcfg.design = d;
+        book.add(point + "/" + designName(d), dcfg, q, verify);
+    }
+}
+
+Book
+buildFig15(bool verify)
+{
+    Book book;
+    SimConfig cfg = benchConfig();
+    cfg.taRecords = quickMode() ? 2048 : 8192;
+    cfg.tbRecords = 2048;
+    const unsigned nf = cfg.taFields;
+    const std::vector<double> sels = {0.1, 0.2, 0.3, 0.4, 0.5,
+                                      0.6, 0.7, 0.8, 0.9, 1.0};
+    const std::vector<unsigned> projs = {2, 4, 8, 16, 32, 64, nf};
+    for (unsigned proj : {8u, 64u, nf})
+        for (double sel : sels)
+            addSweepPoint(book, cfg, pointId("arith", proj, sel),
+                          arithQuery(proj, sel, nf), verify);
+    for (double sel : {0.1, 0.5, 1.0})
+        for (unsigned proj : projs)
+            addSweepPoint(book, cfg, pointId("arith", proj, sel),
+                          arithQuery(proj, sel, nf), verify);
+    for (double sel : sels)
+        addSweepPoint(book, cfg, pointId("aggr", 8, sel),
+                      aggrQuery(8, sel, nf), verify);
+    for (unsigned proj : projs)
+        addSweepPoint(book, cfg, pointId("aggr", proj, 1.0),
+                      aggrQuery(proj, 1.0, nf), verify);
+    return book;
+}
+
+Json
+derivedFig15(const Book &book)
+{
+    Json speedups = Json::object();
+    for (const auto &[id, idx] : book.index) {
+        (void)idx;
+        const auto slash = id.rfind('/');
+        const std::string design = id.substr(slash + 1);
+        if (design == "baseline")
+            continue;
+        const std::string point = id.substr(0, slash);
+        speedups.set(id, book.speedup(id, point + "/baseline"));
+    }
+    Json derived = Json::object();
+    derived.set("speedup", std::move(speedups));
+    return derived;
+}
+
+// ----- driver -------------------------------------------------------
+
+struct CampaignDef
+{
+    std::string name;
+    Book (*build)(bool verify);
+    Json (*derived)(const Book &);
+};
+
+const std::vector<CampaignDef> kCampaigns = {
+    {"fig12", buildFig12, derivedFig12},
+    {"fig13", buildFig13, derivedFig13},
+    {"fig15", buildFig15, derivedFig15},
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace sam;
+    setQuietLogging(true);
+
+    std::vector<std::string> figs;
+    unsigned jobs = 0;
+    std::string out_dir = ".";
+    bool verify = false;
+
+    auto next_arg = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            usage(1);
+        return argv[++i];
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--help" || a == "-h")
+            usage(0);
+        else if (a == "--fig") {
+            const std::string f = next_arg(i);
+            if (f == "all") {
+                figs.clear();
+                for (const CampaignDef &c : kCampaigns)
+                    figs.push_back(c.name);
+            } else {
+                figs.push_back("fig" + f);
+            }
+        } else if (a == "--jobs")
+            jobs = static_cast<unsigned>(std::atoi(next_arg(i)));
+        else if (a == "--out")
+            out_dir = next_arg(i);
+        else if (a == "--quick") {
+            // Must precede the first (cached) quickMode() call.
+            setenv("SAM_QUICK", "1", 1);
+        } else if (a == "--verify")
+            verify = true;
+        else {
+            std::fprintf(stderr, "unknown option '%s'\n", a.c_str());
+            usage(1);
+        }
+    }
+    if (figs.empty())
+        figs.push_back("fig12");
+
+    try {
+        CampaignRunner runner(jobs);
+        std::printf("samcampaign: %u worker(s), %s scale\n",
+                    runner.jobs(),
+                    sam::bench::quickMode() ? "quick" : "full");
+        for (const std::string &fig : figs) {
+            const CampaignDef *def = nullptr;
+            for (const CampaignDef &c : kCampaigns) {
+                if (c.name == fig)
+                    def = &c;
+            }
+            if (def == nullptr)
+                fatal("unknown campaign '", fig, "' (try --help)");
+
+            Book book = def->build(verify);
+            const auto t0 = std::chrono::steady_clock::now();
+            book.results = runner.run(book.specs);
+            const auto t1 = std::chrono::steady_clock::now();
+            const double wall_ms =
+                std::chrono::duration<double, std::milli>(t1 - t0)
+                    .count();
+            double run_ms = 0.0;
+            for (const RunResult &r : book.results)
+                run_ms += r.wallMs;
+
+            Json doc = campaignJson(def->name, runner.jobs(),
+                                    book.results);
+            doc.set("scale",
+                    sam::bench::quickMode() ? "quick" : "full");
+            doc.set("verified", verify);
+            doc.set("wall_ms", wall_ms);
+            doc.set("run_wall_ms_total", run_ms);
+            doc.set("derived", def->derived(book));
+            const std::string path =
+                out_dir + "/BENCH_" + def->name + ".json";
+            writeJsonFile(path, doc);
+            std::printf("%s: %zu runs, wall %.1fs, per-run total "
+                        "%.1fs (parallel efficiency %.2fx), wrote "
+                        "%s\n",
+                        def->name.c_str(), book.results.size(),
+                        wall_ms / 1e3, run_ms / 1e3,
+                        wall_ms > 0 ? run_ms / wall_ms : 0.0,
+                        path.c_str());
+        }
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 1;
+    }
+    return 0;
+}

@@ -22,6 +22,7 @@
 
 #include "src/common/logging.hh"
 #include "src/core/session.hh"
+#include "src/runner/campaign.hh"
 #include "src/sim/system.hh"
 
 namespace {
@@ -53,6 +54,8 @@ usage(int code)
         "  --chipkill-chip <c>    which chip dies (default 5)\n"
         "  --fault-seed <n>       fault injector RNG seed\n"
         "  --compare              also run the row-store baseline\n"
+        "  --jobs <n>             with --compare: run design and\n"
+        "                         baseline in parallel (0 = cores)\n"
         "  --no-verify            skip the reference-result check\n"
         "  --check                print a protocol-checker summary\n"
         "  --no-check             disable the protocol-checker oracle\n"
@@ -197,6 +200,7 @@ main(int argc, char **argv)
     unsigned proj = 8;
     double sel = 0.25;
     int fail_chip = -1;
+    unsigned jobs = 1;
     bool compare = false;
     bool verify = true;
     bool stats = false;
@@ -251,6 +255,8 @@ main(int argc, char **argv)
                 static_cast<unsigned>(std::atoi(next_arg(i)));
         else if (a == "--fault-seed")
             cfg.faults.seed = std::strtoull(next_arg(i), nullptr, 10);
+        else if (a == "--jobs")
+            jobs = static_cast<unsigned>(std::atoi(next_arg(i)));
         else if (a == "--compare")
             compare = true;
         else if (a == "--no-verify")
@@ -285,16 +291,37 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(cfg.taRecords),
                     static_cast<unsigned long long>(cfg.tbRecords));
 
-        if (fail_chip >= 0) {
-            // Materialize first, then break the chip.
-            session.system(design).runQuery(query);
-            session.system(design).dataPath().failChip(
-                static_cast<unsigned>(fail_chip));
-            std::printf("injected whole-chip failure on chip %d\n",
-                        fail_chip);
+        RunStats run;
+        RunStats base;
+        bool have_base = false;
+        if (compare && jobs != 1 && fail_chip < 0) {
+            // Fan the design and baseline runs across a pool; each
+            // executes in a fresh single-threaded Session sharing the
+            // materialized-table cache, so the printed numbers match
+            // the serial path exactly.
+            CampaignRunner runner(jobs);
+            SimConfig dcfg = cfg;
+            dcfg.design = design;
+            SimConfig bcfg = cfg;
+            bcfg.design = DesignKind::Baseline;
+            std::vector<RunSpec> specs;
+            specs.push_back(RunSpec{design_name, dcfg, query, false});
+            specs.push_back(RunSpec{"baseline", bcfg, query, false});
+            std::vector<RunResult> results = runner.run(specs);
+            run = std::move(results[0].stats);
+            base = std::move(results[1].stats);
+            have_base = true;
+        } else {
+            if (fail_chip >= 0) {
+                // Materialize first, then break the chip.
+                session.system(design).runQuery(query);
+                session.system(design).dataPath().failChip(
+                    static_cast<unsigned>(fail_chip));
+                std::printf("injected whole-chip failure on chip %d\n",
+                            fail_chip);
+            }
+            run = session.run(design, query);
         }
-
-        const RunStats run = session.run(design, query);
         printRun(design_name.c_str(), run);
 
         if (check_summary) {
@@ -342,8 +369,8 @@ main(int argc, char **argv)
         }
 
         if (compare) {
-            const RunStats base = session.run(DesignKind::Baseline,
-                                              query);
+            if (!have_base)
+                base = session.run(DesignKind::Baseline, query);
             printRun("baseline", base);
             std::printf("speedup: %.2fx   energy efficiency: %.2fx\n",
                         static_cast<double>(base.cycles) /
