@@ -66,8 +66,8 @@ ProtocolChecker::observe(const Command &cmd)
 void
 ProtocolChecker::attach(Device &dev)
 {
-    dev.setCommandObserver(
-        [this](const Command &cmd) { observe(cmd); });
+    dev.addCommandObserver(
+        this, [this](const Command &cmd) { observe(cmd); });
 }
 
 const std::vector<Violation> &

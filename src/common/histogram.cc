@@ -1,0 +1,120 @@
+#include "src/common/histogram.hh"
+
+#include <algorithm>
+
+namespace sam {
+
+namespace {
+
+/** Index of the highest set bit (value must be non-zero). */
+unsigned highBit(std::uint64_t value)
+{
+    unsigned bit = 0;
+    while (value >>= 1)
+        ++bit;
+    return bit;
+}
+
+} // namespace
+
+std::size_t
+Histogram::bucketIndex(std::uint64_t value)
+{
+    // Values below 2^kSubBits map one-to-one onto the first group.
+    if (value < kSubBuckets)
+        return value;
+    const unsigned group = highBit(value); // >= kSubBits
+    const unsigned shift = group - kSubBits;
+    const std::uint64_t sub = (value >> shift) & (kSubBuckets - 1);
+    return kSubBuckets + static_cast<std::size_t>(group - kSubBits) *
+                             kSubBuckets +
+           sub;
+}
+
+std::uint64_t
+Histogram::bucketLow(std::size_t index)
+{
+    if (index < kSubBuckets)
+        return index;
+    const std::size_t rest = index - kSubBuckets;
+    const unsigned group = kSubBits + static_cast<unsigned>(rest / kSubBuckets);
+    const std::uint64_t sub = rest % kSubBuckets;
+    const unsigned shift = group - kSubBits;
+    return (std::uint64_t{1} << group) + (sub << shift);
+}
+
+std::uint64_t
+Histogram::bucketWidth(std::size_t index)
+{
+    if (index < kSubBuckets)
+        return 1;
+    const std::size_t rest = index - kSubBuckets;
+    const unsigned group = kSubBits + static_cast<unsigned>(rest / kSubBuckets);
+    return std::uint64_t{1} << (group - kSubBits);
+}
+
+void
+Histogram::record(std::uint64_t value)
+{
+    ++buckets_[bucketIndex(value)];
+    ++count_;
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+    sum_ += static_cast<double>(value);
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    if (!other.count_)
+        return;
+    for (std::size_t i = 0; i < kBuckets; ++i)
+        buckets_[i] += other.buckets_[i];
+    count_ += other.count_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    sum_ += other.sum_;
+}
+
+double
+Histogram::quantile(double q) const
+{
+    if (!count_)
+        return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    // Rank of the sample we are after, 1-based.
+    const double rank = q * static_cast<double>(count_ - 1) + 1.0;
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+        const std::uint64_t n = buckets_[i];
+        if (!n)
+            continue;
+        if (static_cast<double>(seen + n) >= rank) {
+            // Interpolate linearly within the bucket's value span.
+            const double into = (rank - static_cast<double>(seen)) /
+                                static_cast<double>(n);
+            const double value = static_cast<double>(bucketLow(i)) +
+                                 into * static_cast<double>(bucketWidth(i));
+            return std::clamp(value, static_cast<double>(min_),
+                              static_cast<double>(max_));
+        }
+        seen += n;
+    }
+    return static_cast<double>(max_);
+}
+
+HistogramSummary
+Histogram::summary() const
+{
+    HistogramSummary s;
+    s.count = count_;
+    s.min = min();
+    s.max = max();
+    s.mean = mean();
+    s.p50 = quantile(0.50);
+    s.p95 = quantile(0.95);
+    s.p99 = quantile(0.99);
+    return s;
+}
+
+} // namespace sam

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Log-linear latency histogram (HDR-style).
+ *
+ * Values are bucketed into power-of-two groups split into 16 linear
+ * sub-buckets each, bounding the relative quantile error to ~6% while
+ * keeping the footprint a fixed 8KB array and record() branch-free
+ * enough for per-request use. Exact count/min/max/sum are tracked on
+ * the side so summary statistics do not inherit bucketing error.
+ */
+
+#ifndef SAM_COMMON_HISTOGRAM_HH
+#define SAM_COMMON_HISTOGRAM_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace sam {
+
+/** Point summary of a histogram (quantiles from bucket interpolation). */
+struct HistogramSummary
+{
+    std::uint64_t count = 0;
+    std::uint64_t min = 0;
+    std::uint64_t max = 0;
+    double mean = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+};
+
+class Histogram
+{
+  public:
+    /** Sub-buckets per power-of-two group (16 => <=1/16 rel. error). */
+    static constexpr unsigned kSubBits = 4;
+    static constexpr unsigned kSubBuckets = 1u << kSubBits;
+    /** Enough groups to cover the full 64-bit value range. */
+    static constexpr std::size_t kBuckets =
+        kSubBuckets + (64 - kSubBits) * kSubBuckets;
+
+    void record(std::uint64_t value);
+
+    /** Merge another histogram's samples into this one. */
+    void merge(const Histogram &other);
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t min() const { return count_ ? min_ : 0; }
+    std::uint64_t max() const { return max_; }
+    double mean() const
+    {
+        return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+    }
+
+    /**
+     * Value at quantile `q` in [0, 1], linearly interpolated within the
+     * containing bucket and clamped to the exact observed [min, max].
+     */
+    double quantile(double q) const;
+
+    HistogramSummary summary() const;
+
+    /** Bucket index a value lands in (exposed for tests). */
+    static std::size_t bucketIndex(std::uint64_t value);
+
+    /** Inclusive lower bound of a bucket. */
+    static std::uint64_t bucketLow(std::size_t index);
+
+    /** Width of a bucket in value units. */
+    static std::uint64_t bucketWidth(std::size_t index);
+
+    std::uint64_t bucketCount(std::size_t index) const
+    {
+        return buckets_[index];
+    }
+
+  private:
+    std::array<std::uint64_t, kBuckets> buckets_{};
+    std::uint64_t count_ = 0;
+    std::uint64_t min_ = ~std::uint64_t{0};
+    std::uint64_t max_ = 0;
+    double sum_ = 0.0;
+};
+
+} // namespace sam
+
+#endif // SAM_COMMON_HISTOGRAM_HH

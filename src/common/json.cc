@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <fstream>
 
 #include "src/common/logging.hh"
 
@@ -157,6 +158,16 @@ Json::dump(int indent) const
     if (indent > 0)
         out += '\n';
     return out;
+}
+
+void
+writeJsonFile(const std::string &path, const Json &doc)
+{
+    std::ofstream out(path, std::ios::trunc);
+    sam_assert(out.good(), "cannot open ", path, " for writing");
+    out << doc.dump();
+    out.flush();
+    sam_assert(out.good(), "write to ", path, " failed");
 }
 
 } // namespace sam

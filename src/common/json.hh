@@ -63,6 +63,9 @@ class Json
     std::vector<std::pair<std::string, Json>> object_;
 };
 
+/** Write a JSON document to `path` (panics on I/O failure). */
+void writeJsonFile(const std::string &path, const Json &doc);
+
 } // namespace sam
 
 #endif // SAM_COMMON_JSON_HH

@@ -3,8 +3,27 @@
 #include <algorithm>
 
 #include "src/common/logging.hh"
+#include "src/telemetry/telemetry.hh"
 
 namespace sam {
+
+namespace {
+
+RequestClass
+requestClassOf(const MemRequest &req)
+{
+    if (req.isScrub)
+        return RequestClass::Scrub;
+    switch (req.type) {
+      case AccessType::Read:        return RequestClass::Read;
+      case AccessType::Write:       return RequestClass::Write;
+      case AccessType::StrideRead:  return RequestClass::StrideRead;
+      case AccessType::StrideWrite: return RequestClass::StrideWrite;
+    }
+    panic("unknown AccessType");
+}
+
+} // namespace
 
 void
 ControllerStats::registerIn(StatGroup &group) const
@@ -51,6 +70,11 @@ MemoryController::serve(MemRequest req)
     // Serialising requests behind each other's tRCD here would deny the
     // bank-level parallelism a real FR-FCFS controller exploits.
     const Cycle earliest = std::max(now_, req.arrival);
+    if (telemetry_) {
+        telemetry_->beginRequest(req.id, requestClassOf(req), req.coreId,
+                                 req.device.addr.channel, req.arrival,
+                                 readQ_.size(), writeQ_.size(), earliest);
+    }
     const AccessResult r = device_.access(req.device, earliest);
     now_ = earliest + 1 + 2 * r.activates;
 
@@ -59,6 +83,8 @@ MemoryController::serve(MemRequest req)
     c.coreId = req.coreId;
     c.isRead = !isWrite(req.type);
     c.done = r.done + params_.pipelineLatency;
+    if (telemetry_)
+        telemetry_->endRequest(r, c.done);
 
     switch (req.type) {
       case AccessType::Read:

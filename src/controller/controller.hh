@@ -19,6 +19,8 @@
 
 namespace sam {
 
+class Telemetry;
+
 /** Controller tuning knobs. */
 struct ControllerParams
 {
@@ -89,13 +91,21 @@ class MemoryController
 
     /**
      * Forward a command observer to the underlying device (the hook the
-     * src/check protocol oracle uses to watch the command stream).
+     * src/check protocol oracle and the telemetry tracer use to watch
+     * the command stream).
      */
     void
-    setCommandObserver(CommandObserver obs)
+    addCommandObserver(const void *owner, CommandObserver obs)
     {
-        device_.setCommandObserver(std::move(obs));
+        device_.addCommandObserver(owner, std::move(obs));
     }
+
+    /**
+     * Attach a telemetry collector. The controller reports request
+     * begin/end around each device access so end-to-end latency and
+     * queue-depth series can be attributed per request. Null detaches.
+     */
+    void setTelemetry(Telemetry *telemetry) { telemetry_ = telemetry; }
 
     DataPath &dataPath() { return dataPath_; }
 
@@ -113,6 +123,7 @@ class MemoryController
     ControllerParams params_;
 
     bool functional_;
+    Telemetry *telemetry_ = nullptr;
     RequestQueue readQ_;
     RequestQueue writeQ_;
     bool drainingWrites_ = false;

@@ -45,17 +45,41 @@ Device::Device(const Geometry &geom, const TimingParams &timing)
 }
 
 void
+Device::addCommandObserver(const void *owner, CommandObserver obs)
+{
+    sam_assert(owner != nullptr, "command observer owner must be non-null");
+    sam_assert(obs != nullptr, "command observer must be callable");
+    for (const auto &entry : cmdObservers_) {
+        sam_assert(entry.first != owner,
+                   "command observer owner attached twice");
+    }
+    cmdObservers_.emplace_back(owner, std::move(obs));
+}
+
+void
+Device::removeCommandObserver(const void *owner)
+{
+    for (auto it = cmdObservers_.begin(); it != cmdObservers_.end(); ++it) {
+        if (it->first == owner) {
+            cmdObservers_.erase(it);
+            return;
+        }
+    }
+}
+
+void
 Device::emit(CmdKind kind, Cycle at, const MappedAddr &addr,
              AccessMode mode)
 {
-    if (!cmdObserver_)
+    if (cmdObservers_.empty())
         return;
     Command cmd;
     cmd.kind = kind;
     cmd.at = at;
     cmd.addr = addr;
     cmd.mode = mode;
-    cmdObserver_(cmd);
+    for (const auto &entry : cmdObservers_)
+        entry.second(cmd);
 }
 
 Device::BankState &

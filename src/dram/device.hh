@@ -14,8 +14,10 @@
 #ifndef SAM_DRAM_DEVICE_HH
 #define SAM_DRAM_DEVICE_HH
 
+#include <cstddef>
 #include <deque>
 #include <functional>
+#include <utility>
 #include <vector>
 
 #include "src/common/stats.hh"
@@ -121,16 +123,22 @@ class Device
     void setTraceHook(TraceHook hook) { traceHook_ = std::move(hook); }
 
     /**
-     * Observer invoked once per scheduled DDR command (ACT/PRE/RD/WR/
-     * REF/mode switch) with the cycle it issues at. Commands arrive in
-     * commit order (monotone per bank/rank/bus, not globally monotone
-     * in time). Used by the src/check protocol oracle.
+     * Attach an observer invoked once per scheduled DDR command
+     * (ACT/PRE/RD/WR/REF/mode switch) with the cycle it issues at.
+     * Commands arrive in commit order (monotone per bank/rank/bus, not
+     * globally monotone in time). Multiple observers may be attached
+     * (e.g.\ the src/check protocol oracle plus the telemetry tracer);
+     * they are notified in attach order. `owner` identifies the
+     * attachment for removal; attaching the same owner twice is a
+     * programming error and asserts.
      */
-    void
-    setCommandObserver(CommandObserver obs)
-    {
-        cmdObserver_ = std::move(obs);
-    }
+    void addCommandObserver(const void *owner, CommandObserver obs);
+
+    /** Detach the observer attached under `owner` (no-op if absent). */
+    void removeCommandObserver(const void *owner);
+
+    /** Number of attached command observers. */
+    std::size_t commandObservers() const { return cmdObservers_.size(); }
 
     const DeviceStats &stats() const { return stats_; }
     DeviceStats &stats() { return stats_; }
@@ -193,7 +201,7 @@ class Device
     std::vector<ChannelState> channels_;
     DeviceStats stats_;
     TraceHook traceHook_;
-    CommandObserver cmdObserver_;
+    std::vector<std::pair<const void *, CommandObserver>> cmdObservers_;
 };
 
 } // namespace sam

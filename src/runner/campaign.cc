@@ -1,9 +1,7 @@
 #include "src/runner/campaign.hh"
 
 #include <chrono>
-#include <fstream>
 
-#include "src/common/logging.hh"
 #include "src/common/types.hh"
 #include "src/core/session.hh"
 
@@ -69,6 +67,9 @@ runResultJson(const RunResult &result)
     run.set("result_rows", s.result.rows);
     run.set("result_checksum", s.result.checksum);
     run.set("wall_ms", result.wallMs);
+    // Per-class latency percentiles when the run collected telemetry.
+    if (s.telemetry)
+        run.set("latency_cycles", s.telemetry->latencyJson());
     return run;
 }
 
@@ -85,16 +86,6 @@ campaignJson(const std::string &name, unsigned jobs,
         runs.push(runResultJson(r));
     doc.set("runs", std::move(runs));
     return doc;
-}
-
-void
-writeJsonFile(const std::string &path, const Json &doc)
-{
-    std::ofstream out(path, std::ios::trunc);
-    sam_assert(out.good(), "cannot open ", path, " for writing");
-    out << doc.dump();
-    out.flush();
-    sam_assert(out.good(), "write to ", path, " failed");
 }
 
 } // namespace sam

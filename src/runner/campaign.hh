@@ -91,9 +91,6 @@ Json runResultJson(const RunResult &result);
 Json campaignJson(const std::string &name, unsigned jobs,
                   const std::vector<RunResult> &results);
 
-/** Write a JSON document to `path` (panics on I/O failure). */
-void writeJsonFile(const std::string &path, const Json &doc);
-
 } // namespace sam
 
 #endif // SAM_RUNNER_CAMPAIGN_HH

@@ -166,6 +166,13 @@ System::runQuery(const Query &query)
         checker = std::make_unique<ProtocolChecker>(geom_, timing_);
         checker->attach(device);
     }
+    std::unique_ptr<Telemetry> telemetry;
+    if (config_.telemetry.enabled) {
+        telemetry = std::make_unique<Telemetry>(config_.telemetry, geom_,
+                                                timing_);
+        telemetry->attach(device);
+        controller.setTelemetry(telemetry.get());
+    }
     rs.cycles = replay(ports, device, controller, model);
     if (checker) {
         rs.checkedCommands = checker->commandCount();
@@ -173,6 +180,8 @@ System::runQuery(const Query &query)
             panic("timing engine emitted an illegal command stream\n",
                   checker->report());
     }
+    if (telemetry)
+        rs.telemetry = telemetry->finish();
 
     // ----- Statistics ------------------------------------------------
     const DeviceStats &ds = device.stats();

@@ -34,6 +34,7 @@
 #include "src/power/power_model.hh"
 #include "src/sim/core_port.hh"
 #include "src/sim/table_cache.hh"
+#include "src/telemetry/telemetry.hh"
 
 namespace sam {
 
@@ -73,6 +74,12 @@ struct SimConfig
 
     /** Read-path RAS policy (always attached). */
     RasConfig ras;
+
+    /**
+     * Telemetry collection (off by default: nothing is attached and
+     * the replay runs exactly as without the subsystem).
+     */
+    TelemetryConfig telemetry;
 };
 
 /** Everything measured for one query run. */
@@ -106,6 +113,9 @@ struct RunStats
     std::uint64_t readRetries = 0;     ///< Re-reads after uncorrectable.
     std::uint64_t poisonedReads = 0;   ///< Reads that returned poison.
     std::uint64_t linesRetired = 0;    ///< Lines remapped to spares.
+
+    /** Collected telemetry; null unless SimConfig::telemetry.enabled. */
+    std::shared_ptr<const TelemetrySnapshot> telemetry;
 
     double rowHitRate() const
     {

@@ -1,0 +1,193 @@
+#include "src/telemetry/perfetto.hh"
+
+#include <string>
+#include <utility>
+
+namespace sam {
+
+namespace {
+
+/**
+ * Track (thread) ids within one channel's process: banks first, then
+ * one rank-level track per rank for rank-scoped commands (REF, mode
+ * switches). tid 0 is left unused so tracks start at 1.
+ */
+unsigned
+bankTid(const Geometry &geom, const MappedAddr &a)
+{
+    return 1 + a.rank * geom.banksPerRank() + a.bankInRank(geom);
+}
+
+unsigned
+rankTid(const Geometry &geom, unsigned rank)
+{
+    return 1 + geom.ranks * geom.banksPerRank() + rank;
+}
+
+bool
+rankScoped(CmdKind kind)
+{
+    return kind == CmdKind::Ref || kind == CmdKind::ModeSwitch;
+}
+
+Json
+metaEvent(unsigned pid, unsigned tid, const std::string &kind,
+          const std::string &name, bool thread)
+{
+    Json e = Json::object();
+    e.set("ph", "M");
+    e.set("pid", pid);
+    if (thread)
+        e.set("tid", tid);
+    e.set("name", kind);
+    Json args = Json::object();
+    args.set("name", name);
+    e.set("args", std::move(args));
+    return e;
+}
+
+/** Nominal command occupancy used as the slice duration (cycles). */
+Cycle
+cmdDuration(const TimingParams &t, CmdKind kind)
+{
+    switch (kind) {
+      case CmdKind::Act:        return t.tRCD;
+      case CmdKind::Pre:        return t.tRP;
+      case CmdKind::Rd:
+      case CmdKind::Wr:         return t.tBL;
+      case CmdKind::Ref:        return t.tRFC;
+      case CmdKind::ModeSwitch: return t.tRTR;
+    }
+    return 1;
+}
+
+} // namespace
+
+Json
+perfettoTraceJson(const TelemetrySnapshot &snap)
+{
+    const Geometry &geom = snap.geom;
+    // trace-event timestamps are microseconds; we simulate in bus
+    // cycles of tCkNs nanoseconds.
+    const double us_per_cycle = snap.tCkNs / 1000.0;
+    const unsigned requests_pid = geom.channels;
+
+    Json events = Json::array();
+
+    // ----- Track naming metadata ------------------------------------
+    for (unsigned ch = 0; ch < geom.channels; ++ch) {
+        events.push(metaEvent(ch, 0, "process_name",
+                              "channel " + std::to_string(ch), false));
+        for (unsigned rk = 0; rk < geom.ranks; ++rk) {
+            for (unsigned b = 0; b < geom.banksPerRank(); ++b) {
+                MappedAddr a;
+                a.channel = ch;
+                a.rank = rk;
+                a.bankGroup = b / geom.banksPerGroup;
+                a.bank = b % geom.banksPerGroup;
+                events.push(metaEvent(
+                    ch, bankTid(geom, a), "thread_name",
+                    "rk" + std::to_string(rk) + ".bg" +
+                        std::to_string(a.bankGroup) + ".bk" +
+                        std::to_string(a.bank),
+                    true));
+            }
+            events.push(metaEvent(ch, rankTid(geom, rk), "thread_name",
+                                  "rk" + std::to_string(rk) + " (rank)",
+                                  true));
+        }
+    }
+    events.push(metaEvent(requests_pid, 0, "process_name", "requests",
+                          false));
+
+    // ----- Command slices -------------------------------------------
+    for (const Command &cmd : snap.commands) {
+        Json e = Json::object();
+        e.set("ph", "X");
+        e.set("pid", cmd.addr.channel);
+        e.set("tid", rankScoped(cmd.kind)
+                         ? rankTid(geom, cmd.addr.rank)
+                         : bankTid(geom, cmd.addr));
+        e.set("ts", static_cast<double>(cmd.at) * us_per_cycle);
+        e.set("dur", static_cast<double>(cmdDuration(snap.timing,
+                                                     cmd.kind)) *
+                         us_per_cycle);
+        e.set("name", cmdKindName(cmd.kind));
+        e.set("cat", "dram");
+        Json args = Json::object();
+        args.set("cycle", cmd.at);
+        if (cmd.kind == CmdKind::Act || cmd.kind == CmdKind::Pre)
+            args.set("row", cmd.addr.row);
+        if (cmd.kind == CmdKind::Rd || cmd.kind == CmdKind::Wr) {
+            args.set("row", cmd.addr.row);
+            args.set("col", cmd.addr.column);
+            args.set("mode",
+                     cmd.mode == AccessMode::Stride ? "stride"
+                                                    : "regular");
+        }
+        if (cmd.kind == CmdKind::ModeSwitch)
+            args.set("mode",
+                     cmd.mode == AccessMode::Stride ? "stride"
+                                                    : "regular");
+        e.set("args", std::move(args));
+        events.push(std::move(e));
+    }
+
+    // ----- Request slices + flows to their commands ------------------
+    for (const RequestRecord &req : snap.requests) {
+        const unsigned tid = req.core + 1;
+        const double ts = static_cast<double>(req.start) * us_per_cycle;
+        const Cycle dur_cycles =
+            req.done > req.start ? req.done - req.start : 1;
+        Json e = Json::object();
+        e.set("ph", "X");
+        e.set("pid", requests_pid);
+        e.set("tid", tid);
+        e.set("ts", ts);
+        e.set("dur", static_cast<double>(dur_cycles) * us_per_cycle);
+        e.set("name", requestClassName(req.cls));
+        e.set("cat", "request");
+        Json args = Json::object();
+        args.set("id", req.id);
+        args.set("channel", req.channel);
+        args.set("arrivalCycle", req.arrival);
+        args.set("doneCycle", req.done);
+        e.set("args", std::move(args));
+        events.push(std::move(e));
+
+        if (req.firstCmd == RequestRecord::kNoCommand)
+            continue;
+        Json start = Json::object();
+        start.set("ph", "s");
+        start.set("pid", requests_pid);
+        start.set("tid", tid);
+        start.set("ts", ts);
+        start.set("id", req.id);
+        start.set("name", "req");
+        start.set("cat", "req");
+        events.push(std::move(start));
+        for (std::size_t i = req.firstCmd; i <= req.lastCmd; ++i) {
+            const Command &cmd = snap.commands[i];
+            Json f = Json::object();
+            f.set("ph", i == req.lastCmd ? "f" : "t");
+            f.set("pid", cmd.addr.channel);
+            f.set("tid", rankScoped(cmd.kind)
+                             ? rankTid(geom, cmd.addr.rank)
+                             : bankTid(geom, cmd.addr));
+            f.set("ts", static_cast<double>(cmd.at) * us_per_cycle);
+            f.set("id", req.id);
+            f.set("name", "req");
+            f.set("cat", "req");
+            if (i == req.lastCmd)
+                f.set("bp", "e");
+            events.push(std::move(f));
+        }
+    }
+
+    Json doc = Json::object();
+    doc.set("displayTimeUnit", "ns");
+    doc.set("traceEvents", std::move(events));
+    return doc;
+}
+
+} // namespace sam

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Chrome/Perfetto trace-event exporter for the telemetry command trace.
+ *
+ * Emits the JSON "trace event format" understood by ui.perfetto.dev and
+ * chrome://tracing: one process per channel with one track (thread) per
+ * bank plus one per rank (refresh / mode switches), a separate
+ * "requests" process with one track per core, and flow arrows linking
+ * each request slice to the DDR commands it generated.
+ */
+
+#ifndef SAM_TELEMETRY_PERFETTO_HH
+#define SAM_TELEMETRY_PERFETTO_HH
+
+#include "src/common/json.hh"
+#include "src/telemetry/telemetry.hh"
+
+namespace sam {
+
+/**
+ * Build the trace-event document. Requires a snapshot collected with
+ * `commandTrace` enabled (an empty command stream still produces a
+ * valid, if boring, trace).
+ */
+Json perfettoTraceJson(const TelemetrySnapshot &snap);
+
+} // namespace sam
+
+#endif // SAM_TELEMETRY_PERFETTO_HH

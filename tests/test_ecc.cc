@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
 #include <vector>
 
 #include "src/common/random.hh"
@@ -15,6 +16,7 @@
 #include "src/ecc/gf256.hh"
 #include "src/ecc/reed_solomon.hh"
 #include "src/ecc/secded.hh"
+#include "tests/golden_ecc_vectors.hh"
 
 namespace sam {
 namespace {
@@ -495,6 +497,185 @@ TEST(EccEngine, GeometryPerScheme)
     EXPECT_EQ(EccEngine(EccScheme::None).numChips(), 16u);
     EXPECT_EQ(EccEngine(EccScheme::None).parityBytesPerLine(), 0u);
     EXPECT_EQ(EccEngine(EccScheme::Ssc).parityBytesPerLine(), 8u);
+}
+
+// --------------------------------------------------------------------
+// Golden vectors (tests/golden_ecc_vectors.hh, independently derived
+// by tools/gen_ecc_vectors.py from the published algebra)
+// --------------------------------------------------------------------
+
+template <std::size_t N>
+std::vector<std::uint8_t>
+vec(const std::uint8_t (&a)[N])
+{
+    return std::vector<std::uint8_t>(a, a + N);
+}
+
+TEST(GoldenVectors, Rs18EncodeMatchesReference)
+{
+    const ReedSolomon rs(18, 16);
+    EXPECT_EQ(rs.encode(vec(golden::kRs18Data)),
+              vec(golden::kRs18Codeword));
+}
+
+TEST(GoldenVectors, Rs36EncodeMatchesReference)
+{
+    const ReedSolomon rs(36, 32);
+    EXPECT_EQ(rs.encode(vec(golden::kRs36Data)),
+              vec(golden::kRs36Codeword));
+}
+
+TEST(GoldenVectors, Rs72EncodeMatchesReference)
+{
+    const ReedSolomon rs(72, 64);
+    EXPECT_EQ(rs.encode(vec(golden::kRs72Data)),
+              vec(golden::kRs72Codeword));
+}
+
+TEST(GoldenVectors, RsZeroDataEncodesToZeroCodeword)
+{
+    // Linearity: the zero message maps to the zero codeword, and the
+    // committed vector pins that down byte-for-byte.
+    const ReedSolomon rs(18, 16);
+    const auto cw = rs.encode(std::vector<std::uint8_t>(16, 0));
+    EXPECT_EQ(cw, vec(golden::kRs18ZeroCodeword));
+    for (std::uint8_t b : cw)
+        EXPECT_EQ(b, 0);
+}
+
+TEST(GoldenVectors, SecDedCheckBytesMatchReference)
+{
+    for (std::size_t i = 0; i < std::size(golden::kSecDedWords); ++i) {
+        EXPECT_EQ(SecDed::encode(golden::kSecDedWords[i]),
+                  golden::kSecDedChecks[i])
+            << "word 0x" << std::hex << golden::kSecDedWords[i];
+    }
+}
+
+TEST(GoldenVectors, SecDedGoldenWordsDecodeClean)
+{
+    for (std::size_t i = 0; i < std::size(golden::kSecDedWords); ++i) {
+        std::uint64_t data = golden::kSecDedWords[i];
+        std::uint8_t check = golden::kSecDedChecks[i];
+        const auto r = SecDed::decode(data, check);
+        EXPECT_EQ(r.status, SecDedResult::Status::Clean) << "i=" << i;
+    }
+}
+
+struct GoldenBlobCase {
+    EccScheme scheme;
+    const std::uint8_t *blob;
+    std::size_t size;
+};
+
+class GoldenBlobTest : public ::testing::TestWithParam<GoldenBlobCase>
+{
+protected:
+    std::vector<std::uint8_t>
+    goldenBlob() const
+    {
+        const auto &p = GetParam();
+        return std::vector<std::uint8_t>(p.blob, p.blob + p.size);
+    }
+};
+
+TEST_P(GoldenBlobTest, EncodeLineMatchesReference)
+{
+    const EccEngine engine(GetParam().scheme);
+    EXPECT_EQ(engine.encodeLine(vec(golden::kEngineLine)), goldenBlob());
+}
+
+TEST_P(GoldenBlobTest, SingleSymbolErrorRestoresGoldenBlob)
+{
+    const EccEngine engine(GetParam().scheme);
+    const auto pristine = goldenBlob();
+    auto blob = pristine;
+    // A single-bit flip is one symbol for the RS schemes and one data
+    // bit for SEC-DED, so every scheme must fully recover.
+    blob[21] ^= 0x04;
+    const auto r = engine.decodeLine(blob);
+    EXPECT_TRUE(r.corrected);
+    EXPECT_FALSE(r.uncorrectable);
+    EXPECT_EQ(blob, pristine);
+}
+
+TEST_P(GoldenBlobTest, ChipkillErasureAgainstGoldenBlob)
+{
+    const EccEngine engine(GetParam().scheme);
+    const auto pristine = goldenBlob();
+    auto blob = pristine;
+    // Chip 7, not an arbitrary one: for SEC-DED a dead x4 chip flips an
+    // aligned nibble per word, and some nibbles (e.g. chip 5's, data
+    // bits 20-23 at Hamming positions 26,27,28,29) XOR to a *zero*
+    // syndrome -- a silently undetectable failure. Chip 7's positions
+    // (35,36,37,38) keep the syndrome non-zero, the case the existing
+    // detection claim is about.
+    engine.corruptChip(blob, 7);
+    const auto r = engine.decodeLine(blob);
+    if (engine.toleratesChipFailure()) {
+        EXPECT_TRUE(r.corrected);
+        EXPECT_FALSE(r.uncorrectable);
+        EXPECT_EQ(blob, pristine);
+    } else {
+        EXPECT_TRUE(r.uncorrectable); // SEC-DED: detected, never silent
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, GoldenBlobTest,
+    ::testing::Values(
+        GoldenBlobCase{EccScheme::SecDed, golden::kSecDedBlob,
+                       std::size(golden::kSecDedBlob)},
+        GoldenBlobCase{EccScheme::Ssc, golden::kSscBlob,
+                       std::size(golden::kSscBlob)},
+        GoldenBlobCase{EccScheme::SscDsd, golden::kSscDsdBlob,
+                       std::size(golden::kSscDsdBlob)},
+        GoldenBlobCase{EccScheme::Ssc32, golden::kSsc32Blob,
+                       std::size(golden::kSsc32Blob)},
+        GoldenBlobCase{EccScheme::Bamboo72, golden::kBamboo72Blob,
+                       std::size(golden::kBamboo72Blob)}),
+    [](const auto &info) {
+        std::string name = eccSchemeName(info.param.scheme);
+        std::erase(name, '-');
+        return name;
+    });
+
+TEST(GoldenVectors, SecDedChipFailureCanAliasToCleanSilently)
+{
+    // The flip side of the chipkill motivation: a whole-chip x4 failure
+    // is not merely uncorrectable for SEC-DED -- for chips whose four
+    // codeword positions XOR to zero it is *undetectable*. Chip 5
+    // drives data bits 20-23, at Hamming positions 26^27^28^29 == 0
+    // with even overall parity: the decoder reports clean and returns
+    // corrupted data. This test pins that hazard so nobody "fixes" the
+    // detection claim to cover all chips.
+    const EccEngine engine(EccScheme::SecDed);
+    std::vector<std::uint8_t> blob(
+        golden::kSecDedBlob,
+        golden::kSecDedBlob + std::size(golden::kSecDedBlob));
+    engine.corruptChip(blob, 5);
+    const auto r = engine.decodeLine(blob);
+    EXPECT_FALSE(r.uncorrectable);
+    EXPECT_FALSE(r.corrected);
+    // ...and the data really is wrong.
+    blob.resize(kCachelineBytes);
+    EXPECT_NE(blob, vec(golden::kEngineLine));
+}
+
+TEST(GoldenVectors, SscDsdDetectOnlyBeyondPolicyOnGoldenBlob)
+{
+    // Two dead chips land two symbol errors in the same RS(36,32)
+    // codeword; the correct-one/detect-two policy must refuse to
+    // correct even though t = 2 could.
+    const EccEngine engine(EccScheme::SscDsd);
+    std::vector<std::uint8_t> blob(
+        golden::kSscDsdBlob,
+        golden::kSscDsdBlob + std::size(golden::kSscDsdBlob));
+    engine.corruptChip(blob, 2);
+    engine.corruptChip(blob, 9);
+    const auto r = engine.decodeLine(blob);
+    EXPECT_TRUE(r.uncorrectable);
+    EXPECT_FALSE(r.corrected);
 }
 
 } // namespace

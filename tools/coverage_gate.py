@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Gate line coverage of selected source directories from an lcov info file.
+
+Usage:
+    tools/coverage_gate.py COVERAGE.info --dir src/ecc --dir src/telemetry \\
+        [--min 80]
+
+Parses the lcov tracefile records (SF: source file, LF: lines found,
+LH: lines hit), aggregates line coverage per requested directory
+(matched against the repo-relative part of each SF path), and fails if
+any directory's coverage is below the threshold or has no data at all.
+
+Exit status: 0 when every directory meets the bar, 1 otherwise, 2 on
+usage errors.
+"""
+
+import argparse
+import sys
+
+
+def parse_info(path):
+    """Yield (source_file, lines_found, lines_hit) per SF record."""
+    records = []
+    source, found, hit = None, 0, 0
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if line.startswith("SF:"):
+                    source, found, hit = line[3:], 0, 0
+                elif line.startswith("LF:"):
+                    found = int(line[3:])
+                elif line.startswith("LH:"):
+                    hit = int(line[3:])
+                elif line == "end_of_record" and source is not None:
+                    records.append((source, found, hit))
+                    source = None
+    except OSError as exc:
+        sys.exit(f"coverage_gate: cannot read {path}: {exc}")
+    return records
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="fail when directory line coverage drops too low")
+    parser.add_argument("info", help="lcov tracefile (.info)")
+    parser.add_argument("--dir", action="append", required=True,
+                        dest="dirs", metavar="DIR",
+                        help="repo-relative directory to gate "
+                             "(repeatable)")
+    parser.add_argument("--min", type=float, default=80.0,
+                        help="minimum line coverage percent "
+                             "(default: %(default)s)")
+    args = parser.parse_args()
+
+    records = parse_info(args.info)
+    if not records:
+        sys.exit(f"coverage_gate: no records in {args.info}")
+
+    failed = False
+    for directory in args.dirs:
+        needle = "/" + directory.strip("/") + "/"
+        found = hit = files = 0
+        for source, lf, lh in records:
+            if needle in source or source.startswith(needle[1:]):
+                found += lf
+                hit += lh
+                files += 1
+        if found == 0:
+            print(f"coverage_gate: {directory}: NO DATA "
+                  f"({files} file(s) matched)")
+            failed = True
+            continue
+        pct = 100.0 * hit / found
+        status = "ok" if pct >= args.min else "FAIL"
+        print(f"coverage_gate: {directory}: {pct:.1f}% "
+              f"({hit}/{found} lines over {files} file(s)) "
+              f"[min {args.min:g}%] {status}")
+        if pct < args.min:
+            failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

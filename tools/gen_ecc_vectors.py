@@ -1,0 +1,240 @@
+#!/usr/bin/env python3
+"""Generate independent ECC known-answer vectors.
+
+Usage:
+    tools/gen_ecc_vectors.py > tests/golden_ecc_vectors.hh
+
+Re-derives the repo's ECC math from the published specifications only —
+GF(2^8) with the primitive polynomial x^8+x^4+x^3+x^2+1 (0x11d),
+systematic Reed-Solomon with generator roots alpha^0..alpha^{2t-1}, and
+the (72,64) extended Hamming layout with data bits packed into the
+non-power-of-two codeword positions — without importing or imitating
+the C++ implementation. The emitted header is committed; a divergence
+between src/ecc and these vectors is a codec bug, not a vector bug.
+
+Layouts (chip interleaving of encodeLine blobs) follow the geometry
+documented in src/ecc/ecc_engine.hh's header comment.
+"""
+
+import sys
+
+# ----- GF(2^8), primitive polynomial 0x11d ---------------------------
+
+EXP = [0] * 512
+LOG = [0] * 256
+_x = 1
+for _i in range(255):
+    EXP[_i] = _x
+    LOG[_x] = _i
+    _x <<= 1
+    if _x & 0x100:
+        _x ^= 0x11d
+for _i in range(255, 512):
+    EXP[_i] = EXP[_i - 255]
+
+
+def gf_mul(a, b):
+    if a == 0 or b == 0:
+        return 0
+    return EXP[LOG[a] + LOG[b]]
+
+
+def poly_mul(p, q):
+    """Multiply polynomials, low-order coefficient first."""
+    out = [0] * (len(p) + len(q) - 1)
+    for i, a in enumerate(p):
+        for j, b in enumerate(q):
+            out[i + j] ^= gf_mul(a, b)
+    return out
+
+
+def rs_generator(two_t):
+    g = [1]
+    for i in range(two_t):
+        g = poly_mul(g, [EXP[i], 1])  # (alpha^i + x)
+    return g
+
+
+def rs_encode(data, n):
+    """Systematic RS codeword: data then parity, high-degree first."""
+    k = len(data)
+    two_t = n - k
+    gen = rs_generator(two_t)          # low-order first, monic
+    # Remainder of m(x)*x^{2t} mod g(x), long division high-order down.
+    # Codeword position j carries the coefficient of x^{n-1-j}.
+    work = list(data) + [0] * two_t
+    for i in range(k):
+        coef = work[i]
+        if coef == 0:
+            continue
+        # Subtract coef * g(x) aligned at degree n-1-i.
+        for j in range(two_t + 1):
+            work[i + j] ^= gf_mul(coef, gen[two_t - j])
+    parity = work[k:]
+    return list(data) + parity
+
+
+# ----- (72,64) extended Hamming --------------------------------------
+
+def secded_layout():
+    """Codeword position (1..71) of each of the 64 data bits."""
+    positions = []
+    pos = 1
+    while len(positions) < 64:
+        if pos & (pos - 1):          # not a power of two
+            positions.append(pos)
+        pos += 1
+    return positions
+
+
+def secded_encode(data):
+    """Check byte: 7 Hamming bits (bit c covers positions with bit c
+    set) plus overall even parity of all 72 bits in bit 7."""
+    positions = secded_layout()
+    checks = 0
+    for c in range(7):
+        p = 0
+        for bit in range(64):
+            if (positions[bit] >> c) & 1:
+                p ^= (data >> bit) & 1
+        checks |= p << c
+    overall = bin(data).count("1") & 1
+    overall ^= bin(checks).count("1") & 1
+    return checks | (overall << 7)
+
+
+# ----- encodeLine blob layouts (per src/ecc/ecc_engine.hh) -----------
+
+def blob_secded(line):
+    blob = list(line) + [0] * 8
+    for j in range(8):
+        word = int.from_bytes(bytes(line[8 * j:8 * j + 8]), "little")
+        blob[64 + j] = secded_encode(word)
+    return blob
+
+
+def blob_ssc(line):
+    blob = list(line) + [0] * 8
+    for j in range(4):
+        cw = rs_encode(line[16 * j:16 * (j + 1)], 18)
+        blob[64 + 2 * j] = cw[16]
+        blob[64 + 2 * j + 1] = cw[17]
+    return blob
+
+
+def blob_ssc_dsd(line):
+    blob = list(line) + [0] * 8
+    for j in range(2):
+        cw = rs_encode(line[32 * j:32 * (j + 1)], 36)
+        blob[64 + 4 * j:64 + 4 * j + 4] = cw[32:36]
+    return blob
+
+
+def blob_ssc32(line):
+    blob = list(line) + [0] * 8
+    for j in range(2):
+        for i in range(2):
+            data = [line[32 * j + 2 * s + i] for s in range(16)]
+            cw = rs_encode(data, 18)
+            blob[64 + 4 * j + i] = cw[16]
+            blob[64 + 4 * j + 2 + i] = cw[17]
+    return blob
+
+
+def blob_bamboo72(line):
+    cw = rs_encode(list(line), 72)
+    return cw  # systematic: 64 data bytes then 8 parity bytes
+
+
+# ----- test patterns --------------------------------------------------
+
+def pattern(n, mul, add):
+    return [(i * mul + add) & 0xff for i in range(n)]
+
+
+LINE = pattern(64, 37, 11)
+
+RS_CASES = [
+    ("kRs18Data", "kRs18Codeword", pattern(16, 7, 3), 18),
+    ("kRs36Data", "kRs36Codeword", pattern(32, 13, 1), 36),
+    ("kRs72Data", "kRs72Codeword", pattern(64, 29, 17), 72),
+]
+
+SECDED_WORDS = [
+    0x0000000000000000,
+    0x0000000000000001,
+    0x8000000000000000,
+    0xdeadbeefcafebabe,
+    0xffffffffffffffff,
+    0x0123456789abcdef,
+    0xa5a5a5a5a5a5a5a5,
+    0x0000000100000000,
+]
+
+ENGINE_BLOBS = [
+    ("kSecDedBlob", blob_secded),
+    ("kSscBlob", blob_ssc),
+    ("kSscDsdBlob", blob_ssc_dsd),
+    ("kSsc32Blob", blob_ssc32),
+    ("kBamboo72Blob", blob_bamboo72),
+]
+
+
+def emit_array(name, values, width=8):
+    print(f"inline constexpr std::uint8_t {name}[{len(values)}] = {{")
+    for i in range(0, len(values), width):
+        chunk = ", ".join(f"0x{v:02x}" for v in values[i:i + width])
+        print(f"    {chunk},")
+    print("};")
+    print()
+
+
+def main():
+    print("""\
+/**
+ * @file
+ * ECC known-answer vectors. GENERATED by tools/gen_ecc_vectors.py --
+ * do not edit by hand; regenerate with:
+ *
+ *     python3 tools/gen_ecc_vectors.py > tests/golden_ecc_vectors.hh
+ *
+ * The generator re-derives GF(2^8)/RS/Hamming independently from the
+ * published algebra, so these bytes cross-check the C++ codecs against
+ * a second implementation, not against themselves.
+ */
+
+#ifndef SAM_TESTS_GOLDEN_ECC_VECTORS_HH
+#define SAM_TESTS_GOLDEN_ECC_VECTORS_HH
+
+#include <cstdint>
+
+namespace sam::golden {
+""")
+    for data_name, cw_name, data, n in RS_CASES:
+        emit_array(data_name, data)
+        emit_array(cw_name, rs_encode(data, n))
+
+    # All-zero data must encode to all-zero parity in a linear code.
+    emit_array("kRs18ZeroCodeword", rs_encode([0] * 16, 18))
+
+    print(f"inline constexpr std::uint64_t "
+          f"kSecDedWords[{len(SECDED_WORDS)}] = {{")
+    for w in SECDED_WORDS:
+        print(f"    0x{w:016x}ull,")
+    print("};")
+    print()
+    checks = [secded_encode(w) for w in SECDED_WORDS]
+    emit_array("kSecDedChecks", checks)
+
+    emit_array("kEngineLine", LINE)
+    for name, fn in ENGINE_BLOBS:
+        emit_array(name, fn(LINE))
+
+    print("} // namespace sam::golden")
+    print()
+    print("#endif // SAM_TESTS_GOLDEN_ECC_VECTORS_HH")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

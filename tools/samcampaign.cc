@@ -49,7 +49,9 @@ usage(int code)
         "  --out <dir>            output directory (default .)\n"
         "  --quick                reduced scale (same as SAM_QUICK=1)\n"
         "  --verify               check results against the reference\n"
-        "                         executor\n");
+        "                         executor\n"
+        "  --no-telemetry         drop the per-run latency histograms\n"
+        "                         from the BENCH JSON\n");
     std::exit(code);
 }
 
@@ -324,6 +326,7 @@ main(int argc, char **argv)
     unsigned jobs = 0;
     std::string out_dir = ".";
     bool verify = false;
+    bool telemetry = true;
 
     auto next_arg = [&](int &i) -> const char * {
         if (i + 1 >= argc)
@@ -353,6 +356,8 @@ main(int argc, char **argv)
             setenv("SAM_QUICK", "1", 1);
         } else if (a == "--verify")
             verify = true;
+        else if (a == "--no-telemetry")
+            telemetry = false;
         else {
             std::fprintf(stderr, "unknown option '%s'\n", a.c_str());
             usage(1);
@@ -376,6 +381,10 @@ main(int argc, char **argv)
                 fatal("unknown campaign '", fig, "' (try --help)");
 
             Book book = def->build(verify);
+            // Latency histograms ride along in every run; the collector
+            // is passive, so cycles are identical either way.
+            for (RunSpec &spec : book.specs)
+                spec.config.telemetry.enabled = telemetry;
             const auto t0 = std::chrono::steady_clock::now();
             book.results = runner.run(book.specs);
             const auto t1 = std::chrono::steady_clock::now();

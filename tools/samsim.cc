@@ -20,10 +20,12 @@
 #include <cstring>
 #include <string>
 
+#include "src/common/json.hh"
 #include "src/common/logging.hh"
 #include "src/core/session.hh"
 #include "src/runner/campaign.hh"
 #include "src/sim/system.hh"
+#include "src/telemetry/perfetto.hh"
 
 namespace {
 
@@ -59,7 +61,14 @@ usage(int code)
         "  --no-verify            skip the reference-result check\n"
         "  --check                print a protocol-checker summary\n"
         "  --no-check             disable the protocol-checker oracle\n"
-        "  --stats                print detailed statistics\n");
+        "  --stats                print detailed statistics\n"
+        "  --telemetry <file>     write a sam-telemetry-v1 summary\n"
+        "                         (latency histograms + time series)\n"
+        "  --perfetto <file>      write a Chrome/Perfetto trace-event\n"
+        "                         JSON of the DRAM command stream\n"
+        "                         (open in ui.perfetto.dev)\n"
+        "  --telemetry-window <n> time-series window width in cycles\n"
+        "                         (default 4096)\n");
     std::exit(code);
 }
 
@@ -205,6 +214,8 @@ main(int argc, char **argv)
     bool verify = true;
     bool stats = false;
     bool check_summary = false;
+    std::string telemetry_path;
+    std::string perfetto_path;
 
     auto next_arg = [&](int &i) -> const char * {
         if (i + 1 >= argc)
@@ -267,6 +278,16 @@ main(int argc, char **argv)
             cfg.check = false;
         else if (a == "--stats")
             stats = true;
+        else if (a == "--telemetry") {
+            telemetry_path = next_arg(i);
+            cfg.telemetry.enabled = true;
+        } else if (a == "--perfetto") {
+            perfetto_path = next_arg(i);
+            cfg.telemetry.enabled = true;
+            cfg.telemetry.commandTrace = true;
+        } else if (a == "--telemetry-window")
+            cfg.telemetry.windowCycles =
+                std::strtoull(next_arg(i), nullptr, 10);
         else {
             std::fprintf(stderr, "unknown option '%s'\n", a.c_str());
             usage(1);
@@ -380,6 +401,22 @@ main(int argc, char **argv)
         }
         if (stats)
             printStats(run);
+
+        if (run.telemetry) {
+            if (!telemetry_path.empty()) {
+                writeJsonFile(telemetry_path,
+                              run.telemetry->summaryJson());
+                std::printf("telemetry summary written to %s\n",
+                            telemetry_path.c_str());
+            }
+            if (!perfetto_path.empty()) {
+                writeJsonFile(perfetto_path,
+                              perfettoTraceJson(*run.telemetry));
+                std::printf("perfetto trace written to %s "
+                            "(open in ui.perfetto.dev)\n",
+                            perfetto_path.c_str());
+            }
+        }
     } catch (const std::exception &e) {
         std::fprintf(stderr, "%s\n", e.what());
         return 1;

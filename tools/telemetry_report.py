@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Render telemetry JSON as human-readable latency/bandwidth tables.
+
+Usage:
+    tools/telemetry_report.py TELEMETRY.json        # sam-telemetry-v1
+    tools/telemetry_report.py BENCH_fig12.json      # sam-campaign-v1
+
+For a sam-telemetry-v1 file (samsim --telemetry) prints the per-class
+latency percentiles, the per-channel bandwidth/queue/row-hit series in
+window form, and the busiest banks. For a sam-campaign-v1 file
+(samcampaign) prints one latency row per run from the embedded
+histogram summaries.
+
+Exit status: 0 on success, 1 on malformed input, 2 on usage errors.
+"""
+
+import json
+import sys
+
+LAT_COLUMNS = ("count", "min", "p50", "p95", "p99", "max", "mean")
+
+
+def fmt(value):
+    if isinstance(value, float):
+        return f"{value:,.1f}"
+    return f"{value:,}"
+
+
+def print_table(title, header, rows):
+    print(f"\n{title}")
+    widths = [len(h) for h in header]
+    rendered = [[fmt(c) if not isinstance(c, str) else c for c in row]
+                for row in rows]
+    for row in rendered:
+        widths = [max(w, len(c)) for w, c in zip(widths, row)]
+    line = "  ".join(h.rjust(w) for h, w in zip(header, widths))
+    print(f"  {line}")
+    print(f"  {'-' * len(line)}")
+    for row in rendered:
+        print("  " + "  ".join(c.rjust(w) for c, w in zip(row, widths)))
+
+
+def latency_rows(latency, label=None):
+    rows = []
+    for cls, h in latency.items():
+        row = [f"{label}/{cls}" if label else cls]
+        row.extend(h.get(k, 0) for k in LAT_COLUMNS)
+        rows.append(row)
+    return rows
+
+
+def series_stats(series):
+    windows = series.get("windows", [])
+    total = sum(w.get("sum", 0) for w in windows)
+    peak = max((w.get("sum", 0) for w in windows), default=0)
+    return len(windows), total, peak
+
+
+def report_telemetry(doc):
+    print(f"telemetry summary (window = {doc.get('windowCycles')} cycles,"
+          f" tCK = {doc.get('tCkNs')} ns)")
+    print_table("request latency (cycles)",
+                ("class",) + LAT_COLUMNS,
+                latency_rows(doc.get("latencyCycles", {})))
+
+    rows = []
+    for ch in doc.get("channels", []):
+        n, total_bytes, peak_bytes = series_stats(ch["bandwidthBytes"])
+        _, hits, _ = series_stats(ch["rowHitRate"])
+        hit_count = sum(w.get("count", 0)
+                        for w in ch["rowHitRate"].get("windows", []))
+        _, switches, _ = series_stats(ch["modeSwitches"])
+        rows.append([f"ch{ch.get('channel')}", n, total_bytes,
+                     peak_bytes,
+                     100.0 * hits / hit_count if hit_count else 0.0,
+                     switches])
+    print_table("channels",
+                ("channel", "windows", "bytes", "peak bytes/win",
+                 "row hit %", "mode switches"), rows)
+
+    banks = sorted(doc.get("banks", []),
+                   key=lambda b: -b.get("totalBytes", 0))
+    rows = [[b["bank"], b.get("totalBytes", 0)] for b in banks[:16]]
+    print_table(f"busiest banks (top {len(rows)} of {len(banks)} active)",
+                ("bank", "bytes"), rows)
+
+    counters = doc.get("counters", {})
+    print("\ncounters: " + ", ".join(f"{k}={fmt(v)}"
+                                     for k, v in counters.items()))
+
+
+def report_campaign(doc):
+    print(f"campaign {doc.get('campaign')!r}"
+          f" ({doc.get('scale')} scale): per-run request latency")
+    rows = []
+    skipped = 0
+    for run in doc.get("runs", []):
+        latency = run.get("latency_cycles")
+        if not latency:
+            skipped += 1
+            continue
+        rows.extend(latency_rows(latency, label=run.get("id", "?")))
+    if not rows:
+        print("  no latency data (campaign run with --no-telemetry?)")
+        return
+    print_table("request latency (cycles)",
+                ("run/class",) + LAT_COLUMNS, rows)
+    if skipped:
+        print(f"\n{skipped} run(s) had no telemetry")
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    path = sys.argv[1]
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"telemetry_report: cannot read {path}: {exc}",
+              file=sys.stderr)
+        return 1
+
+    schema = doc.get("schema")
+    if schema == "sam-telemetry-v1":
+        report_telemetry(doc)
+    elif schema == "sam-campaign-v1":
+        report_campaign(doc)
+    else:
+        print(f"telemetry_report: {path}: unsupported schema "
+              f"{schema!r}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

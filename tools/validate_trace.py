@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Validate a Chrome/Perfetto trace-event JSON file.
+
+Usage:
+    tools/validate_trace.py TRACE.json
+
+Checks the structural rules of the "JSON Array Format"/"JSON Object
+Format" trace-event documents that ui.perfetto.dev and chrome://tracing
+accept:
+
+  - top level is either an event array or an object with "traceEvents"
+  - every event has a "ph" phase and integer pid/tid where required
+  - "X" complete events carry numeric ts and non-negative dur
+  - "M" metadata events carry a name and an args.name payload
+  - flow events ("s"/"t"/"f") carry matching id/cat/name, every flow id
+    has exactly one start and one end, and steps/ends never precede the
+    start in the event stream
+
+Exit status: 0 when valid, 1 on any violation, 2 on usage errors.
+"""
+
+import json
+import sys
+
+KNOWN_PHASES = set("BEXIiCMsftPNODabenv")
+REAL = (int, float)
+
+
+def fail(errors, index, message):
+    errors.append(f"  event[{index}]: {message}")
+
+
+def validate(doc):
+    if isinstance(doc, dict):
+        events = doc.get("traceEvents")
+        if not isinstance(events, list):
+            return ["  top-level object lacks a 'traceEvents' array"]
+    elif isinstance(doc, list):
+        events = doc
+    else:
+        return ["  top level must be an array or an object"]
+
+    errors = []
+    flow_starts = {}
+    flow_ends = {}
+    for i, e in enumerate(events):
+        if not isinstance(e, dict):
+            fail(errors, i, "not an object")
+            continue
+        ph = e.get("ph")
+        if not isinstance(ph, str) or ph not in KNOWN_PHASES:
+            fail(errors, i, f"unknown phase {ph!r}")
+            continue
+        if not isinstance(e.get("pid"), int):
+            fail(errors, i, "missing integer 'pid'")
+        if ph != "M" and not isinstance(e.get("tid"), int):
+            fail(errors, i, "missing integer 'tid'")
+
+        if ph == "M":
+            if e.get("name") not in (
+                    "process_name", "thread_name", "process_labels",
+                    "process_sort_index", "thread_sort_index"):
+                fail(errors, i, f"metadata name {e.get('name')!r}")
+            elif e["name"].endswith("_name") and not isinstance(
+                    e.get("args", {}).get("name"), str):
+                fail(errors, i, "metadata without args.name string")
+            continue
+
+        if not isinstance(e.get("ts"), REAL):
+            fail(errors, i, "missing numeric 'ts'")
+        if ph == "X":
+            dur = e.get("dur")
+            if not isinstance(dur, REAL):
+                fail(errors, i, "complete event without numeric 'dur'")
+            elif dur < 0:
+                fail(errors, i, f"negative dur {dur}")
+            if not isinstance(e.get("name"), str) or not e["name"]:
+                fail(errors, i, "complete event without a name")
+
+        if ph in "sft":
+            key = (e.get("cat"), e.get("name"), e.get("id"))
+            if key[0] is None or key[1] is None or key[2] is None:
+                fail(errors, i, "flow event without cat/name/id")
+                continue
+            if ph == "s":
+                if key in flow_starts:
+                    fail(errors, i, f"duplicate flow start id {key[2]}")
+                flow_starts[key] = i
+            else:
+                if key not in flow_starts:
+                    fail(errors, i,
+                         f"flow {ph!r} before its start (id {key[2]})")
+                if ph == "f":
+                    if key in flow_ends:
+                        fail(errors, i,
+                             f"duplicate flow end id {key[2]}")
+                    flow_ends[key] = i
+
+    for key, where in flow_starts.items():
+        if key not in flow_ends:
+            errors.append(f"  flow id {key[2]} (started at event[{where}])"
+                          " never ends")
+    return errors
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    path = sys.argv[1]
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"validate_trace: cannot read {path}: {exc}",
+              file=sys.stderr)
+        return 1
+
+    errors = validate(doc)
+    events = doc["traceEvents"] if isinstance(doc, dict) else doc
+    if errors:
+        print(f"validate_trace: {path}: INVALID "
+              f"({len(errors)} problem(s)):")
+        for line in errors[:40]:
+            print(line)
+        if len(errors) > 40:
+            print(f"  ... and {len(errors) - 40} more")
+        return 1
+    counts = {}
+    for e in events:
+        counts[e.get("ph")] = counts.get(e.get("ph"), 0) + 1
+    summary = ", ".join(f"{k}:{v}" for k, v in sorted(counts.items()))
+    print(f"validate_trace: {path}: OK ({len(events)} events; {summary})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
