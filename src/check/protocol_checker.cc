@@ -63,9 +63,17 @@ ProtocolChecker::observe(const Command &cmd)
     checked_ = false;
 }
 
+ProtocolChecker::~ProtocolChecker()
+{
+    if (device_)
+        device_->removeCommandObserver(this);
+}
+
 void
 ProtocolChecker::attach(Device &dev)
 {
+    sam_assert(device_ == nullptr, "checker already attached");
+    device_ = &dev;
     dev.addCommandObserver(
         this, [this](const Command &cmd) { observe(cmd); });
 }

@@ -65,10 +65,20 @@ class ProtocolChecker
   public:
     ProtocolChecker(const Geometry &geom, const TimingParams &timing);
 
+    /** Detaches from the observed device, if attached. */
+    ~ProtocolChecker();
+
+    ProtocolChecker(const ProtocolChecker &) = delete;
+    ProtocolChecker &operator=(const ProtocolChecker &) = delete;
+
     /** Record one command (any order; sorted before checking). */
     void observe(const Command &cmd);
 
-    /** Install this checker as `dev`'s command observer. */
+    /**
+     * Install this checker as `dev`'s command observer. The device
+     * must outlive the checker (or the checker must be destroyed
+     * first); the observer is unhooked in the destructor.
+     */
     void attach(Device &dev);
 
     /**
@@ -146,6 +156,7 @@ class ProtocolChecker
 
     Geometry geom_;
     TimingParams timing_;
+    Device *device_ = nullptr; ///< Attached device (for detach).
     std::vector<Command> commands_;
     std::vector<Violation> violations_;
     bool checked_ = false;

@@ -1,0 +1,773 @@
+#include "src/check/spec_model.hh"
+
+#include <algorithm>
+#include <deque>
+#include <memory>
+#include <sstream>
+#include <unordered_set>
+
+#include "src/check/protocol_checker.hh"
+#include "src/common/logging.hh"
+
+namespace sam {
+
+namespace {
+
+constexpr unsigned
+kindIx(CmdKind kind)
+{
+    return static_cast<unsigned>(kind);
+}
+
+const char *
+specKindName(CmdKind kind)
+{
+    switch (kind) {
+      case CmdKind::Act:        return "ACT";
+      case CmdKind::Pre:        return "PRE";
+      case CmdKind::Rd:         return "RD";
+      case CmdKind::Wr:         return "WR";
+      case CmdKind::Ref:        return "REF";
+      case CmdKind::ModeSwitch: return "MSW";
+    }
+    panic("unknown CmdKind");
+}
+
+const char *
+scopeName(SpecScope scope)
+{
+    switch (scope) {
+      case SpecScope::Bank:      return "bank";
+      case SpecScope::BankGroup: return "group";
+      case SpecScope::Rank:      return "rank";
+      case SpecScope::Channel:   return "channel";
+    }
+    panic("unknown SpecScope");
+}
+
+const char *
+relName(SpecRankRel rel)
+{
+    switch (rel) {
+      case SpecRankRel::Any:  return "any";
+      case SpecRankRel::Same: return "same";
+      case SpecRankRel::Diff: return "diff";
+    }
+    panic("unknown SpecRankRel");
+}
+
+} // namespace
+
+std::vector<SpecRule>
+specRuleTable(const TimingParams &t)
+{
+    std::vector<SpecRule> rules;
+    const auto add = [&rules](CmdKind prev, CmdKind next, SpecScope scope,
+                              SpecRankRel rel, long long gap,
+                              const char *name) {
+        // A non-positive issue gap can never bind (history is always at
+        // or before the issue floor), so the rule is dropped.
+        if (gap <= 0)
+            return;
+        SpecRule r;
+        r.prev = prev;
+        r.next = next;
+        r.scope = scope;
+        r.rankRel = rel;
+        r.gap = static_cast<unsigned>(gap);
+        r.name = name;
+        rules.push_back(std::move(r));
+    };
+    const auto any = SpecRankRel::Any;
+
+    // Bank state machine timings.
+    add(CmdKind::Pre, CmdKind::Act, SpecScope::Bank, any, t.tRP, "tRP");
+    add(CmdKind::Act, CmdKind::Act, SpecScope::Bank, any,
+        static_cast<long long>(t.tRC()), "tRC");
+    add(CmdKind::Act, CmdKind::Pre, SpecScope::Bank, any, t.tRAS,
+        "tRAS");
+    add(CmdKind::Rd, CmdKind::Pre, SpecScope::Bank, any, t.tRTP,
+        "tRTP");
+    // tWR counts from write-data end; fold the CAS-to-data-end offset
+    // into an issue-to-issue gap.
+    add(CmdKind::Wr, CmdKind::Pre, SpecScope::Bank, any,
+        static_cast<long long>(t.cwl) + t.tBL + t.tWR, "tWR");
+    add(CmdKind::Act, CmdKind::Rd, SpecScope::Bank, any, t.tRCD,
+        "tRCD");
+    add(CmdKind::Act, CmdKind::Wr, SpecScope::Bank, any, t.tRCD,
+        "tRCD");
+
+    // Activate spacing.
+    add(CmdKind::Act, CmdKind::Act, SpecScope::Rank, any, t.tRRD_S,
+        "tRRD_S");
+    add(CmdKind::Act, CmdKind::Act, SpecScope::BankGroup, any,
+        t.tRRD_L, "tRRD_L");
+
+    // CAS spacing.
+    const CmdKind cas[2] = {CmdKind::Rd, CmdKind::Wr};
+    for (CmdKind prev : cas)
+        for (CmdKind next : cas)
+            add(prev, next, SpecScope::Rank, any, t.tCCD_S, "tCCD_S");
+    for (CmdKind prev : cas)
+        for (CmdKind next : cas)
+            add(prev, next, SpecScope::BankGroup, any, t.tCCD_L,
+                "tCCD_L");
+
+    // Write-to-read turnaround (from write-data end).
+    add(CmdKind::Wr, CmdKind::Rd, SpecScope::Rank, any,
+        static_cast<long long>(t.cwl) + t.tBL + t.tWTR_S, "tWTR_S");
+    add(CmdKind::Wr, CmdKind::Rd, SpecScope::BankGroup, any,
+        static_cast<long long>(t.cwl) + t.tBL + t.tWTR_L, "tWTR_L");
+
+    // SAM I/O mode pipeline (Section 5.3): tRTR after a switch, and a
+    // switch must issue strictly after the rank's last CAS.
+    add(CmdKind::ModeSwitch, CmdKind::Rd, SpecScope::Rank, any, t.tRTR,
+        "tRTR(mode)");
+    add(CmdKind::ModeSwitch, CmdKind::Wr, SpecScope::Rank, any, t.tRTR,
+        "tRTR(mode)");
+    add(CmdKind::ModeSwitch, CmdKind::ModeSwitch, SpecScope::Rank, any,
+        t.tRTR, "tRTR(mode)");
+    add(CmdKind::Rd, CmdKind::ModeSwitch, SpecScope::Rank, any, 1,
+        "mode-state");
+    add(CmdKind::Wr, CmdKind::ModeSwitch, SpecScope::Rank, any, 1,
+        "mode-state");
+
+    // Refresh blackout: nothing else on the rank for tRFC. The checker
+    // does not black out PRE (the engine precharges before REF), so the
+    // spec must not either.
+    if (t.tRFC > 0) {
+        const CmdKind blocked[5] = {CmdKind::Ref, CmdKind::Act,
+                                    CmdKind::Rd, CmdKind::Wr,
+                                    CmdKind::ModeSwitch};
+        for (CmdKind next : blocked)
+            add(CmdKind::Ref, next, SpecScope::Rank, any, t.tRFC,
+                "tRFC");
+        // The blackout also reaches *backward* across a same-cycle
+        // tie: REF sorts before an equal-time CAS or mode switch, so a
+        // REF issued in the same cycle retroactively swallows it. REF
+        // must serialize strictly after them.
+        const CmdKind tied[3] = {CmdKind::Rd, CmdKind::Wr,
+                                 CmdKind::ModeSwitch};
+        for (CmdKind prev : tied)
+            add(prev, CmdKind::Ref, SpecScope::Rank, any, 1, "tRFC");
+    }
+
+    // Data bus occupancy, expressed as issue-to-issue gaps: a burst
+    // occupies [issue + offset, issue + offset + tBL) where the offset
+    // is CL for reads and CWL for writes. Rank handovers add a tRTR
+    // bubble; write data behind read data on the same rank needs the
+    // 2-cycle turnaround bubble.
+    const auto off = [&t](CmdKind k) -> long long {
+        return k == CmdKind::Wr ? t.cwl : t.cl;
+    };
+    for (CmdKind prev : cas) {
+        for (CmdKind next : cas) {
+            const long long gap = off(prev) + t.tBL - off(next);
+            add(prev, next, SpecScope::Channel, SpecRankRel::Same, gap,
+                "bus-overlap");
+            if (prev == CmdKind::Rd && next == CmdKind::Wr)
+                add(prev, next, SpecScope::Channel, SpecRankRel::Same,
+                    gap + 2, "rd-wr-turnaround");
+            add(prev, next, SpecScope::Channel, SpecRankRel::Diff,
+                gap + t.tRTR, "tRTR(bus)");
+        }
+    }
+    return rules;
+}
+
+std::string
+describeRuleTable(const TimingParams &t)
+{
+    std::ostringstream oss;
+    for (const SpecRule &r : specRuleTable(t)) {
+        oss << specKindName(r.prev) << "->" << specKindName(r.next)
+            << " " << scopeName(r.scope) << " " << relName(r.rankRel)
+            << " gap=" << r.gap << " " << r.name << "\n";
+    }
+    oss << "# tFAW: 5th ACT >= oldest-of-last-4-ACTs + " << t.tFAW
+        << " (rank window)\n";
+    oss << "# state: ACT needs bank closed; PRE needs bank open; RD/WR"
+           " need open row and matching mode; REF needs all banks in"
+           " rank closed\n";
+    if (t.tREFI == 0)
+        oss << "# refresh: REF illegal (tREFI=0)\n";
+    else
+        oss << "# refresh: k-th REF due by (k+9)*" << t.tREFI
+            << " (tREFI, 8 postponements)\n";
+    return oss.str();
+}
+
+SpecModel::SpecModel(const Geometry &geom, const TimingParams &timing)
+    : geom_(geom), timing_(timing), rules_(specRuleTable(timing))
+{
+    for (const SpecRule &r : rules_)
+        horizon_ = std::max<Cycle>(horizon_, r.gap);
+    horizon_ = std::max<Cycle>(horizon_, timing_.tFAW) + 1;
+    banks_.resize(static_cast<std::size_t>(geom_.channels) *
+                  geom_.ranks * geom_.banksPerRank());
+    groups_.resize(static_cast<std::size_t>(geom_.channels) *
+                   geom_.ranks * geom_.bankGroups);
+    ranks_.resize(static_cast<std::size_t>(geom_.channels) *
+                  geom_.ranks);
+}
+
+std::size_t
+SpecModel::rankId(unsigned ch, unsigned rk) const
+{
+    return static_cast<std::size_t>(ch) * geom_.ranks + rk;
+}
+
+std::size_t
+SpecModel::groupId(const MappedAddr &a) const
+{
+    return rankId(a.channel, a.rank) * geom_.bankGroups + a.bankGroup;
+}
+
+std::size_t
+SpecModel::bankId(const MappedAddr &a) const
+{
+    return rankId(a.channel, a.rank) * geom_.banksPerRank() +
+           a.bankInRank(geom_);
+}
+
+bool
+SpecModel::bankKind(CmdKind kind)
+{
+    return kind == CmdKind::Act || kind == CmdKind::Pre ||
+           kind == CmdKind::Rd || kind == CmdKind::Wr;
+}
+
+bool
+SpecModel::stateLegal(const Cand &c) const
+{
+    switch (c.kind) {
+      case CmdKind::Act:
+        return !banks_[bankId(c.addr)].open;
+      case CmdKind::Pre:
+        return banks_[bankId(c.addr)].open;
+      case CmdKind::Rd:
+      case CmdKind::Wr: {
+        const BankS &bank = banks_[bankId(c.addr)];
+        return bank.open && bank.row == c.addr.row &&
+               c.mode == ranks_[rankId(c.addr.channel, c.addr.rank)].mode;
+      }
+      case CmdKind::ModeSwitch:
+        return true;
+      case CmdKind::Ref: {
+        if (timing_.tREFI == 0)
+            return false;
+        const std::size_t base =
+            rankId(c.addr.channel, c.addr.rank) * geom_.banksPerRank();
+        for (unsigned b = 0; b < geom_.banksPerRank(); ++b) {
+            if (banks_[base + b].open)
+                return false;
+        }
+        return true;
+      }
+    }
+    panic("unknown CmdKind");
+}
+
+template <typename Fn>
+void
+SpecModel::forEachBound(const Cand &c, Fn fn) const
+{
+    for (std::size_t i = 0; i < rules_.size(); ++i) {
+        const SpecRule &r = rules_[i];
+        if (r.next != c.kind)
+            continue;
+        const auto visit = [&](const KindTimes &t) {
+            const unsigned p = kindIx(r.prev);
+            if (t.has[p])
+                fn(i, t.last[p] + r.gap);
+        };
+        switch (r.scope) {
+          case SpecScope::Bank:
+            visit(banks_[bankId(c.addr)].t);
+            break;
+          case SpecScope::BankGroup:
+            visit(groups_[groupId(c.addr)].t);
+            break;
+          case SpecScope::Rank:
+            visit(ranks_[rankId(c.addr.channel, c.addr.rank)].t);
+            break;
+          case SpecScope::Channel:
+            for (unsigned rk = 0; rk < geom_.ranks; ++rk) {
+                if (r.rankRel == SpecRankRel::Same &&
+                    rk != c.addr.rank)
+                    continue;
+                if (r.rankRel == SpecRankRel::Diff &&
+                    rk == c.addr.rank)
+                    continue;
+                visit(ranks_[rankId(c.addr.channel, rk)].t);
+            }
+            break;
+        }
+    }
+    if (c.kind == CmdKind::Act) {
+        const RankS &rank = ranks_[rankId(c.addr.channel, c.addr.rank)];
+        if (rank.actWindow.size() >= 4)
+            fn(rules_.size(), rank.actWindow.front() + timing_.tFAW);
+    }
+}
+
+Cycle
+SpecModel::earliestLegal(const Cand &c, Cycle from) const
+{
+    sam_assert(stateLegal(c), "earliestLegal on a state-illegal cand");
+    Cycle e = from;
+    forEachBound(c, [&e](std::size_t, Cycle bound) {
+        e = std::max(e, bound);
+    });
+    return e;
+}
+
+std::vector<std::string>
+SpecModel::bindingRules(const Cand &c, Cycle at) const
+{
+    std::vector<std::string> names;
+    forEachBound(c, [&](std::size_t rule, Cycle bound) {
+        if (bound != at)
+            return;
+        const std::string &name =
+            rule < rules_.size() ? rules_[rule].name : "tFAW";
+        if (std::find(names.begin(), names.end(), name) == names.end())
+            names.push_back(name);
+    });
+    return names;
+}
+
+bool
+SpecModel::legalAt(const Cand &c, Cycle at) const
+{
+    return stateLegal(c) && at >= earliestLegal(c, lastIssue_);
+}
+
+void
+SpecModel::apply(const Cand &c, Cycle at)
+{
+    sam_assert(at >= lastIssue_, "commands must be applied in order");
+    lastIssue_ = at;
+    const unsigned k = kindIx(c.kind);
+    RankS &rank = ranks_[rankId(c.addr.channel, c.addr.rank)];
+    rank.t.last[k] = at;
+    rank.t.has[k] = true;
+    if (bankKind(c.kind)) {
+        BankS &bank = banks_[bankId(c.addr)];
+        GroupS &group = groups_[groupId(c.addr)];
+        bank.t.last[k] = at;
+        bank.t.has[k] = true;
+        group.t.last[k] = at;
+        group.t.has[k] = true;
+        if (c.kind == CmdKind::Act) {
+            bank.open = true;
+            bank.row = c.addr.row;
+            rank.actWindow.push_back(at);
+            if (rank.actWindow.size() > 4)
+                rank.actWindow.erase(rank.actWindow.begin());
+        } else if (c.kind == CmdKind::Pre) {
+            bank.open = false;
+        }
+    } else if (c.kind == CmdKind::ModeSwitch) {
+        rank.mode = c.mode;
+    } else {
+        ++rank.refCount;
+    }
+}
+
+Cycle
+SpecModel::refDeadline(unsigned channel, unsigned rank) const
+{
+    const RankS &r = ranks_[rankId(channel, rank)];
+    return (r.refCount + 1 + 8) * static_cast<Cycle>(timing_.tREFI);
+}
+
+AccessMode
+SpecModel::rankMode(unsigned channel, unsigned rank) const
+{
+    return ranks_[rankId(channel, rank)].mode;
+}
+
+std::string
+SpecModel::canonical() const
+{
+    std::string out;
+    out.reserve(64 + banks_.size() * 32);
+    const auto u32 = [&out](std::uint32_t v) {
+        out.push_back(static_cast<char>(v & 0xff));
+        out.push_back(static_cast<char>((v >> 8) & 0xff));
+        out.push_back(static_cast<char>((v >> 16) & 0xff));
+        out.push_back(static_cast<char>((v >> 24) & 0xff));
+    };
+    // Ages saturate at the horizon: anything older cannot influence
+    // any rule and is merged with "never happened".
+    const auto age = [&](const KindTimes &t, unsigned k) {
+        if (!t.has[k])
+            return std::uint32_t(0xffffffffu);
+        const Cycle a = lastIssue_ - t.last[k];
+        return a >= horizon_ ? std::uint32_t(0xffffffffu)
+                             : static_cast<std::uint32_t>(a);
+    };
+    for (const BankS &bank : banks_) {
+        u32(bank.open ? 1 : 0);
+        // A closed bank's stale row is unobservable; mask it so states
+        // differing only there merge.
+        u32(bank.open ? static_cast<std::uint32_t>(bank.row) : 0);
+        for (unsigned k = 0; k < kKinds; ++k)
+            u32(age(bank.t, k));
+    }
+    for (const GroupS &group : groups_) {
+        for (unsigned k = 0; k < kKinds; ++k)
+            u32(age(group.t, k));
+    }
+    for (const RankS &rank : ranks_) {
+        for (unsigned k = 0; k < kKinds; ++k)
+            u32(age(rank.t, k));
+        u32(static_cast<std::uint32_t>(rank.actWindow.size()));
+        for (Cycle t : rank.actWindow) {
+            const Cycle a = lastIssue_ - t;
+            u32(a >= horizon_ ? static_cast<std::uint32_t>(horizon_)
+                              : static_cast<std::uint32_t>(a));
+        }
+        u32(rank.mode == AccessMode::Stride ? 1 : 0);
+        u32(static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(rank.refCount, 15)));
+    }
+    return out;
+}
+
+std::string
+VerifyStats::summary() const
+{
+    std::ostringstream oss;
+    oss << "explored " << nodesExplored << " state(s) ("
+        << statesDeduped << " merged), " << checkerRuns
+        << " checker replays; probes: " << earliestProbes
+        << " earliest-clean, " << boundaryProbes << " boundary-flagged, "
+        << stateProbes << " state-illegal, " << monotoneProbes
+        << " monotone; " << (exhausted ? "exhausted" : "CAPPED") << ", "
+        << failures.size() << " failure(s)";
+    return oss.str();
+}
+
+namespace {
+
+Command
+candCommand(const SpecModel::Cand &c, Cycle at)
+{
+    Command cmd;
+    cmd.kind = c.kind;
+    cmd.at = at;
+    cmd.addr = c.addr;
+    cmd.mode = c.mode;
+    return cmd;
+}
+
+/** One BFS node: the command appended to its parent's sequence. */
+struct SeqNode
+{
+    std::shared_ptr<const SeqNode> parent;
+    SpecModel::Cand cand;
+    Cycle at = 0;
+    unsigned depth = 0;
+};
+
+std::string
+describeStream(const std::vector<Command> &cmds)
+{
+    if (cmds.empty())
+        return "<empty>";
+    std::string out;
+    for (const Command &c : cmds) {
+        if (!out.empty())
+            out += "; ";
+        out += c.str();
+    }
+    return out;
+}
+
+std::string
+describeViolations(const std::vector<Violation> &vs)
+{
+    if (vs.empty())
+        return "clean";
+    std::string out;
+    const std::size_t shown = std::min<std::size_t>(vs.size(), 2);
+    for (std::size_t i = 0; i < shown; ++i) {
+        if (!out.empty())
+            out += " | ";
+        out += vs[i].constraint + ": " + vs[i].message;
+    }
+    if (shown < vs.size())
+        out += " | +" + std::to_string(vs.size() - shown) + " more";
+    return out;
+}
+
+bool
+sameCommand(const Command &a, const Command &b)
+{
+    return a.kind == b.kind && a.at == b.at &&
+           a.addr.channel == b.addr.channel &&
+           a.addr.rank == b.addr.rank &&
+           a.addr.bankGroup == b.addr.bankGroup &&
+           a.addr.bank == b.addr.bank && a.addr.row == b.addr.row;
+}
+
+/**
+ * True when some violation blames `probe` with a constraint from
+ * `names` (any constraint when `names` is null). With `names`, a
+ * violation on a *different* command at the probe's cycle also counts:
+ * the prefix is checker-clean by construction, so any flag is caused
+ * by the probe, and a REF tie can blame the swallowed command rather
+ * than the REF itself.
+ */
+bool
+mentionsProbe(const std::vector<Violation> &vs, const Command &probe,
+              const std::vector<std::string> *names)
+{
+    for (const Violation &v : vs) {
+        if (!names) {
+            if (sameCommand(v.cmd, probe))
+                return true;
+            continue;
+        }
+        if (v.cmd.at == probe.at &&
+            std::find(names->begin(), names->end(), v.constraint) !=
+                names->end())
+            return true;
+    }
+    return false;
+}
+
+std::vector<SpecModel::Cand>
+enumerateCands(const SpecModel &model, unsigned probe_rows)
+{
+    const Geometry &g = model.geometry();
+    std::vector<SpecModel::Cand> out;
+    for (unsigned ch = 0; ch < g.channels; ++ch) {
+        for (unsigned rk = 0; rk < g.ranks; ++rk) {
+            const AccessMode mode = model.rankMode(ch, rk);
+            const AccessMode other = mode == AccessMode::Regular
+                                         ? AccessMode::Stride
+                                         : AccessMode::Regular;
+            for (unsigned bg = 0; bg < g.bankGroups; ++bg) {
+                for (unsigned bk = 0; bk < g.banksPerGroup; ++bk) {
+                    SpecModel::Cand c;
+                    c.addr.channel = ch;
+                    c.addr.rank = rk;
+                    c.addr.bankGroup = bg;
+                    c.addr.bank = bk;
+                    for (unsigned row = 0; row < probe_rows; ++row) {
+                        c.addr.row = row;
+                        c.kind = CmdKind::Act;
+                        out.push_back(c);
+                        c.kind = CmdKind::Rd;
+                        c.mode = mode;
+                        out.push_back(c);
+                        c.kind = CmdKind::Wr;
+                        out.push_back(c);
+                    }
+                    c.addr.row = 0;
+                    c.kind = CmdKind::Pre;
+                    c.mode = AccessMode::Regular;
+                    out.push_back(c);
+                    // Wrong-mode CAS: state-illegal probe.
+                    c.kind = CmdKind::Rd;
+                    c.mode = other;
+                    out.push_back(c);
+                }
+            }
+            SpecModel::Cand c;
+            c.addr.channel = ch;
+            c.addr.rank = rk;
+            c.kind = CmdKind::ModeSwitch;
+            c.mode = other;
+            out.push_back(c);
+            c.kind = CmdKind::Ref;
+            c.mode = AccessMode::Regular;
+            out.push_back(c);
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+VerifyStats
+verifySpecAgainstChecker(const Geometry &geom,
+                         const TimingParams &timing,
+                         const VerifyOptions &opt)
+{
+    // The pairwise bus rules are equivalent to the checker's
+    // adjacent-burst walk only when a handover bubble fits within one
+    // burst, and the equal-time tie-break analysis needs every
+    // state-coupled rule to carry a positive gap. Both hold for the
+    // DDR4 and RRAM presets and any derating of them.
+    sam_assert(timing.tRTR <= timing.tBL,
+               "spec/checker equivalence needs tRTR <= tBL");
+    sam_assert(timing.tRP >= 1 && timing.tRAS >= 1 &&
+                   timing.tRCD >= 1 && timing.tRTP >= 1,
+               "spec/checker equivalence needs positive state gaps");
+
+    VerifyStats stats;
+    const std::vector<std::string> state_names = {"bank-state",
+                                                  "mode-state", "tREFI"};
+    const auto fail = [&](std::string msg) {
+        if (stats.failures.size() < opt.maxFailures)
+            stats.failures.push_back(std::move(msg));
+    };
+    const auto check = [&](const std::vector<Command> &cmds) {
+        ++stats.checkerRuns;
+        ProtocolChecker pc(geom, timing);
+        for (const Command &c : cmds)
+            pc.observe(c);
+        return pc.violations();
+    };
+
+    std::unordered_set<std::string> visited;
+    visited.insert(SpecModel(geom, timing).canonical());
+    std::deque<std::shared_ptr<const SeqNode>> frontier;
+    frontier.push_back(nullptr); // The empty sequence.
+    bool capped = false;
+
+    while (!frontier.empty() &&
+           stats.failures.size() < opt.maxFailures) {
+        if (stats.nodesExplored >= opt.maxNodes) {
+            capped = true;
+            break;
+        }
+        const std::shared_ptr<const SeqNode> node = frontier.front();
+        frontier.pop_front();
+        ++stats.nodesExplored;
+
+        // Rebuild the node's model and command prefix from the chain.
+        std::vector<const SeqNode *> chain;
+        for (const SeqNode *n = node.get(); n; n = n->parent.get())
+            chain.push_back(n);
+        std::reverse(chain.begin(), chain.end());
+        SpecModel model(geom, timing);
+        std::vector<Command> cmds;
+        cmds.reserve(chain.size() + 1);
+        for (const SeqNode *n : chain) {
+            model.apply(n->cand, n->at);
+            cmds.push_back(candCommand(n->cand, n->at));
+        }
+        const unsigned depth = node ? node->depth : 0;
+        const Cycle floor = model.lastIssue();
+        std::size_t issuable = 0;
+
+        for (const SpecModel::Cand &c :
+             enumerateCands(model, opt.probeRows)) {
+            if (stats.failures.size() >= opt.maxFailures)
+                break;
+            cmds.push_back(Command{});
+            Command &probe = cmds.back();
+
+            if (!model.stateLegal(c)) {
+                // Spec says never: the checker must flag it at any
+                // issue time with a state-rule constraint.
+                probe = candCommand(c, floor + 1);
+                ++stats.stateProbes;
+                const auto &vs = check(cmds);
+                if (!mentionsProbe(vs, probe, &state_names)) {
+                    fail("state disagreement after [" +
+                         describeStream(
+                             {cmds.begin(), cmds.end() - 1}) +
+                         "]: spec rejects " + probe.str() +
+                         " but checker says " + describeViolations(vs));
+                }
+                cmds.pop_back();
+                continue;
+            }
+
+            const Cycle earliest = model.earliestLegal(c, floor);
+            ++issuable;
+            const Cycle deadline =
+                c.kind == CmdKind::Ref
+                    ? model.refDeadline(c.addr.channel, c.addr.rank)
+                    : 0;
+            if (c.kind == CmdKind::Ref && earliest > deadline) {
+                fail("REF earliest " + std::to_string(earliest) +
+                     " past deadline " + std::to_string(deadline) +
+                     " after [" +
+                     describeStream({cmds.begin(), cmds.end() - 1}) +
+                     "]");
+                cmds.pop_back();
+                continue;
+            }
+
+            // Issuing at the spec earliest must be checker-clean.
+            probe = candCommand(c, earliest);
+            ++stats.earliestProbes;
+            {
+                const auto &vs = check(cmds);
+                if (!vs.empty()) {
+                    fail("spec looser than checker: [" +
+                         describeStream(cmds) + "] flagged: " +
+                         describeViolations(vs));
+                }
+            }
+
+            // One cycle earlier, when a rule binds, must be flagged
+            // with one of the binding rule names.
+            if (earliest > floor) {
+                const std::vector<std::string> names =
+                    model.bindingRules(c, earliest);
+                probe = candCommand(c, earliest - 1);
+                ++stats.boundaryProbes;
+                const auto &vs = check(cmds);
+                if (!mentionsProbe(vs, probe, &names)) {
+                    std::string expect;
+                    for (const std::string &n : names)
+                        expect += (expect.empty() ? "" : "/") + n;
+                    fail("spec tighter than checker: [" +
+                         describeStream(cmds) + "] expected " + expect +
+                         ", checker says " + describeViolations(vs));
+                }
+            }
+
+            // Legality must be upward-closed in time (except the REF
+            // deadline): the property the skip-ahead scheduler needs.
+            if (opt.monotone) {
+                const Cycle deltas[2] = {1, model.horizon()};
+                for (Cycle delta : deltas) {
+                    const Cycle at = earliest + delta;
+                    if (c.kind == CmdKind::Ref && at > deadline)
+                        continue;
+                    probe = candCommand(c, at);
+                    ++stats.monotoneProbes;
+                    const auto &vs = check(cmds);
+                    if (!vs.empty()) {
+                        fail("not monotone: [" + describeStream(cmds) +
+                             "] flagged: " + describeViolations(vs));
+                    }
+                }
+            }
+            cmds.pop_back();
+
+            if (depth < opt.depth) {
+                SpecModel child = model;
+                child.apply(c, earliest);
+                if (visited.insert(child.canonical()).second) {
+                    auto next = std::make_shared<SeqNode>();
+                    next->parent = node;
+                    next->cand = c;
+                    next->at = earliest;
+                    next->depth = depth + 1;
+                    frontier.push_back(std::move(next));
+                } else {
+                    ++stats.statesDeduped;
+                }
+            }
+        }
+        if (issuable == 0) {
+            fail("deadlock: no issuable candidate after [" +
+                 describeStream(cmds) + "]");
+        }
+    }
+    stats.exhausted = !capped && frontier.empty() &&
+                      stats.failures.size() < opt.maxFailures;
+    return stats;
+}
+
+} // namespace sam

@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Declarative timing specification and offline model checker.
+ *
+ * The ProtocolChecker (protocol_checker.cc) re-derives command legality
+ * imperatively, one `if` per constraint. This module lifts the same
+ * rules into data: a table of pairwise issue-gap rules
+ * (prev-kind -> next-kind at bank / bank-group / rank / channel scope),
+ * plus the small set of constraints that are not pairwise (the tFAW
+ * four-activate window, bank/mode/refresh state legality, the tREFI
+ * postponement deadline). SpecModel evaluates that table forward: given
+ * a command history it answers "what is the earliest cycle this
+ * candidate may issue?".
+ *
+ * verifySpecAgainstChecker() then explores the joint command FSM by
+ * bounded BFS, and at every reachable state cross-examines the two
+ * implementations:
+ *
+ *  - issuing a candidate at its spec-earliest cycle must be clean under
+ *    the ProtocolChecker (spec is not looser than the checker);
+ *  - issuing it one cycle earlier, when the bound is binding, must be
+ *    flagged with one of the binding rule names (spec is not tighter);
+ *  - state-illegal candidates must be flagged (bank/mode/refresh state
+ *    agreement);
+ *  - issuing later than the earliest must stay clean (legality is
+ *    upward-closed in time -- the monotonicity property the skip-ahead
+ *    scheduler relies on), except past the tREFI deadline;
+ *  - every reachable state must have at least one issuable candidate
+ *    with a finite earliest cycle (no deadlock).
+ *
+ * States are deduplicated by a canonical encoding with cycle deltas
+ * rebased to the last issue and saturated at the spec horizon (the
+ * largest gap any rule can look back), so the BFS terminates on the
+ * quotient FSM rather than on raw unbounded cycle counts.
+ */
+
+#ifndef SAM_CHECK_SPEC_MODEL_HH
+#define SAM_CHECK_SPEC_MODEL_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/types.hh"
+#include "src/dram/command.hh"
+#include "src/dram/timing.hh"
+
+namespace sam {
+
+/** Scope a pairwise rule measures its gap across. */
+enum class SpecScope { Bank, BankGroup, Rank, Channel };
+
+/** Rank relation for Channel-scope (data-bus) rules. */
+enum class SpecRankRel { Any, Same, Diff };
+
+/**
+ * One pairwise issue-gap rule: a `next`-kind command must issue at
+ * least `gap` cycles after the latest `prev`-kind command in scope.
+ * Gaps are in issue-to-issue cycles; rules derived from data-relative
+ * constraints (tWR, tWTR, bus occupancy) fold the CAS-to-data offsets
+ * into the gap. `name` matches the constraint name the ProtocolChecker
+ * uses when flagging a violation of the same rule.
+ */
+struct SpecRule
+{
+    CmdKind prev = CmdKind::Act;
+    CmdKind next = CmdKind::Act;
+    SpecScope scope = SpecScope::Bank;
+    SpecRankRel rankRel = SpecRankRel::Any;
+    unsigned gap = 0;
+    std::string name;
+};
+
+/**
+ * Build the full pairwise rule table for one timing preset. Rules whose
+ * derived gap is zero or negative (e.g. the same-rank WR->RD bus rule,
+ * dominated by tWTR) are dropped: a non-positive issue gap can never
+ * bind. Refresh-blackout rules are dropped when tRFC is zero.
+ */
+std::vector<SpecRule> specRuleTable(const TimingParams &timing);
+
+/**
+ * Render the rule table plus the non-pairwise constraints as stable
+ * one-line-per-rule text (golden-test surface; see
+ * tests/test_spec_model.cc).
+ */
+std::string describeRuleTable(const TimingParams &timing);
+
+/**
+ * Forward evaluator for the rule table: tracks per-bank / per-group /
+ * per-rank last-issue times, the tFAW window, bank open state, rank
+ * I/O mode and refresh count, and answers earliest-legal queries.
+ * Copyable value type.
+ */
+class SpecModel
+{
+  public:
+    /** A candidate command, before an issue time is chosen. */
+    struct Cand
+    {
+        CmdKind kind = CmdKind::Act;
+        MappedAddr addr;
+        AccessMode mode = AccessMode::Regular;
+    };
+
+    SpecModel(const Geometry &geom, const TimingParams &timing);
+
+    /**
+     * Bank/row/mode/refresh state legality -- independent of the issue
+     * time chosen.
+     */
+    bool stateLegal(const Cand &c) const;
+
+    /**
+     * Earliest cycle >= `from` at which `c` may issue. `c` must be
+     * state-legal. Pass lastIssue() as `from` to respect stream order.
+     */
+    Cycle earliestLegal(const Cand &c, Cycle from) const;
+
+    /**
+     * Names of the rules whose bound equals `at` (the constraints that
+     * make issuing at `at - 1` illegal). Empty when no rule binds at
+     * `at`, i.e. the earliest-legal bound came from `from` alone.
+     */
+    std::vector<std::string> bindingRules(const Cand &c, Cycle at) const;
+
+    /** True when `c` is state-legal and `at` >= its earliest cycle. */
+    bool legalAt(const Cand &c, Cycle at) const;
+
+    /** Commit `c` at `at` (must be >= lastIssue()). */
+    void apply(const Cand &c, Cycle at);
+
+    /** Issue time of the last applied command (0 when none). */
+    Cycle lastIssue() const { return lastIssue_; }
+
+    /**
+     * Latest cycle the rank's next REF may issue: DDR4 allows
+     * postponing 8 refresh intervals. Meaningless when tREFI is 0.
+     */
+    Cycle refDeadline(unsigned channel, unsigned rank) const;
+
+    /** Current I/O mode of a rank. */
+    AccessMode rankMode(unsigned channel, unsigned rank) const;
+
+    /**
+     * Canonical state encoding: cycle ages rebased to lastIssue() and
+     * saturated at horizon(). Two states with equal encodings admit
+     * exactly the same future behavior.
+     */
+    std::string canonical() const;
+
+    /**
+     * Look-back bound: no rule (pairwise, tFAW) reaches further than
+     * this many cycles into the past.
+     */
+    Cycle horizon() const { return horizon_; }
+
+    const std::vector<SpecRule> &rules() const { return rules_; }
+    const Geometry &geometry() const { return geom_; }
+    const TimingParams &timing() const { return timing_; }
+
+  private:
+    static constexpr unsigned kKinds = 6;
+
+    /** Last issue time per command kind at one scope. */
+    struct KindTimes
+    {
+        std::array<Cycle, kKinds> last{};
+        std::array<bool, kKinds> has{};
+    };
+    struct BankS
+    {
+        KindTimes t;
+        bool open = false;
+        std::uint64_t row = 0;
+    };
+    struct GroupS
+    {
+        KindTimes t;
+    };
+    struct RankS
+    {
+        KindTimes t;
+        std::vector<Cycle> actWindow; ///< Up to 4 most recent ACTs.
+        AccessMode mode = AccessMode::Regular;
+        std::uint64_t refCount = 0;
+    };
+
+    std::size_t rankId(unsigned ch, unsigned rk) const;
+    std::size_t groupId(const MappedAddr &a) const;
+    std::size_t bankId(const MappedAddr &a) const;
+    /** Kinds addressed to a specific bank (Act/Pre/Rd/Wr). */
+    static bool bankKind(CmdKind kind);
+    /**
+     * Rule evaluation core shared by earliestLegal / bindingRules:
+     * calls `fn(ruleIndex, boundCycle)` for every applicable rule
+     * instance plus the tFAW window (ruleIndex == rules_.size()).
+     */
+    template <typename Fn> void forEachBound(const Cand &c, Fn fn) const;
+
+    Geometry geom_;
+    TimingParams timing_;
+    std::vector<SpecRule> rules_;
+    Cycle horizon_ = 0;
+    Cycle lastIssue_ = 0;
+    std::vector<BankS> banks_;
+    std::vector<GroupS> groups_;
+    std::vector<RankS> ranks_;
+};
+
+/** Knobs for the bounded BFS exploration. */
+struct VerifyOptions
+{
+    unsigned depth = 3;           ///< Commands per explored sequence.
+    std::size_t maxNodes = 4000;  ///< Stop expanding past this many.
+    unsigned probeRows = 2;       ///< Row alphabet per bank.
+    bool monotone = true;         ///< Probe upward-closure.
+    std::size_t maxFailures = 20; ///< Stop collecting past this many.
+};
+
+/** Outcome of one verification run. */
+struct VerifyStats
+{
+    std::size_t nodesExplored = 0;
+    std::size_t statesDeduped = 0;    ///< Successors merged by canon.
+    std::size_t checkerRuns = 0;      ///< ProtocolChecker replays.
+    std::size_t earliestProbes = 0;   ///< Clean-at-earliest checks.
+    std::size_t boundaryProbes = 0;   ///< Flagged-at-earliest-1 checks.
+    std::size_t stateProbes = 0;      ///< State-illegal checks.
+    std::size_t monotoneProbes = 0;   ///< Upward-closure checks.
+    bool exhausted = false; ///< Frontier drained before maxNodes hit.
+    std::vector<std::string> failures;
+
+    bool ok() const { return failures.empty(); }
+    std::string summary() const;
+};
+
+/**
+ * Explore every command sequence of the given depth (up to state
+ * equivalence) and cross-check SpecModel against ProtocolChecker at
+ * each step. See the file comment for the probes performed.
+ */
+VerifyStats verifySpecAgainstChecker(const Geometry &geom,
+                                     const TimingParams &timing,
+                                     const VerifyOptions &opt);
+
+} // namespace sam
+
+#endif // SAM_CHECK_SPEC_MODEL_HH

@@ -100,6 +100,13 @@ class MemoryController
         device_.addCommandObserver(owner, std::move(obs));
     }
 
+    /** Detach counterpart of addCommandObserver (no-op if absent). */
+    void
+    removeCommandObserver(const void *owner)
+    {
+        device_.removeCommandObserver(owner);
+    }
+
     /**
      * Attach a telemetry collector. The controller reports request
      * begin/end around each device access so end-to-end latency and

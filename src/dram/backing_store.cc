@@ -58,6 +58,7 @@ BackingStore::writeLine(Addr line_addr,
         overlay_.try_emplace(line_addr,
                              std::make_shared<const Blob>(blob));
     if (inserted) {
+        overlayAll_.push_back(line_addr);
         if (!inAnyLayer(line_addr))
             overlayOrder_.push_back(line_addr);
     } else {
@@ -85,8 +86,11 @@ BackingStore::corruptLine(Addr line_addr,
         corrupted[i] ^= xor_mask[i];
     auto [it, inserted] = overlay_.insert_or_assign(
         line_addr, std::make_shared<const Blob>(std::move(corrupted)));
-    if (inserted && !inAnyLayer(line_addr))
-        overlayOrder_.push_back(line_addr);
+    if (inserted) {
+        overlayAll_.push_back(line_addr);
+        if (!inAnyLayer(line_addr))
+            overlayOrder_.push_back(line_addr);
+    }
 }
 
 std::size_t
@@ -140,18 +144,29 @@ BackingStore::install(std::shared_ptr<const StoreSnapshot> snap)
                    snap->lines.front().second->size() == blobBytes_,
                "snapshot blob size mismatch");
     // Revert overlay writes to lines the snapshot covers, so a
-    // re-install after a write query restores the clean table.
+    // re-install after a write query restores the clean table. Walk
+    // overlayAll_ (insertion order), not overlay_ itself: hash-order
+    // iteration is flagged by sam-determinism, and although the erase
+    // set is order-independent today, keeping hash order unobservable
+    // is the invariant the bit-identity guarantee rests on.
     if (!overlay_.empty()) {
-        for (auto it = overlay_.begin(); it != overlay_.end();) {
-            if (snap->index.count(it->first))
-                it = overlay_.erase(it);
-            else
-                ++it;
+        const auto covered = [&](Addr a) {
+            return snap->index.count(a) != 0;
+        };
+        bool erased = false;
+        for (Addr a : overlayAll_) {
+            if (covered(a))
+                erased = overlay_.erase(a) != 0 || erased;
         }
-        overlayOrder_.erase(
-            std::remove_if(overlayOrder_.begin(), overlayOrder_.end(),
-                           [&](Addr a) { return snap->index.count(a); }),
-            overlayOrder_.end());
+        if (erased) {
+            overlayAll_.erase(std::remove_if(overlayAll_.begin(),
+                                             overlayAll_.end(), covered),
+                              overlayAll_.end());
+            overlayOrder_.erase(
+                std::remove_if(overlayOrder_.begin(), overlayOrder_.end(),
+                               covered),
+                overlayOrder_.end());
+        }
     }
     for (const auto &layer : layers_) {
         if (layer == snap)

@@ -118,6 +118,12 @@ class BackingStore
     std::vector<std::shared_ptr<const StoreSnapshot>> layers_;
     /** Lines written (or corrupted) in this store; checked first. */
     std::unordered_map<Addr, BlobPtr> overlay_;
+    /**
+     * Insertion order of every overlay line (the deterministic
+     * iteration view of overlay_ -- hash order must never become
+     * observable, see sam-determinism in tools/samlint).
+     */
+    std::vector<Addr> overlayAll_;
     /** Insertion order of overlay lines not covered by any layer. */
     std::vector<Addr> overlayOrder_;
 };

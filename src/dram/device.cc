@@ -49,9 +49,16 @@ Device::addCommandObserver(const void *owner, CommandObserver obs)
 {
     sam_assert(owner != nullptr, "command observer owner must be non-null");
     sam_assert(obs != nullptr, "command observer must be callable");
+    // Always-on checked error (not a debug assert): a double attach
+    // would silently double-count every command in telemetry and the
+    // protocol oracle, so release builds must reject it too. The list
+    // is left unchanged (strong guarantee).
     for (const auto &entry : cmdObservers_) {
-        sam_assert(entry.first != owner,
-                   "command observer owner attached twice");
+        if (entry.first == owner) {
+            panic("command observer owner ", owner,
+                  " attached twice (", cmdObservers_.size(),
+                  " observer(s) attached)");
+        }
     }
     cmdObservers_.emplace_back(owner, std::move(obs));
 }

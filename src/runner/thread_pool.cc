@@ -27,7 +27,7 @@ ThreadPool::ThreadPool(unsigned workers)
 ThreadPool::~ThreadPool()
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         stop_ = true;
     }
     workCv_.notify_all();
@@ -40,7 +40,7 @@ ThreadPool::grabTask(unsigned self, std::function<void()> &task)
 {
     {
         WorkerQueue &own = *queues_[self];
-        std::lock_guard<std::mutex> lock(own.mutex);
+        MutexLock lock(own.mutex);
         if (!own.tasks.empty()) {
             task = std::move(own.tasks.front());
             own.tasks.pop_front();
@@ -49,7 +49,7 @@ ThreadPool::grabTask(unsigned self, std::function<void()> &task)
     }
     for (std::size_t i = 1; i < queues_.size(); ++i) {
         WorkerQueue &victim = *queues_[(self + i) % queues_.size()];
-        std::lock_guard<std::mutex> lock(victim.mutex);
+        MutexLock lock(victim.mutex);
         if (!victim.tasks.empty()) {
             task = std::move(victim.tasks.back());
             victim.tasks.pop_back();
@@ -65,9 +65,12 @@ ThreadPool::workerLoop(unsigned self)
     std::uint64_t seen = 0;
     for (;;) {
         {
-            std::unique_lock<std::mutex> lock(mutex_);
-            workCv_.wait(lock,
-                         [&] { return stop_ || batch_ != seen; });
+            // Explicit wait loop (not the predicate overload): the
+            // guarded reads stay in a scope the thread-safety analysis
+            // can see holds mutex_.
+            MutexLock lock(mutex_);
+            while (!stop_ && batch_ == seen)
+                workCv_.wait(lock);
             if (stop_)
                 return;
             seen = batch_;
@@ -77,13 +80,13 @@ ThreadPool::workerLoop(unsigned self)
             try {
                 task();
             } catch (...) {
-                std::lock_guard<std::mutex> lock(mutex_);
+                MutexLock lock(mutex_);
                 if (!firstError_)
                     firstError_ = std::current_exception();
             }
             task = nullptr;
             {
-                std::lock_guard<std::mutex> lock(mutex_);
+                MutexLock lock(mutex_);
                 if (--unfinished_ == 0)
                     doneCv_.notify_all();
             }
@@ -97,7 +100,7 @@ ThreadPool::run(std::vector<std::function<void()>> tasks)
     if (tasks.empty())
         return;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         sam_assert(unfinished_ == 0, "ThreadPool::run is not reentrant");
         unfinished_ = tasks.size();
         firstError_ = nullptr;
@@ -106,13 +109,14 @@ ThreadPool::run(std::vector<std::function<void()>> tasks)
     // previous steal must find the count already provisioned.
     for (std::size_t i = 0; i < tasks.size(); ++i) {
         WorkerQueue &q = *queues_[i % queues_.size()];
-        std::lock_guard<std::mutex> lock(q.mutex);
+        MutexLock lock(q.mutex);
         q.tasks.push_back(std::move(tasks[i]));
     }
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     ++batch_;
     workCv_.notify_all();
-    doneCv_.wait(lock, [&] { return unfinished_ == 0; });
+    while (unfinished_ != 0)
+        doneCv_.wait(lock);
     if (firstError_) {
         std::exception_ptr err = firstError_;
         firstError_ = nullptr;

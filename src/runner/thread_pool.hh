@@ -12,7 +12,8 @@
  * The pool is intentionally mutex-based rather than lock-free: campaign
  * tasks are whole simulations (milliseconds to minutes), so queue
  * overhead is irrelevant, and the simple locking is trivially clean
- * under TSan.
+ * under TSan. All lock/data relationships are capability-annotated so
+ * clang's -Wthread-safety proves the discipline at compile time.
  */
 
 #ifndef SAM_RUNNER_THREAD_POOL_HH
@@ -24,9 +25,10 @@
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "src/common/thread_annotations.hh"
 
 namespace sam {
 
@@ -61,8 +63,8 @@ class ThreadPool
   private:
     struct WorkerQueue
     {
-        std::mutex mutex;
-        std::deque<std::function<void()>> tasks;
+        Mutex mutex;
+        std::deque<std::function<void()>> tasks SAM_GUARDED_BY(mutex);
     };
 
     void workerLoop(unsigned self);
@@ -70,16 +72,18 @@ class ThreadPool
     /** Pop from own front, else steal from a victim's back. */
     bool grabTask(unsigned self, std::function<void()> &task);
 
+    /** Immutable after construction (sized in the constructor). */
     std::vector<std::unique_ptr<WorkerQueue>> queues_;
     std::vector<std::thread> threads_;
 
-    std::mutex mutex_;
-    std::condition_variable workCv_;  ///< Wakes workers for a batch.
-    std::condition_variable doneCv_;  ///< Wakes run() at batch end.
-    std::size_t unfinished_ = 0;      ///< Tasks not yet completed.
-    std::uint64_t batch_ = 0;         ///< Bumped per run() call.
-    bool stop_ = false;
-    std::exception_ptr firstError_;
+    Mutex mutex_;
+    /** condition_variable_any: waitable on the annotated MutexLock. */
+    std::condition_variable_any workCv_; ///< Wakes workers for a batch.
+    std::condition_variable_any doneCv_; ///< Wakes run() at batch end.
+    std::size_t unfinished_ SAM_GUARDED_BY(mutex_) = 0;
+    std::uint64_t batch_ SAM_GUARDED_BY(mutex_) = 0;
+    bool stop_ SAM_GUARDED_BY(mutex_) = false;
+    std::exception_ptr firstError_ SAM_GUARDED_BY(mutex_);
 };
 
 } // namespace sam

@@ -18,14 +18,14 @@ TableCache::materialized(const Table &ta, const Table &tb, EccScheme ecc)
 
     std::shared_ptr<Entry> entry;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         auto &slot = entries_[key];
         if (!slot)
             slot = std::make_shared<Entry>();
         entry = slot;
     }
 
-    std::lock_guard<std::mutex> build_lock(entry->build);
+    MutexLock build_lock(entry->build);
     if (entry->snap) {
         hits_.fetch_add(1);
         return entry->snap;

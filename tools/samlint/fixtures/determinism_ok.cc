@@ -1,0 +1,30 @@
+// Fixture: keyed lookups and sanctioned randomness are clean.
+#include <map>
+#include <random>
+#include <unordered_map>
+#include <vector>
+
+struct OkDeterminism
+{
+    std::unordered_map<int, int> table_;
+    std::vector<int> insertionOrder_;
+    std::map<int, int> ordered_;
+
+    // NOLINTNEXTLINE(sam-determinism): seeded from the run config.
+    std::mt19937 rng_;
+
+    int
+    lookups(int key)
+    {
+        // Keyed access does not expose hash order.
+        const auto it = table_.find(key);
+        int total = it == table_.end() ? 0 : it->second;
+        table_[key] = total + 1;
+        // Deterministic iteration goes through the side vector.
+        for (int k : insertionOrder_)
+            total += table_.count(k);
+        for (const auto &kv : ordered_)
+            total += kv.second;
+        return total;
+    }
+};

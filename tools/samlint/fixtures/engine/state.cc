@@ -1,0 +1,15 @@
+// Fixture: mutations inside the declaring directory are legitimate.
+#include "tools/samlint/fixtures/engine/state.hh"
+
+Cycle
+EngineState::nextActivateAfter(Cycle gap) const
+{
+    return nextActivate + gap;
+}
+
+void
+advance(EngineState &st, Cycle gap)
+{
+    st.nextActivate += gap;
+    st.lastRefresh = st.nextActivate;
+}

@@ -1,0 +1,16 @@
+// Fixture: declares Cycle-typed fields; the declaring directory (and
+// the engine path) may mutate them, everyone else may not.
+#ifndef SAMLINT_FIXTURE_ENGINE_STATE_HH
+#define SAMLINT_FIXTURE_ENGINE_STATE_HH
+
+using Cycle = unsigned long long;
+
+struct EngineState
+{
+    Cycle nextActivate = 0;
+    Cycle lastRefresh = 0;
+
+    Cycle nextActivateAfter(Cycle gap) const;
+};
+
+#endif

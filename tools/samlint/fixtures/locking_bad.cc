@@ -1,0 +1,11 @@
+// Fixture: raw standard-library locking primitives.
+#include <mutex>
+
+std::mutex gate;
+
+int
+criticalSection(int x)
+{
+    std::lock_guard<std::mutex> hold(gate);
+    return x + 1;
+}

@@ -1,0 +1,24 @@
+// Fixture: the annotated wrappers keep -Wthread-safety effective.
+namespace sam {
+class Mutex
+{
+  public:
+    void lock();
+    void unlock();
+};
+class MutexLock
+{
+  public:
+    explicit MutexLock(Mutex &m);
+    ~MutexLock();
+};
+} // namespace sam
+
+sam::Mutex gate;
+
+int
+criticalSection(int x)
+{
+    sam::MutexLock hold(gate);
+    return x + 1;
+}

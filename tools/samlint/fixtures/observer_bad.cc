@@ -1,0 +1,19 @@
+// Fixture: attach with no detach, and a callback that reaches back
+// into the observed device.
+struct Cmd;
+
+struct Dev
+{
+    template <typename F> void addCommandObserver(F f);
+    template <typename F> void removeCommandObserver(F f);
+    void reset();
+};
+
+void
+leakyAttach(Dev &dev)
+{
+    dev.addCommandObserver([&](const Cmd &c) {
+        (void)c;
+        dev.reset();
+    });
+}

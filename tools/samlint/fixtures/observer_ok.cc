@@ -1,0 +1,23 @@
+// Fixture: paired attach/detach with a record-only callback.
+struct Cmd;
+
+struct Dev
+{
+    template <typename F> void addCommandObserver(F f);
+    template <typename F> void removeCommandObserver(F f);
+};
+
+struct Recorder
+{
+    int seen = 0;
+};
+
+void
+pairedAttach(Dev &d, Recorder &rec)
+{
+    d.addCommandObserver([&rec](const Cmd &c) {
+        (void)c;
+        rec.seen += 1;
+    });
+    d.removeCommandObserver(nullptr);
+}

@@ -259,6 +259,7 @@ main(int argc, char **argv)
             cfg.faults.fitPerMcycle = std::atof(next_arg(i));
         else if (a == "--chipkill-at") {
             cfg.faults.model = FaultModel::Chipkill;
+            // NOLINTNEXTLINE(sam-cycle-accounting): pre-run config.
             cfg.faults.chipkillAt =
                 std::strtoull(next_arg(i), nullptr, 10);
         } else if (a == "--chipkill-chip")
@@ -286,6 +287,7 @@ main(int argc, char **argv)
             cfg.telemetry.enabled = true;
             cfg.telemetry.commandTrace = true;
         } else if (a == "--telemetry-window")
+            // NOLINTNEXTLINE(sam-cycle-accounting): pre-run config.
             cfg.telemetry.windowCycles =
                 std::strtoull(next_arg(i), nullptr, 10);
         else {

@@ -1,0 +1,176 @@
+#!/usr/bin/env python3
+"""Edge-case tests for tools/bench_diff.py (stdlib unittest only).
+
+Run directly or via ctest:
+    python3 tools/test_bench_diff.py
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+TOOL = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                    "bench_diff.py")
+
+
+def campaign(runs, schema="sam-campaign-v1", scale="small", **extra):
+    doc = {"schema": schema, "campaign": "t", "scale": scale}
+    doc.update(extra)
+    doc["runs"] = runs
+    return doc
+
+
+def run(run_id, cycles):
+    return {"id": run_id, "cycles": cycles}
+
+
+class BenchDiffTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.addCleanup(self.tmp.cleanup)
+
+    def path(self, name, doc):
+        p = os.path.join(self.tmp.name, name)
+        with open(p, "w", encoding="utf-8") as fh:
+            if isinstance(doc, str):
+                fh.write(doc)
+            else:
+                json.dump(doc, fh)
+        return p
+
+    def diff(self, *argv):
+        return subprocess.run([sys.executable, TOOL, *argv],
+                              capture_output=True, text=True)
+
+    def test_clean_diff_exits_zero(self):
+        base = self.path("b.json", campaign([run("a", 100)]))
+        cur = self.path("c.json", campaign([run("a", 102)]))
+        r = self.diff(base, cur)
+        self.assertEqual(r.returncode, 0, r.stderr)
+        self.assertIn("OK", r.stdout)
+
+    def test_regression_exits_one(self):
+        base = self.path("b.json", campaign([run("a", 100)]))
+        cur = self.path("c.json", campaign([run("a", 120)]))
+        r = self.diff(base, cur)
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("REGRESSION", r.stdout)
+
+    def test_missing_run_exits_one(self):
+        base = self.path("b.json", campaign([run("a", 100),
+                                             run("b", 50)]))
+        cur = self.path("c.json", campaign([run("a", 100)]))
+        r = self.diff(base, cur)
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("MISSING", r.stdout)
+
+    def test_added_run_does_not_fail(self):
+        base = self.path("b.json", campaign([run("a", 100)]))
+        cur = self.path("c.json", campaign([run("a", 100),
+                                            run("z", 7)]))
+        r = self.diff(base, cur)
+        self.assertEqual(r.returncode, 0, r.stdout)
+        self.assertIn("new", r.stdout)
+
+    def test_nonexistent_baseline_exits_two(self):
+        cur = self.path("c.json", campaign([run("a", 1)]))
+        r = self.diff(os.path.join(self.tmp.name, "nope.json"), cur)
+        self.assertEqual(r.returncode, 2)
+        self.assertIn("cannot read", r.stderr)
+
+    def test_invalid_json_exits_two(self):
+        base = self.path("b.json", "{not json")
+        cur = self.path("c.json", campaign([run("a", 1)]))
+        r = self.diff(base, cur)
+        self.assertEqual(r.returncode, 2)
+        self.assertIn("cannot read", r.stderr)
+
+    def test_empty_file_exits_two(self):
+        base = self.path("b.json", "")
+        cur = self.path("c.json", campaign([run("a", 1)]))
+        self.assertEqual(self.diff(base, cur).returncode, 2)
+
+    def test_empty_baseline_runs_exits_two(self):
+        base = self.path("b.json", campaign([]))
+        cur = self.path("c.json", campaign([run("a", 1)]))
+        r = self.diff(base, cur)
+        self.assertEqual(r.returncode, 2)
+        self.assertIn("no runs", r.stderr)
+
+    def test_wrong_schema_exits_two(self):
+        base = self.path("b.json",
+                         campaign([run("a", 1)], schema="v0"))
+        cur = self.path("c.json", campaign([run("a", 1)]))
+        r = self.diff(base, cur)
+        self.assertEqual(r.returncode, 2)
+        self.assertIn("schema", r.stderr)
+
+    def test_non_object_top_level_exits_two(self):
+        base = self.path("b.json", [1, 2, 3])
+        cur = self.path("c.json", campaign([run("a", 1)]))
+        self.assertEqual(self.diff(base, cur).returncode, 2)
+
+    def test_non_numeric_cycles_exits_two(self):
+        base = self.path("b.json",
+                         campaign([{"id": "a", "cycles": "fast"}]))
+        cur = self.path("c.json", campaign([run("a", 1)]))
+        r = self.diff(base, cur)
+        self.assertEqual(r.returncode, 2)
+        self.assertIn("expected a number", r.stderr)
+
+    def test_boolean_cycles_exits_two(self):
+        base = self.path("b.json",
+                         campaign([{"id": "a", "cycles": True}]))
+        cur = self.path("c.json", campaign([run("a", 1)]))
+        self.assertEqual(self.diff(base, cur).returncode, 2)
+
+    def test_missing_cycles_field_exits_two(self):
+        base = self.path("b.json", campaign([{"id": "a"}]))
+        cur = self.path("c.json", campaign([run("a", 1)]))
+        self.assertEqual(self.diff(base, cur).returncode, 2)
+
+    def test_duplicate_run_id_exits_two(self):
+        base = self.path("b.json", campaign([run("a", 1),
+                                             run("a", 2)]))
+        cur = self.path("c.json", campaign([run("a", 1)]))
+        r = self.diff(base, cur)
+        self.assertEqual(r.returncode, 2)
+        self.assertIn("duplicate", r.stderr)
+
+    def test_zero_cycle_baseline_run_skipped_not_crash(self):
+        base = self.path("b.json", campaign([run("a", 0),
+                                             run("b", 100)]))
+        cur = self.path("c.json", campaign([run("a", 999),
+                                            run("b", 100)]))
+        r = self.diff(base, cur)
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertIn("skipped", r.stdout)
+
+    def test_scale_mismatch_exits_two(self):
+        base = self.path("b.json",
+                         campaign([run("a", 1)], scale="small"))
+        cur = self.path("c.json",
+                        campaign([run("a", 1)], scale="large"))
+        r = self.diff(base, cur)
+        self.assertEqual(r.returncode, 2)
+        self.assertIn("scale mismatch", r.stderr)
+
+    def test_negative_threshold_exits_two(self):
+        base = self.path("b.json", campaign([run("a", 1)]))
+        cur = self.path("c.json", campaign([run("a", 1)]))
+        r = self.diff(base, cur, "--threshold", "-3")
+        self.assertEqual(r.returncode, 2)
+
+    def test_improvement_reported_but_passes(self):
+        base = self.path("b.json", campaign([run("a", 200)]))
+        cur = self.path("c.json", campaign([run("a", 100)]))
+        r = self.diff(base, cur)
+        self.assertEqual(r.returncode, 0)
+        self.assertIn("improved", r.stdout)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Differential clang-tidy: lint only the files a branch touched.
+
+Usage:
+    tools/tidy_diff.py [--base REF] [--build-dir DIR] [--tidy BIN]
+
+Runs clang-tidy (configuration from .clang-tidy, compile commands from
+the build directory) over the .cc/.hh files changed between the merge
+base of REF (default: origin/main) and the working tree. A full-tree
+tidy run takes minutes; the differential run keeps the PR feedback
+loop proportional to the change.
+
+Exit status: 0 when clean or nothing to lint, 1 on clang-tidy
+findings, 2 on usage/environment errors. When clang-tidy is not
+installed the script reports and exits 0 so non-clang containers can
+run the same CI recipe.
+"""
+
+import argparse
+import os
+import shutil
+import subprocess
+import sys
+
+
+def changed_files(base):
+    """Paths changed vs the merge base of `base`, plus uncommitted."""
+    try:
+        merge_base = subprocess.run(
+            ["git", "merge-base", base, "HEAD"],
+            capture_output=True, text=True, check=True,
+        ).stdout.strip()
+    except subprocess.CalledProcessError:
+        # No such ref (shallow clone, detached CI checkout): fall back
+        # to comparing against the ref directly, then to HEAD~1.
+        merge_base = base
+    paths = set()
+    for args in (["git", "diff", "--name-only", merge_base, "--"],
+                 ["git", "diff", "--name-only", "--"]):
+        proc = subprocess.run(args, capture_output=True, text=True)
+        if proc.returncode != 0:
+            print(f"tidy_diff: {' '.join(args)} failed: "
+                  f"{proc.stderr.strip()}", file=sys.stderr)
+            sys.exit(2)
+        paths.update(p for p in proc.stdout.splitlines() if p)
+    return sorted(paths)
+
+
+def lintable(paths):
+    """Changed sources clang-tidy can process via compile commands."""
+    out = []
+    for p in paths:
+        if not p.endswith(".cc"):
+            continue
+        if not (p.startswith("src/") or p.startswith("tools/")):
+            continue
+        if p.startswith("tools/samlint/fixtures/"):
+            continue  # Deliberate violations.
+        if os.path.exists(p):
+            out.append(p)
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="clang-tidy over changed files only")
+    parser.add_argument("--base", default="origin/main",
+                        help="ref to diff against "
+                             "(default: %(default)s)")
+    parser.add_argument("--build-dir", default="build",
+                        help="directory with compile_commands.json "
+                             "(default: %(default)s)")
+    parser.add_argument("--tidy", default="clang-tidy",
+                        help="clang-tidy binary (default: %(default)s)")
+    args = parser.parse_args()
+
+    tidy = shutil.which(args.tidy)
+    if tidy is None:
+        print(f"tidy_diff: {args.tidy} not installed; skipping "
+              f"(the samlint binary covers the project checks)")
+        return 0
+
+    if not os.path.exists(
+            os.path.join(args.build_dir, "compile_commands.json")):
+        print(f"tidy_diff: no compile_commands.json in "
+              f"{args.build_dir!r}; configure with "
+              f"-DCMAKE_EXPORT_COMPILE_COMMANDS=ON first",
+              file=sys.stderr)
+        return 2
+
+    files = lintable(changed_files(args.base))
+    if not files:
+        print("tidy_diff: no changed .cc files to lint")
+        return 0
+
+    print(f"tidy_diff: linting {len(files)} changed file(s) vs "
+          f"{args.base}")
+    for f in files:
+        print(f"  {f}")
+    proc = subprocess.run([tidy, "-p", args.build_dir, "--quiet",
+                           *files])
+    return 1 if proc.returncode != 0 else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
