@@ -1,0 +1,187 @@
+#include "src/runner/chaos.hh"
+
+#include <cstdlib>
+
+namespace sam {
+
+const char *
+chaosFaultName(ChaosFault fault)
+{
+    switch (fault) {
+      case ChaosFault::None: return "none";
+      case ChaosFault::Kill: return "kill";
+      case ChaosFault::Hang: return "hang";
+      case ChaosFault::Corrupt: return "corrupt";
+      case ChaosFault::Slow: return "slow";
+      case ChaosFault::Die: return "die";
+    }
+    return "?";
+}
+
+namespace {
+
+bool
+parseFaultName(const std::string &name, ChaosFault &out)
+{
+    for (ChaosFault f : {ChaosFault::Kill, ChaosFault::Hang,
+                         ChaosFault::Corrupt, ChaosFault::Slow,
+                         ChaosFault::Die}) {
+        if (name == chaosFaultName(f)) {
+            out = f;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+parseNumber(const std::string &text, std::uint64_t &out)
+{
+    if (text.empty())
+        return false;
+    char *end = nullptr;
+    out = std::strtoull(text.c_str(), &end, 10);
+    return end != nullptr && *end == '\0';
+}
+
+/** SplitMix64 finalizer: decorrelates (seed, launch, spec, salt). */
+std::uint64_t
+mix(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+std::uint64_t
+chaosHash(std::uint64_t seed, std::uint64_t launch, std::uint64_t spec,
+          std::uint64_t salt)
+{
+    return mix(mix(mix(mix(seed) ^ launch) ^ spec) ^ salt);
+}
+
+} // namespace
+
+bool
+parseChaosSpec(const std::string &spec, ChaosConfig &out,
+               std::string &error)
+{
+    ChaosConfig cfg;
+    std::size_t start = 0;
+    while (start <= spec.size()) {
+        std::size_t comma = spec.find(',', start);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        const std::string term = spec.substr(start, comma - start);
+        start = comma + 1;
+        if (term.empty()) {
+            error = "empty term in chaos spec '" + spec + "'";
+            return false;
+        }
+        if (term.rfind("seed=", 0) == 0) {
+            std::uint64_t seed = 0;
+            if (!parseNumber(term.substr(5), seed)) {
+                error = "bad chaos seed '" + term + "'";
+                return false;
+            }
+            cfg.seed = seed;
+            continue;
+        }
+        const std::size_t at = term.find('@');
+        const std::size_t pct = term.find('%');
+        if (at != std::string::npos) {
+            ChaosFault fault = ChaosFault::None;
+            if (!parseFaultName(term.substr(0, at), fault)) {
+                error = "unknown chaos fault in '" + term +
+                        "' (kill|hang|corrupt|slow|die)";
+                return false;
+            }
+            std::string where = term.substr(at + 1);
+            if (where.rfind("spec:", 0) == 0) {
+                std::uint64_t idx = 0;
+                if (!parseNumber(where.substr(5), idx)) {
+                    error = "bad spec index in '" + term + "'";
+                    return false;
+                }
+                cfg.specPoints.emplace_back(
+                    static_cast<unsigned>(idx), fault);
+            } else {
+                std::uint64_t n = 0;
+                if (!parseNumber(where, n) || n == 0) {
+                    error = "bad launch point in '" + term +
+                            "' (1-based integer)";
+                    return false;
+                }
+                cfg.launchPoints.emplace_back(
+                    static_cast<unsigned>(n), fault);
+            }
+            continue;
+        }
+        if (pct != std::string::npos) {
+            ChaosFault fault = ChaosFault::None;
+            if (!parseFaultName(term.substr(0, pct), fault)) {
+                error = "unknown chaos fault in '" + term +
+                        "' (kill|hang|corrupt|slow|die)";
+                return false;
+            }
+            std::uint64_t p = 0;
+            if (!parseNumber(term.substr(pct + 1), p) || p == 0 ||
+                p > 100) {
+                error = "chaos percentage in '" + term +
+                        "' must be 1..100";
+                return false;
+            }
+            cfg.percent.emplace_back(fault,
+                                     static_cast<unsigned>(p));
+            continue;
+        }
+        error = "cannot parse chaos term '" + term +
+                "' (want seed=N, fault@N, fault@spec:N, or fault%P)";
+        return false;
+    }
+    if (!cfg.enabled()) {
+        error = "chaos spec '" + spec + "' injects nothing";
+        return false;
+    }
+    out = std::move(cfg);
+    return true;
+}
+
+ChaosPlan
+ChaosEngine::nextLaunch(std::size_t specIdx)
+{
+    const unsigned launch = ++launches_;
+    ChaosPlan plan;
+    for (const auto &[at, fault] : config_.launchPoints) {
+        if (at == launch)
+            plan.fault = fault;
+    }
+    if (plan.fault == ChaosFault::None) {
+        for (const auto &[idx, fault] : config_.specPoints) {
+            if (idx == specIdx)
+                plan.fault = fault;
+        }
+    }
+    if (plan.fault == ChaosFault::None) {
+        for (const auto &[fault, pct] : config_.percent) {
+            const std::uint64_t roll =
+                chaosHash(config_.seed, launch, specIdx,
+                          static_cast<std::uint64_t>(fault)) %
+                100;
+            if (roll < pct) {
+                plan.fault = fault;
+                break;
+            }
+        }
+    }
+    if (plan.fault == ChaosFault::Kill)
+        plan.point = static_cast<unsigned>(
+            chaosHash(config_.seed, launch, specIdx, 101) % 3);
+    if (plan.fault == ChaosFault::Slow)
+        plan.delayMs = 20 + static_cast<unsigned>(
+            chaosHash(config_.seed, launch, specIdx, 102) % 80);
+    return plan;
+}
+
+} // namespace sam

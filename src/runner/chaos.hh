@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Deterministic fault injection for the campaign execution layer.
+ *
+ * The chaos harness is how the crash-safety claims get *proved* rather
+ * than asserted: tests (and `samcampaign --chaos=<spec>`) inject
+ * worker-process faults at seeded, reproducible points and then check
+ * that journal + resume converge to the uninterrupted campaign's
+ * output. Faults:
+ *
+ *   kill     worker SIGKILLs itself (at a seeded sub-point: on entry,
+ *            after simulating but before reporting, or mid-report so
+ *            the parent sees a torn result)
+ *   hang     worker stops responding (parent's deadline must fire)
+ *   corrupt  worker reports garbage bytes instead of a result record
+ *   slow     worker sleeps a seeded delay before starting (exercises
+ *            deadline headroom, never fails a healthy run)
+ *   die      the *campaign process itself* SIGKILLs before the Nth
+ *            worker launch — the write-ahead-journal crash test
+ *
+ * Spec grammar (comma-separated terms, validated by parseChaosSpec):
+ *
+ *   seed=<n>          RNG seed for %-based injection and sub-points
+ *   <fault>@<n>       inject at the Nth worker launch (1-based)
+ *   <fault>@spec:<n>  inject on every attempt of spec index n
+ *   <fault>%<p>       inject on p% of launches (seeded, deterministic)
+ *
+ * e.g. `--chaos=seed=7,die@5` or `--chaos=seed=3,kill%25,hang@spec:0`.
+ * Scheduling is a pure function of (seed, launch counter, spec index),
+ * so a chaos campaign replays its fault schedule exactly.
+ */
+
+#ifndef SAM_RUNNER_CHAOS_HH
+#define SAM_RUNNER_CHAOS_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sam {
+
+enum class ChaosFault { None, Kill, Hang, Corrupt, Slow, Die };
+
+const char *chaosFaultName(ChaosFault fault);
+
+/** Parsed `--chaos=` specification. */
+struct ChaosConfig
+{
+    std::uint64_t seed = 0;
+    /** Nth-launch injections (1-based launch counter). */
+    std::vector<std::pair<unsigned, ChaosFault>> launchPoints;
+    /** Per-spec injections: every attempt of spec index n. */
+    std::vector<std::pair<unsigned, ChaosFault>> specPoints;
+    /** Probabilistic injections: fault on pct% of launches. */
+    std::vector<std::pair<ChaosFault, unsigned>> percent;
+
+    bool
+    enabled() const
+    {
+        return !launchPoints.empty() || !specPoints.empty() ||
+               !percent.empty();
+    }
+};
+
+/** The fault decision for one worker launch. */
+struct ChaosPlan
+{
+    ChaosFault fault = ChaosFault::None;
+    /** Kill sub-point: 0 = on entry, 1 = pre-report, 2 = mid-report. */
+    unsigned point = 0;
+    /** Slow-start delay in milliseconds. */
+    unsigned delayMs = 0;
+};
+
+/**
+ * Parse a chaos spec string. Returns false with a one-line diagnostic
+ * (no partial state) on grammar errors, unknown fault names, pct out
+ * of [1,100], or a zero launch point.
+ */
+bool parseChaosSpec(const std::string &spec, ChaosConfig &out,
+                    std::string &error);
+
+/**
+ * The injection schedule: one nextLaunch() call per worker launch, in
+ * launch order. Deterministic — two engines over the same config
+ * produce the same plan sequence.
+ */
+class ChaosEngine
+{
+  public:
+    explicit ChaosEngine(ChaosConfig config)
+        : config_(std::move(config))
+    {
+    }
+
+    /** Decide the fault for the next launch of spec `specIdx`. */
+    ChaosPlan nextLaunch(std::size_t specIdx);
+
+    unsigned launches() const { return launches_; }
+
+  private:
+    ChaosConfig config_;
+    unsigned launches_ = 0;
+};
+
+} // namespace sam
+
+#endif // SAM_RUNNER_CHAOS_HH

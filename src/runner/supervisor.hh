@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Supervised campaign execution: retries, timeouts, process isolation.
+ *
+ * CampaignRunner's contract is all-or-nothing — one throwing run
+ * aborts the batch. Paper-scale campaigns need the opposite: a run
+ * that crashes, hangs, or returns garbage must be retried, classified,
+ * and — if it keeps failing — recorded as FAILED while every other
+ * run's work is kept. The Supervisor provides that envelope in two
+ * isolation modes:
+ *
+ *   Thread   runs execute on the in-process work-stealing pool (same
+ *            performance as CampaignRunner); exceptions are caught and
+ *            retried, but a hard crash still takes the process down
+ *            (the journal preserves completed work even then)
+ *   Process  each attempt executes in a forked worker that reports
+ *            its result record over a pipe; the parent classifies
+ *            crash (signal), hang (deadline exceeded → SIGKILL),
+ *            error (non-zero exit), and corrupt-result (unparseable
+ *            report) failures, so no worker misbehaviour — including
+ *            chaos-injected SIGKILL — can corrupt campaign state
+ *
+ * Retries use exponential backoff with deterministic seeded jitter
+ * (RetryPolicy::backoffMs is a pure function of seed, spec index, and
+ * attempt), so a retried campaign replays its schedule exactly. The
+ * parent in Process mode is a single-threaded poll() event loop:
+ * workers are forked only from a thread-less process, which keeps
+ * fork() safe, and up to `jobs` children run concurrently.
+ *
+ * With a CampaignJournal attached, every outcome is written ahead
+ * (append + fsync) before the in-memory report advances, and a
+ * JournalState from a previous attempt short-circuits already-done
+ * specs whose identity hash still matches. Results come back in spec
+ * order regardless of isolation, jobs count, retries, or resume —
+ * the campaign output stays bit-identical (wall-clock excepted).
+ */
+
+#ifndef SAM_RUNNER_SUPERVISOR_HH
+#define SAM_RUNNER_SUPERVISOR_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/runner/campaign.hh"
+#include "src/runner/chaos.hh"
+#include "src/runner/journal.hh"
+#include "src/runner/thread_pool.hh"
+#include "src/sim/table_cache.hh"
+
+namespace sam {
+
+enum class Isolation { Thread, Process };
+
+/** Why an attempt (or a run, once retries exhaust) failed. */
+enum class FailureKind { None, Crash, Hang, Error, Corrupt };
+
+const char *failureKindName(FailureKind kind);
+
+/** Bounded retry with exponential backoff and seeded jitter. */
+struct RetryPolicy
+{
+    /** Total attempts per run (1 = no retry). */
+    unsigned maxAttempts = 3;
+    unsigned baseDelayMs = 100;
+    unsigned maxDelayMs = 5000;
+    /** Jitter as a fraction of the backoff: delay * [1-j, 1+j). */
+    double jitter = 0.5;
+    std::uint64_t seed = 0;
+
+    /**
+     * Delay before attempt `attempt + 1` of spec `specIdx` after
+     * `attempt` failed (1-based). Deterministic: a pure function of
+     * (seed, specIdx, attempt) via the sanctioned sam::Rng.
+     */
+    unsigned backoffMs(std::size_t specIdx, unsigned attempt) const;
+};
+
+struct SupervisorConfig
+{
+    Isolation isolation = Isolation::Thread;
+    /** Concurrent workers; 0 picks the host's core count. */
+    unsigned jobs = 0;
+    /** Per-attempt deadline in ms; 0 disables (Process mode only). */
+    std::uint64_t timeoutMs = 0;
+    RetryPolicy retry;
+    /** Fault injection; requires Process isolation when enabled. */
+    ChaosConfig chaos;
+    /** Write-ahead journal; optional, not owned. */
+    CampaignJournal *journal = nullptr;
+    /** Prior journal contents for --resume; optional, not owned. */
+    const JournalState *resume = nullptr;
+};
+
+/** Outcome of one supervised spec. */
+struct SupervisedRun
+{
+    enum class Outcome { Done, FromJournal, Failed };
+
+    /** Numeric stats restored/collected; meaningless when Failed. */
+    RunResult result;
+    /** The BENCH runs[] record, verbatim (null when Failed). */
+    Json record;
+    Outcome outcome = Outcome::Failed;
+    FailureKind failure = FailureKind::None;
+    unsigned attempts = 0;
+    std::string error;
+
+    bool succeeded() const { return outcome != Outcome::Failed; }
+};
+
+struct SupervisorReport
+{
+    /** One entry per spec, in spec order. */
+    std::vector<SupervisedRun> runs;
+    unsigned executed = 0;    ///< Specs simulated this invocation.
+    unsigned fromJournal = 0; ///< Specs skipped via resume.
+    unsigned failed = 0;      ///< Specs that exhausted retries.
+    unsigned retries = 0;     ///< Extra attempts beyond the first.
+    unsigned launches = 0;    ///< Worker launches (Process mode).
+
+    bool allDone() const { return failed == 0; }
+};
+
+class Supervisor
+{
+  public:
+    explicit Supervisor(SupervisorConfig config);
+
+    unsigned jobs() const { return jobs_; }
+
+    /** Table cache shared by Thread-mode runs (lazily created). */
+    const std::shared_ptr<TableCache> &tableCache() const
+    {
+        return tables_;
+    }
+
+    /**
+     * Execute every spec under supervision and return outcomes in
+     * spec order. Never throws for per-run failures — check
+     * SupervisorReport::allDone().
+     */
+    SupervisorReport run(const std::vector<RunSpec> &specs);
+
+  private:
+    struct Slot; // Process-mode bookkeeping (defined in the .cc).
+
+    bool resumeHit(const RunSpec &spec, std::uint64_t hash,
+                   SupervisedRun &out) const;
+    void runThreaded(const std::vector<RunSpec> &specs,
+                     SupervisorReport &report);
+    void runForked(const std::vector<RunSpec> &specs,
+                   SupervisorReport &report);
+    void finishRun(const RunSpec &spec, std::uint64_t hash,
+                   unsigned attempts, RunResult result,
+                   Json record, Json power, SupervisedRun &out);
+    void failRun(const RunSpec &spec, std::uint64_t hash,
+                 unsigned attempts, FailureKind kind,
+                 const std::string &error, SupervisedRun &out);
+
+    SupervisorConfig config_;
+    unsigned jobs_;
+    std::shared_ptr<TableCache> tables_;
+    std::unique_ptr<ThreadPool> pool_; ///< Thread mode only, lazy.
+};
+
+} // namespace sam
+
+#endif // SAM_RUNNER_SUPERVISOR_HH

@@ -1,0 +1,392 @@
+/**
+ * @file
+ * Tests for the crash-safe execution substrate: the JSON parser's
+ * byte-identical round trip, atomic file writes, the write-ahead
+ * campaign journal (append, replay, torn-line tolerance), spec
+ * identity hashing, and RunResult restoration from journal records.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <gtest/gtest.h>
+#include <sstream>
+
+#include <unistd.h>
+
+#include "src/common/json.hh"
+#include "src/runner/journal.hh"
+
+namespace sam {
+namespace {
+
+/** A unique scratch file path inside the test's working directory. */
+std::string
+scratchPath(const char *tag)
+{
+    static int counter = 0;
+    return std::string("journal_test_") + tag + "_" +
+           std::to_string(::getpid()) + "_" +
+           std::to_string(counter++) + ".tmp.jsonl";
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+struct FileGuard
+{
+    std::string path;
+    ~FileGuard() { std::remove(path.c_str()); }
+};
+
+// ----- Json::parse ---------------------------------------------------
+
+TEST(JsonParseTest, RoundTripsByteIdentically)
+{
+    // Every kind the journal and BENCH records use, including doubles
+    // that need shortest-exact formatting and negative/large ints.
+    const std::string text =
+        "{\"name\":\"fig12\",\"jobs\":8,\"speedup\":4.25,"
+        "\"tiny\":0.1,\"third\":0.3333333333333333,"
+        "\"energy\":963795.1276799998,"
+        "\"big\":1234567890123456789,\"neg\":-7,\"quick\":true,"
+        "\"note\":null,\"esc\":\"a\\\"b\\\\c\\nd\\tे\","
+        "\"runs\":[{\"id\":\"SAM-en/Q1\",\"cycles\":535},[]],"
+        "\"empty\":{}}";
+    Json doc;
+    std::string error;
+    ASSERT_TRUE(Json::parse(text, doc, error)) << error;
+    EXPECT_EQ(doc.dump(0), text);
+}
+
+TEST(JsonParseTest, PreservesNumericKinds)
+{
+    Json doc;
+    std::string error;
+    ASSERT_TRUE(Json::parse("{\"u\":18446744073709551615,\"i\":-3,"
+                            "\"d\":2.5,\"e\":1e3}",
+                            doc, error))
+        << error;
+    EXPECT_EQ(doc.find("u")->kind(), Json::Kind::Uint);
+    EXPECT_EQ(doc.find("u")->asU64(), 18446744073709551615ull);
+    EXPECT_EQ(doc.find("i")->kind(), Json::Kind::Int);
+    EXPECT_EQ(doc.find("i")->asI64(), -3);
+    EXPECT_EQ(doc.find("d")->kind(), Json::Kind::Double);
+    // Numeric kinds coerce for readers.
+    EXPECT_DOUBLE_EQ(doc.find("i")->asDouble(), -3.0);
+    EXPECT_EQ(doc.find("d")->asU64(), 2u);
+    EXPECT_DOUBLE_EQ(doc.find("e")->asDouble(), 1000.0);
+}
+
+TEST(JsonParseTest, RejectsMalformedInput)
+{
+    Json doc;
+    std::string error;
+    EXPECT_FALSE(Json::parse("", doc, error));
+    EXPECT_FALSE(Json::parse("{\"a\":", doc, error));
+    EXPECT_FALSE(Json::parse("{\"a\":1} trailing", doc, error));
+    EXPECT_NE(error.find("offset"), std::string::npos) << error;
+    EXPECT_FALSE(Json::parse("{\"a\":01}", doc, error));
+    EXPECT_FALSE(Json::parse("[1,2,]", doc, error));
+    EXPECT_FALSE(Json::parse("nul", doc, error));
+    EXPECT_FALSE(Json::parse("{\"run\":@corrupted", doc, error));
+}
+
+TEST(JsonParseTest, RejectsPathologicalNesting)
+{
+    std::string deep;
+    for (int i = 0; i < 200; ++i)
+        deep += '[';
+    Json doc;
+    std::string error;
+    EXPECT_FALSE(Json::parse(deep, doc, error));
+    EXPECT_NE(error.find("deep"), std::string::npos) << error;
+}
+
+// ----- writeJsonFile -------------------------------------------------
+
+TEST(AtomicWriteTest, LeavesNoTempFileBehind)
+{
+    FileGuard guard{scratchPath("atomic")};
+    Json doc = Json::object();
+    doc.set("hello", "world");
+    writeJsonFile(guard.path, doc);
+    EXPECT_EQ(slurp(guard.path), "{\n  \"hello\": \"world\"\n}\n");
+    std::ifstream tmp(guard.path + ".tmp");
+    EXPECT_FALSE(tmp.good()) << "temp file survived the rename";
+}
+
+TEST(AtomicWriteTest, ReplacesExistingFileCompletely)
+{
+    FileGuard guard{scratchPath("replace")};
+    Json big = Json::object();
+    std::string filler(4096, 'x');
+    big.set("filler", filler);
+    writeJsonFile(guard.path, big);
+    Json tiny = Json::object();
+    tiny.set("n", 1);
+    writeJsonFile(guard.path, tiny);
+    EXPECT_EQ(slurp(guard.path), "{\n  \"n\": 1\n}\n");
+}
+
+// ----- spec identity hashing ----------------------------------------
+
+RunSpec
+tinySpec(DesignKind design = DesignKind::SamEn)
+{
+    SimConfig cfg;
+    cfg.design = design;
+    cfg.taRecords = 256;
+    cfg.tbRecords = 256;
+    const Query q = benchmarkQQueries()[0];
+    return RunSpec{designName(design) + "/" + q.name, cfg, q, false};
+}
+
+TEST(SpecHashTest, StableAndSensitive)
+{
+    const RunSpec spec = tinySpec();
+    const std::uint64_t h = specHash(spec);
+    EXPECT_EQ(specHash(spec), h) << "hash is not a pure function";
+
+    RunSpec other = tinySpec(DesignKind::GsDram);
+    EXPECT_NE(specHash(other), h);
+
+    RunSpec scaled = tinySpec();
+    scaled.config.taRecords = 512;
+    EXPECT_NE(specHash(scaled), h);
+
+    RunSpec verified = tinySpec();
+    verified.verify = true;
+    EXPECT_NE(specHash(verified), h);
+
+    RunSpec requeried = tinySpec();
+    requeried.query.selectivity = 0.75;
+    EXPECT_NE(specHash(requeried), h);
+}
+
+TEST(SpecHashTest, IgnoresNonResultKnobs)
+{
+    const std::uint64_t h = specHash(tinySpec());
+    // Telemetry collection is passive; flipping it must not invalidate
+    // completed journal entries.
+    RunSpec telem = tinySpec();
+    telem.config.telemetry.enabled = !telem.config.telemetry.enabled;
+    EXPECT_EQ(specHash(telem), h);
+}
+
+TEST(SpecHashTest, HexRendering)
+{
+    EXPECT_EQ(hashHex(0x0123456789abcdefull), "0123456789abcdef");
+    EXPECT_EQ(hashHex(0), "0000000000000000");
+}
+
+// ----- journal write + replay ---------------------------------------
+
+JournalHeader
+testHeader()
+{
+    JournalHeader h;
+    h.campaign = "fig12";
+    h.scale = "quick";
+    h.verify = false;
+    h.telemetry = true;
+    return h;
+}
+
+Json
+fakeRunRecord(const std::string &id, std::uint64_t cycles)
+{
+    Json run = Json::object();
+    run.set("id", id);
+    run.set("design", "SAM-en");
+    run.set("query", "Q1");
+    run.set("cycles", cycles);
+    run.set("mem_reads", std::uint64_t{7});
+    run.set("result_rows", std::uint64_t{65});
+    run.set("result_checksum", std::uint64_t{123456});
+    run.set("wall_ms", 1.5);
+    return run;
+}
+
+TEST(JournalTest, AppendsAndReplays)
+{
+    FileGuard guard{scratchPath("replay")};
+    Json power = Json::object();
+    power.set("act_pj", 12.5);
+    power.set("rdwr_pj", 2.25);
+    power.set("background_pj", 0.5);
+    power.set("refresh_pj", 0.0);
+    power.set("elapsed_ns", 100.0);
+    {
+        CampaignJournal journal(guard.path, testHeader(),
+                                /*resume=*/false);
+        journal.recordDone("SAM-en/Q1", 0xabcull, 1,
+                           fakeRunRecord("SAM-en/Q1", 535), power);
+        journal.recordFailed("SAM-en/Q2", 0xdefull, 3, "crash",
+                             "killed by signal 9");
+    }
+    JournalState state;
+    std::string error;
+    ASSERT_TRUE(loadJournal(guard.path, state, error)) << error;
+    EXPECT_EQ(state.header.campaign, "fig12");
+    EXPECT_EQ(state.header.scale, "quick");
+    EXPECT_FALSE(state.header.verify);
+    EXPECT_TRUE(state.header.telemetry);
+    EXPECT_EQ(state.truncatedLines, 0u);
+    ASSERT_EQ(state.entries.size(), 2u);
+
+    const JournalEntry &done = state.entries.at("SAM-en/Q1");
+    EXPECT_TRUE(done.completed);
+    EXPECT_EQ(done.hash, 0xabcull);
+    EXPECT_EQ(done.attempts, 1u);
+    EXPECT_EQ(done.run.find("cycles")->asU64(), 535u);
+    EXPECT_DOUBLE_EQ(done.power.find("act_pj")->asDouble(), 12.5);
+
+    const JournalEntry &failed = state.entries.at("SAM-en/Q2");
+    EXPECT_FALSE(failed.completed);
+    EXPECT_EQ(failed.attempts, 3u);
+    EXPECT_EQ(failed.failure, "crash");
+    EXPECT_EQ(failed.error, "killed by signal 9");
+}
+
+TEST(JournalTest, LatestRecordWinsPerSpec)
+{
+    FileGuard guard{scratchPath("latest")};
+    {
+        CampaignJournal journal(guard.path, testHeader(), false);
+        journal.recordFailed("SAM-en/Q1", 0x1ull, 3, "hang",
+                             "deadline exceeded");
+    }
+    {
+        // A resumed campaign appends the successful retry after the
+        // old failure; replay must surface the success.
+        CampaignJournal journal(guard.path, testHeader(),
+                                /*resume=*/true);
+        journal.recordDone("SAM-en/Q1", 0x1ull, 1,
+                           fakeRunRecord("SAM-en/Q1", 535),
+                           Json::object());
+    }
+    JournalState state;
+    std::string error;
+    ASSERT_TRUE(loadJournal(guard.path, state, error)) << error;
+    ASSERT_EQ(state.entries.size(), 1u);
+    EXPECT_TRUE(state.entries.at("SAM-en/Q1").completed);
+}
+
+TEST(JournalTest, ToleratesTornTrailingLine)
+{
+    FileGuard guard{scratchPath("torn")};
+    {
+        CampaignJournal journal(guard.path, testHeader(), false);
+        journal.recordDone("SAM-en/Q1", 0x1ull, 1,
+                           fakeRunRecord("SAM-en/Q1", 535),
+                           Json::object());
+    }
+    // Simulate a crash mid-append: half a record, no newline.
+    {
+        std::ofstream out(guard.path, std::ios::app);
+        out << "{\"spec\":\"SAM-en/Q2\",\"hash\":\"00";
+    }
+    JournalState state;
+    std::string error;
+    ASSERT_TRUE(loadJournal(guard.path, state, error)) << error;
+    EXPECT_EQ(state.truncatedLines, 1u);
+    ASSERT_EQ(state.entries.size(), 1u);
+    EXPECT_TRUE(state.entries.count("SAM-en/Q1"));
+}
+
+TEST(JournalTest, RejectsMissingAndForeignFiles)
+{
+    JournalState state;
+    std::string error;
+    EXPECT_FALSE(loadJournal("no_such_journal.jsonl", state, error));
+    EXPECT_NE(error.find("cannot read"), std::string::npos) << error;
+
+    FileGuard guard{scratchPath("foreign")};
+    {
+        std::ofstream out(guard.path);
+        out << "{\"schema\":\"sam-campaign-v1\"}\n";
+    }
+    EXPECT_FALSE(loadJournal(guard.path, state, error));
+    EXPECT_NE(error.find("sam-journal-v1"), std::string::npos)
+        << error;
+
+    FileGuard empty{scratchPath("empty")};
+    { std::ofstream out(empty.path); }
+    EXPECT_FALSE(loadJournal(empty.path, state, error));
+}
+
+TEST(JournalTest, RestoreRunResultRoundTrips)
+{
+    RunResult r;
+    r.id = "SAM-en/Q1";
+    r.design = DesignKind::SamEn;
+    r.query = "Q1";
+    r.stats.cycles = 535;
+    r.stats.memReads = 94;
+    r.stats.memWrites = 3;
+    r.stats.strideReads = 17;
+    r.stats.strideWrites = 2;
+    r.stats.activates = 32;
+    r.stats.rowHits = 60;
+    r.stats.rowMisses = 34;
+    r.stats.modeSwitches = 4;
+    r.stats.eccCorrectedLines = 1;
+    r.stats.eccUncorrectable = 0;
+    r.stats.checkedCommands = 129;
+    r.stats.result.rows = 65;
+    r.stats.result.checksum = 987654321;
+    r.stats.power.actEnergyPj = 12.5;
+    r.stats.power.rdwrEnergyPj = 2.25;
+    r.stats.power.backgroundEnergyPj = 0.5;
+    r.stats.power.refreshEnergyPj = 0.125;
+    r.stats.power.elapsedNs = 1000.0;
+    r.wallMs = 3.5;
+
+    JournalEntry entry;
+    entry.id = r.id;
+    entry.completed = true;
+    entry.run = runResultJson(r);
+    entry.power = powerJson(r.stats.power);
+    const RunResult back = restoreRunResult(entry);
+
+    EXPECT_EQ(back.id, r.id);
+    EXPECT_EQ(back.design, r.design);
+    EXPECT_EQ(back.query, r.query);
+    EXPECT_EQ(back.stats.cycles, r.stats.cycles);
+    EXPECT_EQ(back.stats.memReads, r.stats.memReads);
+    EXPECT_EQ(back.stats.memWrites, r.stats.memWrites);
+    EXPECT_EQ(back.stats.strideReads, r.stats.strideReads);
+    EXPECT_EQ(back.stats.strideWrites, r.stats.strideWrites);
+    EXPECT_EQ(back.stats.activates, r.stats.activates);
+    EXPECT_EQ(back.stats.rowHits, r.stats.rowHits);
+    EXPECT_EQ(back.stats.rowMisses, r.stats.rowMisses);
+    EXPECT_EQ(back.stats.modeSwitches, r.stats.modeSwitches);
+    EXPECT_EQ(back.stats.eccCorrectedLines,
+              r.stats.eccCorrectedLines);
+    EXPECT_EQ(back.stats.checkedCommands, r.stats.checkedCommands);
+    EXPECT_EQ(back.stats.result.rows, r.stats.result.rows);
+    EXPECT_EQ(back.stats.result.checksum, r.stats.result.checksum);
+    EXPECT_DOUBLE_EQ(back.stats.power.actEnergyPj,
+                     r.stats.power.actEnergyPj);
+    EXPECT_DOUBLE_EQ(back.stats.power.totalEnergyPj(),
+                     r.stats.power.totalEnergyPj());
+    EXPECT_DOUBLE_EQ(back.wallMs, r.wallMs);
+
+    // The verbatim record re-serializes byte-identically -- the
+    // property resumed BENCH output depends on.
+    Json reparsed;
+    std::string error;
+    ASSERT_TRUE(
+        Json::parse(entry.run.dump(0), reparsed, error))
+        << error;
+    EXPECT_EQ(reparsed.dump(0), entry.run.dump(0));
+}
+
+} // namespace
+} // namespace sam

@@ -79,6 +79,70 @@ TEST(ThreadPoolTest, RethrowsFirstTaskError)
     EXPECT_EQ(after.load(), 4);
 }
 
+/**
+ * Several workers throwing inside the same batch epoch must surface as
+ * exactly one exception: the first failure wins, the rest are dropped,
+ * and the pool drains the whole batch before rethrowing (no sibling
+ * cancellation, no terminate from a second in-flight exception).
+ */
+TEST(ThreadPoolTest, MultipleThrowersInOneEpochSurfaceOneError)
+{
+    ThreadPool pool(4);
+    std::atomic<int> completed{0};
+    std::vector<std::function<void()>> tasks;
+    for (int i = 0; i < 24; ++i) {
+        tasks.push_back([&completed, i] {
+            if (i % 3 == 0)
+                throw std::runtime_error("task " + std::to_string(i) +
+                                         " failed");
+            ++completed;
+        });
+    }
+    try {
+        pool.run(std::move(tasks));
+        FAIL() << "expected the batch to rethrow";
+    } catch (const std::runtime_error &e) {
+        // One of the 8 throwers, verbatim; which one is a scheduling
+        // race, but it must be a single intact message.
+        const std::string what = e.what();
+        EXPECT_EQ(what.rfind("task ", 0), 0u) << what;
+        EXPECT_NE(what.find(" failed"), std::string::npos) << what;
+    }
+    // Every non-throwing sibling still ran to completion.
+    EXPECT_EQ(completed.load(), 16);
+
+    // The pool is reusable after a multi-failure epoch.
+    std::atomic<int> after{0};
+    std::vector<std::function<void()>> next;
+    for (int i = 0; i < 6; ++i)
+        next.push_back([&after] { ++after; });
+    pool.run(std::move(next));
+    EXPECT_EQ(after.load(), 6);
+}
+
+/**
+ * With one worker the batch executes in order, so "first error" is
+ * deterministic: the lowest-index thrower's message must be the one
+ * rethrown even when later tasks also throw.
+ */
+TEST(ThreadPoolTest, SingleWorkerFirstErrorIsDeterministic)
+{
+    ThreadPool pool(1);
+    std::vector<std::function<void()>> tasks;
+    for (int i = 0; i < 8; ++i) {
+        tasks.push_back([i] {
+            if (i >= 2)
+                throw std::runtime_error("task " + std::to_string(i));
+        });
+    }
+    try {
+        pool.run(std::move(tasks));
+        FAIL() << "expected the batch to rethrow";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "task 2");
+    }
+}
+
 TEST(ThreadPoolTest, DefaultsToHostWorkers)
 {
     ThreadPool pool;

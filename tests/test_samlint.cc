@@ -70,6 +70,9 @@ TEST(SamLintDeterminism, FlagsAmbientSourcesAndHashOrder)
     };
     EXPECT_TRUE(mentions("rand"));
     EXPECT_TRUE(mentions("steady_clock"));
+    EXPECT_TRUE(mentions("system_clock"));
+    EXPECT_TRUE(mentions("this_thread"));
+    EXPECT_TRUE(mentions("getenv"));
     EXPECT_TRUE(mentions("hash order"));
     EXPECT_TRUE(mentions("keyed by pointer"));
 }

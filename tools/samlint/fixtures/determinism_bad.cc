@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <map>
 #include <random>
+#include <thread>
 #include <unordered_map>
 
 struct Device;
@@ -19,6 +20,23 @@ struct BadDeterminism
         const auto now = std::chrono::steady_clock::now();
         (void)now;
         return std::rand() + static_cast<int>(gen());
+    }
+
+    long
+    unstampedJournalRecord()
+    {
+        // Wall-clock timestamp with no justifying NOLINT.
+        return std::chrono::system_clock::now()
+            .time_since_epoch()
+            .count();
+    }
+
+    void
+    ambientBackoff()
+    {
+        // Environment-driven, unseeded retry pacing.
+        const int delay = std::getenv("SAM_DELAY") ? 10 : 20;
+        std::this_thread::sleep_for(std::chrono::milliseconds(delay));
     }
 
     int

@@ -1,6 +1,8 @@
 // Fixture: keyed lookups and sanctioned randomness are clean.
+#include <chrono>
 #include <map>
 #include <random>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -12,6 +14,28 @@ struct OkDeterminism
 
     // NOLINTNEXTLINE(sam-determinism): seeded from the run config.
     std::mt19937 rng_;
+
+    // Retry-backoff jitter: a pure function of (seed, spec, attempt),
+    // so a retried campaign replays its schedule exactly.
+    // NOLINTNEXTLINE(sam-determinism): seeded per (spec, attempt).
+    std::mt19937_64 backoffRng_;
+
+    void
+    waitBackoff(int delayMs)
+    {
+        // Host-side retry pacing; simulated time never observes it.
+        // NOLINTNEXTLINE(sam-determinism): wall-clock sleep off the sim path.
+        std::this_thread::sleep_for(std::chrono::milliseconds(delayMs));
+    }
+
+    long
+    journalStamp()
+    {
+        // Journal ts_ms is provenance metadata: excluded from the spec
+        // hash and from resume bit-identity comparisons.
+        // NOLINTNEXTLINE(sam-determinism): timestamp is metadata only.
+        return std::chrono::system_clock::now().time_since_epoch().count();
+    }
 
     int
     lookups(int key)

@@ -15,6 +15,8 @@
  *   samsim --design RC-NVM-wd --query Qs3 --stats
  */
 
+#include <cerrno>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -57,7 +59,7 @@ usage(int code)
         "  --fault-seed <n>       fault injector RNG seed\n"
         "  --compare              also run the row-store baseline\n"
         "  --jobs <n>             with --compare: run design and\n"
-        "                         baseline in parallel (0 = cores)\n"
+        "                         baseline in parallel (default 1)\n"
         "  --no-verify            skip the reference-result check\n"
         "  --check                print a protocol-checker summary\n"
         "  --no-check             disable the protocol-checker oracle\n"
@@ -70,6 +72,45 @@ usage(int code)
         "  --telemetry-window <n> time-series window width in cycles\n"
         "                         (default 4096)\n");
     std::exit(code);
+}
+
+/** One-line usage diagnostic; exit 2 (bench_diff.py convention). */
+[[noreturn]] void
+usageError(const std::string &message)
+{
+    std::fprintf(stderr, "samsim: %s\n", message.c_str());
+    std::exit(2);
+}
+
+/** Strict bounded integer flag parser: garbage and 0/negative die. */
+std::uint64_t
+parseCount(const char *flag, const char *text, std::uint64_t lo,
+           std::uint64_t hi)
+{
+    char *end = nullptr;
+    errno = 0;
+    const long long v = std::strtoll(text, &end, 10);
+    if (end == text || *end != '\0' || errno != 0 || v < 0 ||
+        static_cast<std::uint64_t>(v) < lo ||
+        static_cast<std::uint64_t>(v) > hi)
+        usageError(std::string(flag) + " wants an integer in [" +
+                   std::to_string(lo) + ", " + std::to_string(hi) +
+                   "], got '" + text + "'");
+    return static_cast<std::uint64_t>(v);
+}
+
+/** Strict bounded float flag parser. */
+double
+parseFraction(const char *flag, const char *text, double lo, double hi)
+{
+    char *end = nullptr;
+    errno = 0;
+    const double v = std::strtod(text, &end);
+    if (end == text || *end != '\0' || errno != 0 || v < lo || v > hi)
+        usageError(std::string(flag) + " wants a number in [" +
+                   std::to_string(lo) + ", " + std::to_string(hi) +
+                   "], got '" + text + "'");
+    return v;
 }
 
 DesignKind
@@ -217,9 +258,9 @@ main(int argc, char **argv)
     std::string telemetry_path;
     std::string perfetto_path;
 
-    auto next_arg = [&](int &i) -> const char * {
+    auto next_arg = [&](int &i, const char *flag) -> const char * {
         if (i + 1 >= argc)
-            usage(1);
+            usageError(std::string(flag) + " wants a value");
         return argv[++i];
     };
 
@@ -231,44 +272,56 @@ main(int argc, char **argv)
             listEverything();
             return 0;
         } else if (a == "--design")
-            design_name = next_arg(i);
+            design_name = next_arg(i, "--design");
         else if (a == "--query")
-            query_name = next_arg(i);
+            query_name = next_arg(i, "--query");
         else if (a == "--ecc")
-            ecc_name = next_arg(i);
+            ecc_name = next_arg(i, "--ecc");
         else if (a == "--tech")
-            tech_name = next_arg(i);
+            tech_name = next_arg(i, "--tech");
         else if (a == "--proj")
-            proj = static_cast<unsigned>(std::atoi(next_arg(i)));
+            proj = static_cast<unsigned>(parseCount(
+                "--proj", next_arg(i, "--proj"), 1, 4096));
         else if (a == "--sel")
-            sel = std::atof(next_arg(i));
+            sel = parseFraction("--sel", next_arg(i, "--sel"), 0.0,
+                                1.0);
         else if (a == "--ta")
-            cfg.taRecords = std::strtoull(next_arg(i), nullptr, 10);
+            cfg.taRecords = parseCount("--ta", next_arg(i, "--ta"),
+                                       16, 1ull << 32);
         else if (a == "--tb")
-            cfg.tbRecords = std::strtoull(next_arg(i), nullptr, 10);
+            cfg.tbRecords = parseCount("--tb", next_arg(i, "--tb"),
+                                       16, 1ull << 32);
         else if (a == "--cores")
-            cfg.cores = static_cast<unsigned>(std::atoi(next_arg(i)));
+            cfg.cores = static_cast<unsigned>(parseCount(
+                "--cores", next_arg(i, "--cores"), 1, 1024));
         else if (a == "--mshrs")
-            cfg.mshrsPerCore =
-                static_cast<unsigned>(std::atoi(next_arg(i)));
+            cfg.mshrsPerCore = static_cast<unsigned>(parseCount(
+                "--mshrs", next_arg(i, "--mshrs"), 1, 1024));
         else if (a == "--fail-chip")
-            fail_chip = std::atoi(next_arg(i));
+            fail_chip = static_cast<int>(parseCount(
+                "--fail-chip", next_arg(i, "--fail-chip"), 0, 1024));
         else if (a == "--fault-model")
-            cfg.faults.model = parseFaultModel(next_arg(i));
+            cfg.faults.model =
+                parseFaultModel(next_arg(i, "--fault-model"));
         else if (a == "--fit")
-            cfg.faults.fitPerMcycle = std::atof(next_arg(i));
+            cfg.faults.fitPerMcycle = parseFraction(
+                "--fit", next_arg(i, "--fit"), 0.0, 1e9);
         else if (a == "--chipkill-at") {
             cfg.faults.model = FaultModel::Chipkill;
             // NOLINTNEXTLINE(sam-cycle-accounting): pre-run config.
-            cfg.faults.chipkillAt =
-                std::strtoull(next_arg(i), nullptr, 10);
+            cfg.faults.chipkillAt = parseCount(
+                "--chipkill-at", next_arg(i, "--chipkill-at"), 0,
+                ~0ull);
         } else if (a == "--chipkill-chip")
-            cfg.faults.chipkillChip =
-                static_cast<unsigned>(std::atoi(next_arg(i)));
+            cfg.faults.chipkillChip = static_cast<unsigned>(
+                parseCount("--chipkill-chip",
+                           next_arg(i, "--chipkill-chip"), 0, 1024));
         else if (a == "--fault-seed")
-            cfg.faults.seed = std::strtoull(next_arg(i), nullptr, 10);
+            cfg.faults.seed = parseCount(
+                "--fault-seed", next_arg(i, "--fault-seed"), 0, ~0ull);
         else if (a == "--jobs")
-            jobs = static_cast<unsigned>(std::atoi(next_arg(i)));
+            jobs = static_cast<unsigned>(parseCount(
+                "--jobs", next_arg(i, "--jobs"), 1, 4096));
         else if (a == "--compare")
             compare = true;
         else if (a == "--no-verify")
@@ -280,20 +333,19 @@ main(int argc, char **argv)
         else if (a == "--stats")
             stats = true;
         else if (a == "--telemetry") {
-            telemetry_path = next_arg(i);
+            telemetry_path = next_arg(i, "--telemetry");
             cfg.telemetry.enabled = true;
         } else if (a == "--perfetto") {
-            perfetto_path = next_arg(i);
+            perfetto_path = next_arg(i, "--perfetto");
             cfg.telemetry.enabled = true;
             cfg.telemetry.commandTrace = true;
         } else if (a == "--telemetry-window")
             // NOLINTNEXTLINE(sam-cycle-accounting): pre-run config.
-            cfg.telemetry.windowCycles =
-                std::strtoull(next_arg(i), nullptr, 10);
-        else {
-            std::fprintf(stderr, "unknown option '%s'\n", a.c_str());
-            usage(1);
-        }
+            cfg.telemetry.windowCycles = parseCount(
+                "--telemetry-window",
+                next_arg(i, "--telemetry-window"), 16, 1ull << 32);
+        else
+            usageError("unknown option '" + a + "' (try --help)");
     }
 
     try {
