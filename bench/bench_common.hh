@@ -5,8 +5,11 @@
  * result printing.
  *
  * Every bench prints the same rows/series as the corresponding paper
- * figure. Set SAM_QUICK=1 in the environment for a reduced-scale run
- * (smaller tables; same shapes, less wall time). Set SAM_JOBS=N to
+ * figure. Set SAM_SCALE=quick|full|paper to pick the benchmark scale:
+ * quick for smoke runs (smaller tables; same shapes, less wall time),
+ * full for the committed-baseline scale, paper for the paper's 10M
+ * records per table (Table 2). SAM_QUICK=1 is a compatibility alias
+ * for SAM_SCALE=quick. Set SAM_JOBS=N to
  * fan the independent simulations across N worker threads (0 or unset
  * = one per host core); the printed tables are byte-identical for any
  * jobs count. Set SAM_BENCH_JSON=<dir> to also emit the campaign's
@@ -16,6 +19,7 @@
 #ifndef SAM_BENCH_BENCH_COMMON_HH
 #define SAM_BENCH_BENCH_COMMON_HH
 
+#include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <map>
@@ -40,14 +44,62 @@ figureDesigns()
             DesignKind::SamEn,    DesignKind::Ideal};
 }
 
+/** Benchmark scale: table sizes of the figure campaigns. */
+enum class Scale { Quick, Full, Paper };
+
+/**
+ * The scale selected by the environment, resolved once: SAM_SCALE
+ * wins, SAM_QUICK=1 is a compatibility alias for quick, default is
+ * full. An unknown SAM_SCALE value is a usage error (one-line
+ * diagnostic, exit 2) rather than a silent full-scale run.
+ */
+inline Scale
+scaleMode()
+{
+    static const Scale scale = [] {
+        const char *s = std::getenv("SAM_SCALE");
+        if (s != nullptr && s[0] != '\0') {
+            const std::string v(s);
+            if (v == "quick")
+                return Scale::Quick;
+            if (v == "full")
+                return Scale::Full;
+            if (v == "paper")
+                return Scale::Paper;
+            std::fprintf(stderr,
+                         "SAM_SCALE wants quick, full, or paper; got "
+                         "'%s'\n",
+                         s);
+            std::exit(2);
+        }
+        const char *q = std::getenv("SAM_QUICK");
+        return q != nullptr && q[0] != '0' ? Scale::Quick
+                                           : Scale::Full;
+    }();
+    return scale;
+}
+
+inline const char *
+scaleName(Scale s)
+{
+    switch (s) {
+      case Scale::Quick: return "quick";
+      case Scale::Full:  return "full";
+      case Scale::Paper: return "paper";
+    }
+    panic("unknown Scale");
+}
+
+inline const char *
+scaleName()
+{
+    return scaleName(scaleMode());
+}
+
 inline bool
 quickMode()
 {
-    static const bool quick = [] {
-        const char *q = std::getenv("SAM_QUICK");
-        return q != nullptr && q[0] != '0';
-    }();
-    return quick;
+    return scaleMode() == Scale::Quick;
 }
 
 /** SAM_JOBS worker-thread count for the campaigns; 0 = host cores. */
@@ -64,21 +116,29 @@ jobsCount()
 }
 
 /**
- * Benchmark-scale configuration. The paper loads 10M records per
- * table; we scale down (Ta 16K x 1KB = 16MB, Tb 64K x 128B = 8MB) --
- * selectivity, projectivity, and layout alignment are preserved, so
- * relative shapes hold (see DESIGN.md, Substitutions).
+ * Benchmark-scale configuration. Paper scale is Table 2's 10M records
+ * per table (Ta 10M x 1KB = 10GB); quick and full scale down (full:
+ * Ta 16K x 1KB = 16MB, Tb 64K x 128B = 8MB) -- selectivity,
+ * projectivity, and layout alignment are preserved, so relative shapes
+ * hold (see DESIGN.md, Substitutions).
  */
 inline SimConfig
 benchConfig()
 {
     SimConfig cfg;
-    if (quickMode()) {
+    switch (scaleMode()) {
+      case Scale::Quick:
         cfg.taRecords = 4096;
         cfg.tbRecords = 8192;
-    } else {
+        break;
+      case Scale::Full:
         cfg.taRecords = 16384;
         cfg.tbRecords = 65536;
+        break;
+      case Scale::Paper:
+        cfg.taRecords = 10'000'000;
+        cfg.tbRecords = 10'000'000;
+        break;
     }
     return cfg;
 }
@@ -89,6 +149,8 @@ printHeader(const std::string &title, const std::string &what)
     std::cout << "\n==== " << title << " ====\n" << what << "\n";
     if (quickMode())
         std::cout << "(SAM_QUICK reduced scale)\n";
+    else if (scaleMode() == Scale::Paper)
+        std::cout << "(paper scale: 10M records per table)\n";
     std::cout << "\n";
 }
 
@@ -177,7 +239,7 @@ maybeWriteBenchJson(const std::string &figure, const BenchCampaign &camp)
     if (dir == nullptr || dir[0] == '\0')
         return;
     Json doc = campaignJson(figure, camp.jobs(), camp.results());
-    doc.set("scale", quickMode() ? "quick" : "full");
+    doc.set("scale", scaleName());
     const std::string path =
         std::string(dir) + "/BENCH_" + figure + ".json";
     writeJsonFile(path, doc);

@@ -87,7 +87,7 @@ BM_ControllerSequentialReads(benchmark::State &state)
         r.type = AccessType::Read;
         r.addr = addr;
         r.id = id++;
-        r.gatherLines = {addr};
+        r.setLine(addr);
         r.device.addr = map.decompose(addr);
         ctrl.push(std::move(r));
         benchmark::DoNotOptimize(ctrl.serviceNext());

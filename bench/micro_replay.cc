@@ -1,0 +1,132 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the simulation hot paths this
+ * perf work targets: arena trace append, the clean-line ECC read fast
+ * path (on vs off), the allocation-free encode+store write path, and
+ * an end-to-end phase-1 + replay run reported in records/second.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/types.hh"
+#include "src/core/session.hh"
+#include "src/dram/data_path.hh"
+#include "src/imdb/query.hh"
+#include "src/sim/trace.hh"
+
+namespace {
+
+using namespace sam;
+
+void
+BM_TraceAppend(benchmark::State &state)
+{
+    CoreTrace trace;
+    std::uint64_t n = 0;
+    for (auto _ : state) {
+        if (trace.entries.size() >= (1u << 20)) {
+            // Reset before the offset fields overflow; keep the
+            // capacity so steady state stays allocation-free.
+            trace.pool.clear();
+            trace.entries.clear();
+            trace.epochEnds.clear();
+        }
+        const std::size_t offset = trace.pool.size();
+        for (unsigned g = 0; g < 8; ++g)
+            trace.pool.push_back((n + g) * kCachelineBytes);
+        trace.append(AccessType::StrideRead, 3, offset, 8, 2);
+        ++n;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_TraceAppend);
+
+/** Gather 8 clean lines through the DataPath read path. */
+void
+strideReadBench(benchmark::State &state, bool fast_path)
+{
+    DataPath dp(EccScheme::SscDsd);
+    dp.setCleanFastPath(fast_path);
+    const unsigned kLines = 1024;
+    std::vector<std::uint8_t> line(kCachelineBytes, 0xa5);
+    for (unsigned i = 0; i < kLines; ++i)
+        dp.writeLine(i * kCachelineBytes, line);
+    Addr gather[8];
+    std::uint8_t out[kCachelineBytes];
+    std::uint64_t n = 0;
+    for (auto _ : state) {
+        for (unsigned g = 0; g < 8; ++g)
+            gather[g] = ((n * 8 + g) % kLines) * kCachelineBytes;
+        const ReadFlags f = dp.strideReadInto(gather, 8, 0, 8, out);
+        benchmark::DoNotOptimize(f.uncorrectable);
+        benchmark::DoNotOptimize(out[0]);
+        ++n;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(n) * 8);
+}
+
+void
+BM_CleanStrideRead(benchmark::State &state)
+{
+    strideReadBench(state, /*fast_path=*/true);
+}
+BENCHMARK(BM_CleanStrideRead);
+
+void
+BM_CleanStrideReadDecodePath(benchmark::State &state)
+{
+    strideReadBench(state, /*fast_path=*/false);
+}
+BENCHMARK(BM_CleanStrideReadDecodePath);
+
+/** The encode+store write path (writebacks, strided RMW). */
+void
+BM_WriteLineEncoded(benchmark::State &state)
+{
+    DataPath dp(EccScheme::SscDsd);
+    const unsigned kLines = 1024;
+    std::vector<std::uint8_t> line(kCachelineBytes, 0x5a);
+    std::uint64_t n = 0;
+    for (auto _ : state) {
+        line[0] = static_cast<std::uint8_t>(n);
+        dp.writeLine((n % kLines) * kCachelineBytes, line);
+        ++n;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_WriteLineEncoded);
+
+/**
+ * End-to-end phase-1 + MSHR-bounded replay of one design point,
+ * reported in table-A records per second of host wall time (the
+ * campaign `throughput` metric).
+ */
+void
+BM_SessionReplay(benchmark::State &state)
+{
+    SimConfig cfg;
+    cfg.taRecords = 2048;
+    cfg.tbRecords = 8192;
+    cfg.collectStatsText = false;
+    const Query q = benchmarkQQueries()[0];
+    // One shared table cache across iterations, as in a campaign:
+    // tables are encoded once, each iteration simulates a fresh system.
+    auto tables = std::make_shared<TableCache>();
+    std::uint64_t n = 0;
+    for (auto _ : state) {
+        Session session(cfg, tables);
+        RunStats stats = session.run(DesignKind::SamEn, q);
+        benchmark::DoNotOptimize(stats.cycles);
+        ++n;
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(n * cfg.taRecords));
+}
+BENCHMARK(BM_SessionReplay)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

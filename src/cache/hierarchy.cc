@@ -111,16 +111,14 @@ CacheHierarchy::ensureLine(Addr line, std::uint8_t mask)
     const std::uint8_t cached_valid =
         collect(line, dirty, cached, &cached_poison);
 
-    const auto fresh = backend_.fetchLine(line);
-    sam_assert(fresh.size() == kCachelineBytes, "short line fetch");
+    std::uint8_t merged[kCachelineBytes];
+    backend_.fetchLine(line, merged);
     // A poisoned fetch taints the fetched sectors; resident sectors
     // keep their own (possibly clean) state since they overlay the
     // fetched bytes.
     const std::uint8_t fetch_poison = backend_.lastFetchPoisoned()
         ? static_cast<std::uint8_t>(l1_.fullMask() & ~cached_valid)
         : 0;
-    std::uint8_t merged[kCachelineBytes];
-    std::memcpy(merged, fresh.data(), kCachelineBytes);
     const unsigned sector_bytes = l1_.params().sectorBytes;
     for (unsigned s = 0; s < l1_.sectorsPerLine(); ++s) {
         if (cached_valid & (1u << s)) {
@@ -231,10 +229,8 @@ CacheHierarchy::strideRead(const GatherPlan &plan, unsigned unit,
     }
 
     // One sload fetches all G chunks; overlay any dirtier cached chunk.
-    const auto fetched = backend_.fetchStride(plan);
-    sam_assert(fetched.size() == kCachelineBytes, "short stride fetch");
+    backend_.fetchStride(plan, out64);
     const std::uint32_t fetch_poison = backend_.lastStridePoisonBits();
-    std::memcpy(out64, fetched.data(), kCachelineBytes);
 
     HierResult res{llc_.params().hitLatency, true};
     for (unsigned i = 0; i < g; ++i) {

@@ -28,15 +28,18 @@ class MemBackend
   public:
     virtual ~MemBackend() = default;
 
-    /** Fetch a full 64B line (functional read + trace record). */
-    virtual std::vector<std::uint8_t> fetchLine(Addr line) = 0;
+    /**
+     * Fetch a full 64B line into `out64` (functional read + trace
+     * record). Caller-provided buffer: the hot path allocates nothing.
+     */
+    virtual void fetchLine(Addr line, std::uint8_t *out64) = 0;
 
     /**
-     * Fetch a stride gather (sload): returns the 64B strided line of G
-     * chunks.
+     * Fetch a stride gather (sload): writes the 64B strided line of G
+     * chunks into `out64`.
      */
-    virtual std::vector<std::uint8_t> fetchStride(
-        const GatherPlan &plan) = 0;
+    virtual void fetchStride(const GatherPlan &plan,
+                             std::uint8_t *out64) = 0;
 
     /** Write back a (possibly partially) dirty line. */
     virtual void writeback(const Writeback &wb) = 0;

@@ -54,7 +54,7 @@ MemoryController::MemoryController(Device &device, DataPath &data_path,
 void
 MemoryController::push(MemRequest req)
 {
-    sam_assert(!req.gatherLines.empty(),
+    sam_assert(req.gatherCount > 0,
                "request not expanded by a design model");
     if (isWrite(req.type))
         writeQ_.push(std::move(req));
@@ -98,7 +98,8 @@ MemoryController::serve(MemRequest req)
         break;
       case AccessType::StrideRead:
         if (functional_) {
-            c.outcome = dataPath_.strideRead(req.gatherLines, req.sector,
+            c.outcome = dataPath_.strideRead(req.gatherLines.data(),
+                                             req.gatherCount, req.sector,
                                              req.strideUnit);
             pushScrubs(c.outcome, c.done, req.coreId);
         }
@@ -120,8 +121,9 @@ MemoryController::serve(MemRequest req)
         if (functional_) {
             sam_assert(req.writeData.size() == kCachelineBytes,
                        "stride write without a full-line payload");
-            dataPath_.strideWrite(req.gatherLines, req.sector,
-                                  req.strideUnit, req.writeData);
+            dataPath_.strideWrite(req.gatherLines.data(), req.gatherCount,
+                                  req.sector, req.strideUnit,
+                                  req.writeData.data());
         }
         ++stats_.strideWritesServed;
         break;
@@ -146,7 +148,7 @@ MemoryController::pushScrubs(const ReadOutcome &outcome, Cycle when,
         scrub.coreId = core_id;
         scrub.device.addr = mapping_.decompose(line);
         scrub.device.isWrite = true;
-        scrub.gatherLines = {line};
+        scrub.setLine(line);
         push(std::move(scrub));
     }
 }

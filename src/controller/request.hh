@@ -7,9 +7,11 @@
 #ifndef SAM_CONTROLLER_REQUEST_HH
 #define SAM_CONTROLLER_REQUEST_HH
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
+#include "src/common/logging.hh"
 #include "src/common/types.hh"
 #include "src/dram/data_path.hh"
 #include "src/dram/device.hh"
@@ -35,6 +37,13 @@ isStride(AccessType t)
 {
     return t == AccessType::StrideRead || t == AccessType::StrideWrite;
 }
+
+/**
+ * Upper bound on source lines of one request: the widest stride gather
+ * is G = 64B / 8B = 8 lines (SscDsd); 16 leaves headroom for future
+ * schemes without another request-size bump.
+ */
+constexpr unsigned kMaxGatherLines = 16;
 
 /** One line-granular (or stride-line-granular) memory request. */
 struct MemRequest
@@ -67,10 +76,31 @@ struct MemRequest
     // ----- Filled by the design model before enqueue --------------
     /** Timing view: the device access this request performs. */
     DeviceAccess device;
-    /** Functional view: source lines (1 for regular, G for stride). */
-    std::vector<Addr> gatherLines;
+    /**
+     * Functional view: source lines (1 for regular, G for stride),
+     * stored inline so a request never heap-allocates for its line
+     * list. Only the first `gatherCount` slots are meaningful.
+     */
+    std::array<Addr, kMaxGatherLines> gatherLines{};
+    std::uint8_t gatherCount = 0;
     /** Stride chunk size in bytes (unused for regular accesses). */
     unsigned strideUnit = 0;
+
+    void setLine(Addr line)
+    {
+        gatherLines[0] = line;
+        gatherCount = 1;
+    }
+
+    void setLines(const Addr *lines, std::size_t count)
+    {
+        sam_assert(count > 0 && count <= kMaxGatherLines,
+                   "gather of ", count, " lines exceeds request inline "
+                   "capacity");
+        for (std::size_t i = 0; i < count; ++i)
+            gatherLines[i] = lines[i];
+        gatherCount = static_cast<std::uint8_t>(count);
+    }
 };
 
 /** Completion record returned by the controller. */

@@ -82,7 +82,7 @@ DesignModel::lineRequest(AccessType type, Addr line_addr, Cycle arrival,
     req.addr = line_addr;
     req.arrival = arrival;
     req.coreId = core_id;
-    req.gatherLines = {line_addr};
+    req.setLine(line_addr);
     req.device.addr = mapping_.decompose(line_addr);
     req.device.isWrite = isWrite(type);
     req.device.mode = AccessMode::Regular;
@@ -92,38 +92,39 @@ DesignModel::lineRequest(AccessType type, Addr line_addr, Cycle arrival,
 }
 
 MemRequest
-DesignModel::strideRequest(AccessType type, const GatherPlan &plan,
+DesignModel::strideRequest(AccessType type, const Addr *lines,
+                           std::size_t count, unsigned sector,
                            Cycle arrival, unsigned core_id)
 {
     sam_assert(isStride(type), "strideRequest given a regular type");
     sam_assert(spec_.supportsStride,
                spec_.name(), " does not support stride accesses");
-    sam_assert(plan.lines.size() == gatherFactor(),
-               "gather plan has ", plan.lines.size(), " lines, expected ",
+    sam_assert(count == gatherFactor(),
+               "gather plan has ", count, " lines, expected ",
                gatherFactor());
 
     MemRequest req;
     req.type = type;
-    req.addr = plan.lines[0];
-    req.sector = plan.sector;
+    req.addr = lines[0];
+    req.sector = sector;
     req.strideUnit = strideUnit_;
     req.arrival = arrival;
     req.coreId = core_id;
-    req.gatherLines = plan.lines;
+    req.setLines(lines, count);
     req.device.isWrite = isWrite(type);
 
-    MappedAddr m = mapping_.decompose(plan.lines[0]);
+    MappedAddr m = mapping_.decompose(lines[0]);
     if (spec_.strideAcrossRows) {
         // SAM-sub / RC-NVM: the gather opens a column-wise subarray.
         // Synthesise its row id; the bank sees a distinct "row" per
         // (subarray, field column).
         req.device.columnActivate = true;
-        m.row = columnRowId(m, plan.sector);
+        m.row = columnRowId(m, sector);
     } else {
         // SAM-IO / SAM-en / GS-DRAM: all source lines live in one
         // physical row (sub-row alignment, Section 5.2).
-        const MappedAddr last = mapping_.decompose(plan.lines.back());
-        sam_assert(last.sameRow(mapping_.decompose(plan.lines[0])),
+        const MappedAddr last = mapping_.decompose(lines[count - 1]);
+        sam_assert(last.sameRow(mapping_.decompose(lines[0])),
                    "sub-row gather crosses a DRAM row");
     }
     req.device.addr = m;
@@ -141,7 +142,7 @@ DesignModel::strideRequest(AccessType type, const GatherPlan &plan,
             collect = spec_.strideCollectBursts;
     }
     req.device.extraBursts = collect +
-                             embeddedEccBursts(m, plan.lines[0],
+                             embeddedEccBursts(m, lines[0],
                                                isWrite(type));
     if (!isWrite(type))
         req.device.extraLatency = spec_.strideReadLatency;

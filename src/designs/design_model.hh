@@ -39,11 +39,24 @@ class DesignModel
                            Cycle arrival, unsigned core_id);
 
     /**
+     * Build a stride request over a borrowed span of source-line
+     * addresses (e.g. a trace-arena view). Requires
+     * spec().supportsStride and count == gatherFactor().
+     */
+    MemRequest strideRequest(AccessType type, const Addr *lines,
+                             std::size_t count, unsigned sector,
+                             Cycle arrival, unsigned core_id);
+
+    /**
      * Build a stride request from a gather plan. Requires
      * spec().supportsStride.
      */
     MemRequest strideRequest(AccessType type, const GatherPlan &plan,
-                             Cycle arrival, unsigned core_id);
+                             Cycle arrival, unsigned core_id)
+    {
+        return strideRequest(type, plan.lines.data(), plan.lines.size(),
+                             plan.sector, arrival, core_id);
+    }
 
     /** Reset per-run controller-side state (ECC-line tracker). */
     void

@@ -1,12 +1,67 @@
 #include "src/dram/backing_store.hh"
 
 #include <algorithm>
+#include <cstring>
 
 #include "src/common/logging.hh"
 
 namespace sam {
 
-const BlobPtr *
+void
+StoreSnapshot::append(Addr addr, const std::uint8_t *blob_bytes,
+                      bool is_clean)
+{
+    sam_assert(blobBytes > 0, "append before blobBytes is set");
+    const std::size_t slot = addrs.size();
+    if (dense_) {
+        if (!extents_.empty() &&
+            addr == extents_.back().base +
+                        extents_.back().count * kCachelineBytes) {
+            ++extents_.back().count;
+        } else if (extents_.empty() ||
+                   addr > extents_.back().base +
+                              extents_.back().count * kCachelineBytes) {
+            extents_.push_back(Extent{addr, 1, slot});
+        } else {
+            // Out-of-order append: fall back to a hash index built
+            // from everything stored so far.
+            dense_ = false;
+            index_.reserve(slot + 1);
+            for (std::size_t i = 0; i < slot; ++i)
+                index_.emplace(addrs[i], i);
+            extents_.clear();
+        }
+    }
+    if (!dense_)
+        index_.emplace(addr, slot);
+    addrs.push_back(addr);
+    arena.insert(arena.end(), blob_bytes, blob_bytes + blobBytes);
+    clean.push_back(is_clean);
+}
+
+std::size_t
+StoreSnapshot::find(Addr addr) const
+{
+    if (dense_) {
+        // Last extent with base <= addr.
+        auto it = std::upper_bound(
+            extents_.begin(), extents_.end(), addr,
+            [](Addr a, const Extent &e) { return a < e.base; });
+        if (it == extents_.begin())
+            return npos;
+        --it;
+        const Addr off = addr - it->base;
+        if (off % kCachelineBytes != 0 ||
+            off / kCachelineBytes >= it->count) {
+            return npos;
+        }
+        return it->firstSlot + off / kCachelineBytes;
+    }
+    auto it = index_.find(addr);
+    return it != index_.end() ? it->second : npos;
+}
+
+const BackingStore::OverlayLine *
 BackingStore::findOverlay(Addr addr) const
 {
     if (overlay_.empty())
@@ -15,15 +70,17 @@ BackingStore::findOverlay(Addr addr) const
     return it != overlay_.end() ? &it->second : nullptr;
 }
 
-const BlobPtr *
-BackingStore::findLayer(Addr addr) const
+const StoreSnapshot *
+BackingStore::findLayer(Addr addr, std::size_t &slot) const
 {
     // Newest layer wins (matters only if layers ever overlapped).
     for (auto layer = layers_.rbegin(); layer != layers_.rend();
          ++layer) {
-        auto it = (*layer)->index.find(addr);
-        if (it != (*layer)->index.end())
-            return &(*layer)->lines[it->second].second;
+        const std::size_t s = (*layer)->find(addr);
+        if (s != StoreSnapshot::npos) {
+            slot = s;
+            return layer->get();
+        }
     }
     return nullptr;
 }
@@ -31,7 +88,8 @@ BackingStore::findLayer(Addr addr) const
 bool
 BackingStore::inAnyLayer(Addr addr) const
 {
-    return findLayer(addr) != nullptr;
+    std::size_t slot = 0;
+    return findLayer(addr, slot) != nullptr;
 }
 
 std::vector<std::uint8_t>
@@ -39,30 +97,58 @@ BackingStore::readLine(Addr line_addr) const
 {
     sam_assert(line_addr % kCachelineBytes == 0,
                "unaligned line read: ", line_addr);
-    if (const BlobPtr *b = findOverlay(line_addr))
-        return **b;
-    if (const BlobPtr *b = findLayer(line_addr))
-        return **b;
+    if (const OverlayLine *o = findOverlay(line_addr)) {
+        const std::uint8_t *p = arena_.data() + o->offset;
+        return std::vector<std::uint8_t>(p, p + blobBytes_);
+    }
+    std::size_t slot = 0;
+    if (const StoreSnapshot *layer = findLayer(line_addr, slot)) {
+        const std::uint8_t *p = layer->blob(slot);
+        return std::vector<std::uint8_t>(p, p + blobBytes_);
+    }
     return std::vector<std::uint8_t>(blobBytes_, 0);
+}
+
+BackingStore::LineRef
+BackingStore::refLine(Addr line_addr) const
+{
+    sam_assert(line_addr % kCachelineBytes == 0,
+               "unaligned line read: ", line_addr);
+    if (const OverlayLine *o = findOverlay(line_addr))
+        return LineRef{arena_.data() + o->offset, o->clean};
+    std::size_t slot = 0;
+    if (const StoreSnapshot *layer = findLayer(line_addr, slot))
+        return LineRef{layer->blob(slot), layer->clean[slot]};
+    return LineRef{};
 }
 
 void
 BackingStore::writeLine(Addr line_addr,
-                        const std::vector<std::uint8_t> &blob)
+                        const std::vector<std::uint8_t> &blob, bool clean)
+{
+    sam_assert(blob.size() == blobBytes_,
+               "blob size mismatch: ", blob.size(), " vs ", blobBytes_);
+    writeLine(line_addr, blob.data(), clean);
+}
+
+void
+BackingStore::writeLine(Addr line_addr, const std::uint8_t *blob,
+                        bool clean)
 {
     sam_assert(line_addr % kCachelineBytes == 0,
                "unaligned line write: ", line_addr);
-    sam_assert(blob.size() == blobBytes_,
-               "blob size mismatch: ", blob.size(), " vs ", blobBytes_);
     auto [it, inserted] =
-        overlay_.try_emplace(line_addr,
-                             std::make_shared<const Blob>(blob));
+        overlay_.try_emplace(line_addr, OverlayLine{arena_.size(), clean});
     if (inserted) {
+        arena_.insert(arena_.end(), blob, blob + blobBytes_);
         overlayAll_.push_back(line_addr);
         if (!inAnyLayer(line_addr))
             overlayOrder_.push_back(line_addr);
     } else {
-        it->second = std::make_shared<const Blob>(blob);
+        // Rewrite in place: the arena slot is exclusively ours
+        // (snapshots copy out of the arena, they never alias it).
+        std::memcpy(arena_.data() + it->second.offset, blob, blobBytes_);
+        it->second.clean = clean;
     }
 }
 
@@ -79,18 +165,28 @@ BackingStore::corruptLine(Addr line_addr,
     sam_assert(line_addr % kCachelineBytes == 0,
                "unaligned line corrupt: ", line_addr);
     sam_assert(xor_mask.size() == blobBytes_, "mask size mismatch");
-    // Copy-on-write into the overlay: the current blob may be shared
-    // with a table snapshot installed into other systems.
-    Blob corrupted = readLine(line_addr);
-    for (std::size_t i = 0; i < blobBytes_; ++i)
-        corrupted[i] ^= xor_mask[i];
-    auto [it, inserted] = overlay_.insert_or_assign(
-        line_addr, std::make_shared<const Blob>(std::move(corrupted)));
-    if (inserted) {
+    auto it = overlay_.find(line_addr);
+    if (it == overlay_.end()) {
+        // Copy-on-write into the overlay: the current blob may be
+        // shared with a table snapshot installed into other systems.
+        const std::size_t offset = arena_.size();
+        std::size_t slot = 0;
+        if (const StoreSnapshot *layer = findLayer(line_addr, slot)) {
+            const std::uint8_t *base = layer->blob(slot);
+            arena_.insert(arena_.end(), base, base + blobBytes_);
+        } else {
+            arena_.resize(offset + blobBytes_, 0);
+        }
+        it = overlay_.emplace(line_addr, OverlayLine{offset, false})
+                 .first;
         overlayAll_.push_back(line_addr);
         if (!inAnyLayer(line_addr))
             overlayOrder_.push_back(line_addr);
     }
+    it->second.clean = false;
+    std::uint8_t *blob = arena_.data() + it->second.offset;
+    for (std::size_t i = 0; i < blobBytes_; ++i)
+        blob[i] ^= xor_mask[i];
 }
 
 std::size_t
@@ -98,7 +194,7 @@ BackingStore::lineCount() const
 {
     std::size_t n = overlayOrder_.size();
     for (const auto &layer : layers_)
-        n += layer->lines.size();
+        n += layer->size();
     return n;
 }
 
@@ -108,9 +204,9 @@ BackingStore::sampleLine(Rng &rng) const
     sam_assert(lineCount() > 0, "sampleLine on empty store");
     std::size_t idx = rng.below(lineCount());
     for (const auto &layer : layers_) {
-        if (idx < layer->lines.size())
-            return layer->lines[idx].first;
-        idx -= layer->lines.size();
+        if (idx < layer->size())
+            return layer->addrs[idx];
+        idx -= layer->size();
     }
     return overlayOrder_[idx];
 }
@@ -119,19 +215,25 @@ StoreSnapshot
 BackingStore::snapshot() const
 {
     StoreSnapshot snap;
-    snap.lines.reserve(lineCount());
+    snap.blobBytes = blobBytes_;
+    const std::size_t n = lineCount();
+    snap.addrs.reserve(n);
+    snap.clean.reserve(n);
+    snap.arena.reserve(n * blobBytes_);
     for (const auto &layer : layers_) {
-        for (const auto &[addr, blob] : layer->lines) {
-            if (const BlobPtr *b = findOverlay(addr))
-                snap.append(addr, *b);
+        for (std::size_t i = 0; i < layer->size(); ++i) {
+            const Addr addr = layer->addrs[i];
+            if (const OverlayLine *o = findOverlay(addr))
+                snap.append(addr, arena_.data() + o->offset, o->clean);
             else
-                snap.append(addr, blob);
+                snap.append(addr, layer->blob(i), layer->clean[i]);
         }
     }
     for (Addr addr : overlayOrder_) {
         auto it = overlay_.find(addr);
         sam_assert(it != overlay_.end(), "order/overlay mismatch");
-        snap.append(addr, it->second);
+        snap.append(addr, arena_.data() + it->second.offset,
+                    it->second.clean);
     }
     return snap;
 }
@@ -140,8 +242,7 @@ void
 BackingStore::install(std::shared_ptr<const StoreSnapshot> snap)
 {
     sam_assert(snap != nullptr, "installing a null snapshot");
-    sam_assert(snap->lines.empty() ||
-                   snap->lines.front().second->size() == blobBytes_,
+    sam_assert(snap->size() == 0 || snap->blobBytes == blobBytes_,
                "snapshot blob size mismatch");
     // Revert overlay writes to lines the snapshot covers, so a
     // re-install after a write query restores the clean table. Walk
@@ -151,7 +252,7 @@ BackingStore::install(std::shared_ptr<const StoreSnapshot> snap)
     // is the invariant the bit-identity guarantee rests on.
     if (!overlay_.empty()) {
         const auto covered = [&](Addr a) {
-            return snap->index.count(a) != 0;
+            return snap->find(a) != StoreSnapshot::npos;
         };
         bool erased = false;
         for (Addr a : overlayAll_) {

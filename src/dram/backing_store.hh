@@ -12,6 +12,11 @@
  * write lands in a small per-store overlay checked first on reads.
  * Corruption copies-on-write into the overlay, so injected faults never
  * leak into sibling systems sharing the same snapshot.
+ *
+ * Every stored line carries a clean tag: set when the blob is known to
+ * be intact encoder output (a DataPath write or a verified scrub),
+ * cleared by corruptLine. The DataPath's clean-line fast path uses it
+ * to skip ECC decode on lines no fault ever touched.
  */
 
 #ifndef SAM_DRAM_BACKING_STORE_HH
@@ -34,20 +39,59 @@ using BlobPtr = std::shared_ptr<const Blob>;
 
 /**
  * An immutable capture of a store's contents in insertion order,
- * shareable across stores and threads. `index` maps a line address to
- * its position in `lines`.
+ * shareable across stores and threads.
+ *
+ * Table materialization appends lines in ascending address order, so
+ * lookup is served by a handful of dense extents (base + count ->
+ * slot range) instead of a per-line hash map -- at paper scale the map
+ * alone would cost gigabytes. Irregular appends fall back to a lazily
+ * built index; `find` is the only lookup path either way.
+ *
+ * Blob bytes live in one flat arena (blobBytes per slot, slot-major)
+ * rather than a heap vector per line: a paper-scale table runs to
+ * millions of lines, and per-line blob allocations dominated snapshot
+ * construction before the arena.
  */
 struct StoreSnapshot
 {
-    std::vector<std::pair<Addr, BlobPtr>> lines;
-    std::unordered_map<Addr, std::size_t> index;
+    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
 
-    void
-    append(Addr addr, BlobPtr blob)
+    /** One run of consecutive 64B lines occupying consecutive slots. */
+    struct Extent
     {
-        index.emplace(addr, lines.size());
-        lines.emplace_back(addr, std::move(blob));
+        Addr base = 0;
+        std::size_t count = 0;
+        std::size_t firstSlot = 0;
+    };
+
+    /** Line addresses in insertion (slot) order. */
+    std::vector<Addr> addrs;
+    /** Parallel to `addrs`: blob is intact encoder output. */
+    std::vector<bool> clean;
+    /** Stored bytes per line (data + parity); set before appending. */
+    unsigned blobBytes = 0;
+    /** Blob bytes of every slot, blobBytes apiece. */
+    std::vector<std::uint8_t> arena;
+
+    std::size_t size() const { return addrs.size(); }
+
+    const std::uint8_t *blob(std::size_t slot) const
+    {
+        return arena.data() + slot * blobBytes;
     }
+
+    void append(Addr addr, const std::uint8_t *blob_bytes,
+                bool is_clean);
+
+    /** Slot of `addr`, or npos if absent. */
+    std::size_t find(Addr addr) const;
+
+  private:
+    /** Ascending extents; authoritative while `dense_` holds. */
+    std::vector<Extent> extents_;
+    bool dense_ = true;
+    /** Fallback index, built on the first out-of-order append. */
+    std::unordered_map<Addr, std::size_t> index_;
 };
 
 /**
@@ -57,6 +101,19 @@ struct StoreSnapshot
 class BackingStore
 {
   public:
+    /**
+     * Borrowed view of one stored line. `data` points at the blob's
+     * bytes (valid until the next store mutation) or is null for a
+     * never-written line, which reads as all zero -- the all-zero blob
+     * of every supported (linear) scheme is a valid codeword, so such
+     * lines are clean by construction.
+     */
+    struct LineRef
+    {
+        const std::uint8_t *data = nullptr;
+        bool clean = true;
+    };
+
     /** @param blob_bytes Stored bytes per 64B line (data + parity). */
     explicit BackingStore(unsigned blob_bytes)
         : blobBytes_(blob_bytes)
@@ -70,8 +127,24 @@ class BackingStore
      */
     std::vector<std::uint8_t> readLine(Addr line_addr) const;
 
-    /** Store a blob for an aligned line address. */
-    void writeLine(Addr line_addr, const std::vector<std::uint8_t> &blob);
+    /** Borrow the stored blob and clean tag without copying. */
+    LineRef refLine(Addr line_addr) const;
+
+    /**
+     * Store a blob for an aligned line address. `clean` asserts the
+     * blob is intact encoder output (enables the decode fast path);
+     * raw byte stores must leave it false.
+     */
+    void writeLine(Addr line_addr, const std::vector<std::uint8_t> &blob,
+                   bool clean = false);
+
+    /**
+     * Store a blob from a raw pointer of blobBytes() bytes,
+     * allocation-free when the line is already in the overlay (the
+     * blob is copied into the overlay arena). The hot write path.
+     */
+    void writeLine(Addr line_addr, const std::uint8_t *blob,
+                   bool clean = false);
 
     /** True if the line was ever written. */
     bool contains(Addr line_addr) const;
@@ -80,7 +153,7 @@ class BackingStore
      * XOR a mask into stored bytes of a line (error injection). A
      * never-written line is materialized zero-filled first, so faults
      * land on untouched addresses instead of being silently dropped
-     * relative to the all-zero read value.
+     * relative to the all-zero read value. Clears the clean tag.
      */
     void corruptLine(Addr line_addr,
                      const std::vector<std::uint8_t> &xor_mask);
@@ -107,17 +180,34 @@ class BackingStore
     void install(std::shared_ptr<const StoreSnapshot> snap);
 
   private:
-    /** The overlay blob for `addr`, or null if untouched. */
-    const BlobPtr *findOverlay(Addr addr) const;
-    /** The layer blob for `addr`, or null if no layer holds it. */
-    const BlobPtr *findLayer(Addr addr) const;
+    /** An overlay line's blob plus its clean tag. */
+    struct OverlayLine
+    {
+        /** Byte offset of the blob in arena_. */
+        std::size_t offset = 0;
+        bool clean = false;
+    };
+
+    /** The overlay line for `addr`, or null if untouched. */
+    const OverlayLine *findOverlay(Addr addr) const;
+    /** The layer slot for `addr`, or null if no layer holds it. */
+    const StoreSnapshot *findLayer(Addr addr, std::size_t &slot) const;
     bool inAnyLayer(Addr addr) const;
 
     unsigned blobBytes_;
     /** Immutable shared base layers, oldest first. */
     std::vector<std::shared_ptr<const StoreSnapshot>> layers_;
     /** Lines written (or corrupted) in this store; checked first. */
-    std::unordered_map<Addr, BlobPtr> overlay_;
+    std::unordered_map<Addr, OverlayLine> overlay_;
+    /**
+     * Blob bytes of every overlay line, blobBytes_ per slot. One flat
+     * allocation instead of a heap vector per written line: the write
+     * path (writebacks, strided RMW) is the hottest store mutation in
+     * a campaign. Slots orphaned by install()'s overlay revert are
+     * simply leaked until the store dies -- reverts are rare and the
+     * arena is per-system scratch, not shared state.
+     */
+    std::vector<std::uint8_t> arena_;
     /**
      * Insertion order of every overlay line (the deterministic
      * iteration view of overlay_ -- hash order must never become

@@ -1,5 +1,7 @@
 #include "src/dram/data_path.hh"
 
+#include <cstring>
+
 #include "src/common/logging.hh"
 #include "src/dram/io_buffer.hh"
 
@@ -29,26 +31,65 @@ DataPath::resolved(Addr line_addr) const
     return ras_ ? ras_->resolve(line_addr) : line_addr;
 }
 
-ReadOutcome
-DataPath::fetchDecoded(Addr line_addr, bool rmw)
+ReadFlags
+DataPath::fetchInto(Addr line_addr, std::uint8_t *out64, bool rmw)
 {
     const Addr phys = resolved(line_addr);
     if (faults_)
         faults_->tick(now_, store_, ecc_);
 
+    // Clean tag read AFTER tick(): the FIT model corrupts stored
+    // blobs, which clears the tag.
+    const BackingStore::LineRef ref = store_.refLine(phys);
+    const bool provably_clean =
+        fastPath_ && ref.clean && failedChips_.empty();
+
+    if (provably_clean && !faults_) {
+        // Intact encoder output with nothing in the way: copy the data
+        // bytes straight out of the store. A full decode would return
+        // Clean, bump exactly these counters, and leave the bytes
+        // untouched.
+        ++stats_.linesChecked;
+        ecc_.noteCleanLine();
+        if (ref.data)
+            std::memcpy(out64, ref.data, kCachelineBytes);
+        else
+            std::memset(out64, 0, kCachelineBytes);
+        return ReadFlags{};
+    }
+
+    const unsigned blob_bytes = store_.blobBytes();
     unsigned attempt = 0;
     for (;;) {
-        auto blob = store_.readLine(phys);
+        blobScratch_.resize(blob_bytes);
+        if (ref.data)
+            std::memcpy(blobScratch_.data(), ref.data, blob_bytes);
+        else
+            std::memset(blobScratch_.data(), 0, blob_bytes);
         for (unsigned chip : failedChips_)
-            ecc_.corruptChip(blob, chip);
-        if (faults_)
-            faults_->beforeDecode(phys, blob, ecc_);
+            ecc_.corruptChip(blobScratch_, chip);
+        bool touched = false;
+        if (faults_) {
+            // Always consulted, even on clean lines: the injector's
+            // per-read RNG draws are part of the deterministic replay
+            // surface.
+            touched = faults_->beforeDecode(phys, blobScratch_, ecc_);
+        }
 
-        const EccLineResult r = ecc_.decodeLine(blob);
+        if (provably_clean && !touched) {
+            ++stats_.linesChecked;
+            ecc_.noteCleanLine();
+            std::memcpy(out64, blobScratch_.data(), kCachelineBytes);
+            ReadFlags out;
+            out.retries = attempt;
+            return out;
+        }
+
+        const EccLineResult r = ecc_.decodeLine(blobScratch_);
         ++stats_.linesChecked;
 
         if (!r.uncorrectable) {
-            ReadOutcome out;
+            ReadFlags out;
             out.retries = attempt;
             if (r.corrected) {
                 ++stats_.correctedLines;
@@ -57,22 +98,26 @@ DataPath::fetchDecoded(Addr line_addr, bool rmw)
                 if (ras_ && !rmw) {
                     const auto act = ras_->onCorrected(line_addr, now_);
                     if (act.scrub) {
-                        // Scrub: persist the healed blob. The caller
-                        // records this as a real timed write.
-                        store_.writeLine(phys, blob);
-                        out.scrubbedLines.push_back(line_addr);
+                        // Scrub: persist the healed blob (decode
+                        // re-verified it, so it is clean encoder
+                        // output). The caller records this as a real
+                        // timed write.
+                        store_.writeLine(phys, blobScratch_,
+                                         /*clean=*/true);
+                        scrubbed_.push_back(line_addr);
+                        out.scrubbed = true;
                     }
                     if (act.retire) {
                         // Leaky bucket says permanent: copy the healed
                         // data to a spare; future accesses remap.
                         const Addr spare = ras_->retireLine(line_addr);
                         if (spare != line_addr)
-                            store_.writeLine(spare, blob);
+                            store_.writeLine(spare, blobScratch_,
+                                             /*clean=*/true);
                     }
                 }
             }
-            blob.resize(kCachelineBytes);
-            out.data = std::move(blob);
+            std::memcpy(out64, blobScratch_.data(), kCachelineBytes);
             return out;
         }
 
@@ -85,7 +130,7 @@ DataPath::fetchDecoded(Addr line_addr, bool rmw)
         // attached): the access fails. `uncorrectable` counts final
         // failures, not individual retry attempts.
         ++stats_.uncorrectable;
-        ReadOutcome out;
+        ReadFlags out;
         out.retries = attempt;
         out.uncorrectable = true;
         if (ras_) {
@@ -93,46 +138,108 @@ DataPath::fetchDecoded(Addr line_addr, bool rmw)
             out.poisonBits = 1;
             ras_->onPoisoned(line_addr);
         }
-        blob.resize(kCachelineBytes);
-        out.data = std::move(blob);
+        std::memcpy(out64, blobScratch_.data(), kCachelineBytes);
         return out;
     }
+}
+
+ReadFlags
+DataPath::readLineInto(Addr line_addr, std::uint8_t *out64)
+{
+    scrubbed_.clear();
+    return fetchInto(line_addr, out64);
 }
 
 ReadOutcome
 DataPath::readLine(Addr line_addr)
 {
-    return fetchDecoded(line_addr);
+    ReadOutcome out;
+    out.data.resize(kCachelineBytes);
+    const ReadFlags f = readLineInto(line_addr, out.data.data());
+    out.corrected = f.corrected;
+    out.uncorrectable = f.uncorrectable;
+    out.poisoned = f.poisoned;
+    out.retries = f.retries;
+    out.poisonBits = f.poisonBits;
+    out.scrubbedLines = scrubbed_;
+    return out;
 }
 
 void
 DataPath::writeLine(Addr line_addr, const std::vector<std::uint8_t> &data)
 {
-    store_.writeLine(resolved(line_addr), ecc_.encodeLine(data));
+    sam_assert(data.size() == kCachelineBytes,
+               "writeLine expects a 64B line, got ", data.size());
+    encodeScratch_.resize(store_.blobBytes());
+    ecc_.encodeLineInto(data.data(), encodeScratch_.data());
+    store_.writeLine(resolved(line_addr), encodeScratch_.data(),
+                     /*clean=*/true);
 }
 
-ReadOutcome
-DataPath::strideRead(const std::vector<Addr> &line_addrs, unsigned sector,
-                     unsigned unit)
+ReadFlags
+DataPath::strideReadInto(const Addr *line_addrs, std::size_t count,
+                         unsigned sector, unsigned unit,
+                         std::uint8_t *out64)
 {
-    std::vector<std::vector<std::uint8_t>> lines;
-    lines.reserve(line_addrs.size());
-    ReadOutcome out;
-    for (std::size_t i = 0; i < line_addrs.size(); ++i) {
-        ReadOutcome one = fetchDecoded(line_addrs[i]);
+    scrubbed_.clear();
+    sam_assert(count * unit <= kCachelineBytes, "oversized gather");
+    std::uint8_t line[kCachelineBytes];
+    ReadFlags out;
+    for (std::size_t i = 0; i < count; ++i) {
+        const ReadFlags one = fetchInto(line_addrs[i], line);
         out.corrected = out.corrected || one.corrected;
         out.uncorrectable = out.uncorrectable || one.uncorrectable;
         out.poisoned = out.poisoned || one.poisoned;
         out.retries += one.retries;
         if (one.poisoned)
             out.poisonBits |= std::uint32_t{1} << i;
-        out.scrubbedLines.insert(out.scrubbedLines.end(),
-                                 one.scrubbedLines.begin(),
-                                 one.scrubbedLines.end());
-        lines.push_back(std::move(one.data));
+        std::memcpy(out64 + i * unit, line + sector * unit, unit);
     }
-    out.data = StrideGather::gather(lines, sector, unit);
+    out.scrubbed = !scrubbed_.empty();
     return out;
+}
+
+ReadOutcome
+DataPath::strideRead(const Addr *line_addrs, std::size_t count,
+                     unsigned sector, unsigned unit)
+{
+    ReadOutcome out;
+    out.data.resize(kCachelineBytes);
+    const ReadFlags f =
+        strideReadInto(line_addrs, count, sector, unit, out.data.data());
+    out.corrected = f.corrected;
+    out.uncorrectable = f.uncorrectable;
+    out.poisoned = f.poisoned;
+    out.retries = f.retries;
+    out.poisonBits = f.poisonBits;
+    out.scrubbedLines = scrubbed_;
+    return out;
+}
+
+ReadOutcome
+DataPath::strideRead(const std::vector<Addr> &line_addrs, unsigned sector,
+                     unsigned unit)
+{
+    return strideRead(line_addrs.data(), line_addrs.size(), sector, unit);
+}
+
+void
+DataPath::strideWrite(const Addr *line_addrs, std::size_t count,
+                      unsigned sector, unsigned unit,
+                      const std::uint8_t *stride_line)
+{
+    // Read-modify-write: decode each target line, patch the chunk,
+    // re-encode. Mirrors SAM's requirement that strided writes keep
+    // every touched codeword consistent.
+    std::uint8_t line[kCachelineBytes];
+    encodeScratch_.resize(store_.blobBytes());
+    for (std::size_t i = 0; i < count; ++i) {
+        fetchInto(line_addrs[i], line, /*rmw=*/true);
+        std::memcpy(line + sector * unit, stride_line + i * unit, unit);
+        ecc_.encodeLineInto(line, encodeScratch_.data());
+        store_.writeLine(resolved(line_addrs[i]), encodeScratch_.data(),
+                         /*clean=*/true);
+    }
 }
 
 void
@@ -140,20 +247,8 @@ DataPath::strideWrite(const std::vector<Addr> &line_addrs, unsigned sector,
                       unsigned unit,
                       const std::vector<std::uint8_t> &stride_line)
 {
-    // Read-modify-write: decode each target line, patch the chunk,
-    // re-encode. Mirrors SAM's requirement that strided writes keep
-    // every touched codeword consistent.
-    std::vector<std::vector<std::uint8_t>> lines;
-    lines.reserve(line_addrs.size());
-    for (Addr a : line_addrs)
-        lines.push_back(fetchDecoded(a, /*rmw=*/true).data);
-
-    StrideGather::scatter(stride_line, lines, sector, unit);
-
-    for (std::size_t i = 0; i < line_addrs.size(); ++i) {
-        store_.writeLine(resolved(line_addrs[i]),
-                         ecc_.encodeLine(lines[i]));
-    }
+    strideWrite(line_addrs.data(), line_addrs.size(), sector, unit,
+                stride_line.data());
 }
 
 void
@@ -164,17 +259,19 @@ DataPath::writePartial(Addr line_addr,
     sam_assert(data.size() >= kCachelineBytes, "short partial write");
     sam_assert(sector_bytes > 0 && kCachelineBytes % sector_bytes == 0,
                "bad sector size");
-    std::vector<std::uint8_t> line =
-        fetchDecoded(line_addr, /*rmw=*/true).data;
+    std::uint8_t line[kCachelineBytes];
+    fetchInto(line_addr, line, /*rmw=*/true);
     const unsigned sectors = kCachelineBytes / sector_bytes;
     for (unsigned s = 0; s < sectors; ++s) {
         if (sector_mask & (1u << s)) {
-            std::copy(data.begin() + s * sector_bytes,
-                      data.begin() + (s + 1) * sector_bytes,
-                      line.begin() + s * sector_bytes);
+            std::memcpy(line + s * sector_bytes,
+                        data.data() + s * sector_bytes, sector_bytes);
         }
     }
-    store_.writeLine(resolved(line_addr), ecc_.encodeLine(line));
+    encodeScratch_.resize(store_.blobBytes());
+    ecc_.encodeLineInto(line, encodeScratch_.data());
+    store_.writeLine(resolved(line_addr), encodeScratch_.data(),
+                     /*clean=*/true);
 }
 
 void

@@ -53,6 +53,22 @@ struct ReadOutcome
     std::vector<Addr> scrubbedLines;
 };
 
+/**
+ * Flag-only outcome of a zero-copy read: the 64 data bytes land in the
+ * caller's buffer and scrubbed addresses (rare) are parked in
+ * DataPath::lastScrubbedLines(), so the hot path allocates nothing.
+ */
+struct ReadFlags
+{
+    bool corrected = false;
+    bool uncorrectable = false;
+    bool poisoned = false;
+    unsigned retries = 0;
+    std::uint32_t poisonBits = 0;
+    /** lastScrubbedLines() is non-empty for this access. */
+    bool scrubbed = false;
+};
+
 class DataPath
 {
   public:
@@ -63,6 +79,12 @@ class DataPath
 
     /** Read and ECC-check the 64B line at `line_addr` (64B aligned). */
     ReadOutcome readLine(Addr line_addr);
+
+    /**
+     * Zero-copy read: the corrected 64 data bytes are written to
+     * `out64`. Scrubbed addresses are in lastScrubbedLines().
+     */
+    ReadFlags readLineInto(Addr line_addr, std::uint8_t *out64);
 
     /** Encode and store a full 64B line. */
     void writeLine(Addr line_addr, const std::vector<std::uint8_t> &data);
@@ -76,6 +98,15 @@ class DataPath
     ReadOutcome strideRead(const std::vector<Addr> &line_addrs,
                            unsigned sector, unsigned unit);
 
+    /** Span-based stride read (no line-list copy). */
+    ReadOutcome strideRead(const Addr *line_addrs, std::size_t count,
+                           unsigned sector, unsigned unit);
+
+    /** Zero-copy stride read over a borrowed address span. */
+    ReadFlags strideReadInto(const Addr *line_addrs, std::size_t count,
+                             unsigned sector, unsigned unit,
+                             std::uint8_t *out64);
+
     /**
      * Stride-mode write: scatter the chunks of `stride_line` into chunk
      * slot `sector` of each source line (read-modify-write with
@@ -84,6 +115,11 @@ class DataPath
     void strideWrite(const std::vector<Addr> &line_addrs, unsigned sector,
                      unsigned unit,
                      const std::vector<std::uint8_t> &stride_line);
+
+    /** Span-based stride write (no line-list or data copies). */
+    void strideWrite(const Addr *line_addrs, std::size_t count,
+                     unsigned sector, unsigned unit,
+                     const std::uint8_t *stride_line);
 
     /**
      * Partial line write (a sector-cache writeback with only some
@@ -105,6 +141,23 @@ class DataPath
 
     const EccStats &stats() const { return stats_; }
     BackingStore &store() { return store_; }
+
+    /**
+     * Logical addresses scrubbed by the most recent readLineInto /
+     * strideReadInto call (valid until the next read).
+     */
+    const std::vector<Addr> &lastScrubbedLines() const
+    {
+        return scrubbed_;
+    }
+
+    /**
+     * Enable/disable the clean-line decode fast path (on by default).
+     * Exists so tests can force the full decode and prove the fast
+     * path is observation-equivalent.
+     */
+    void setCleanFastPath(bool on) { fastPath_ = on; }
+    bool cleanFastPath() const { return fastPath_; }
 
     // ----- RAS integration ------------------------------------------
     /** Attach a live fault source (nullptr detaches). */
@@ -129,10 +182,18 @@ class DataPath
     /**
      * Fetch blob with failures applied, decode, account stats, and run
      * the RAS read path (inject / retry / scrub / retire / poison).
+     * Writes the 64 corrected data bytes to `out64`; scrub addresses
+     * are appended to scrubbed_ (the public entry points clear it).
      * `rmw` suppresses scrubbing: the caller immediately overwrites
      * the line, which heals it anyway.
+     *
+     * Fast path: a line whose stored blob carries the clean tag, with
+     * no failed chips and no in-flight fault injection, provably
+     * decodes Clean -- the decode is skipped and only the counters a
+     * Clean decode would bump are advanced.
      */
-    ReadOutcome fetchDecoded(Addr line_addr, bool rmw = false);
+    ReadFlags fetchInto(Addr line_addr, std::uint8_t *out64,
+                        bool rmw = false);
 
     /** Current physical location of a logical line (RAS remap). */
     Addr resolved(Addr line_addr) const;
@@ -144,6 +205,13 @@ class DataPath
     FaultInjectionHook *faults_ = nullptr;
     RasPolicy *ras_ = nullptr;
     Cycle now_ = 0;
+    bool fastPath_ = true;
+    /** Reused decode scratch (blob bytes of the line being read). */
+    Blob blobScratch_;
+    /** Reused encode scratch (blob bytes of the line being written). */
+    Blob encodeScratch_;
+    /** Scrub addresses of the most recent read (usually empty). */
+    std::vector<Addr> scrubbed_;
 };
 
 } // namespace sam

@@ -36,8 +36,12 @@ class FaultInjectionHook
     virtual void tick(Cycle now, BackingStore &store,
                       const EccEngine &ecc) = 0;
 
-    /** Corrupt the in-flight blob of one read attempt (bus faults). */
-    virtual void beforeDecode(Addr line, std::vector<std::uint8_t> &blob,
+    /**
+     * Corrupt the in-flight blob of one read attempt (bus faults).
+     * Returns true when the blob may have been modified -- a clean
+     * line whose read returns false may skip ECC decode entirely.
+     */
+    virtual bool beforeDecode(Addr line, std::vector<std::uint8_t> &blob,
                               const EccEngine &ecc) = 0;
 };
 

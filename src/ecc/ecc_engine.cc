@@ -1,6 +1,7 @@
 #include "src/ecc/ecc_engine.hh"
 
 #include <algorithm>
+#include <cstring>
 
 #include "src/common/logging.hh"
 #include "src/ecc/secded.hh"
@@ -90,9 +91,25 @@ EccEngine::encodeLine(const std::vector<std::uint8_t> &line) const
 {
     sam_assert(line.size() == kCachelineBytes,
                "encodeLine expects a 64B line, got ", line.size());
+    return encodeLine(line.data());
+}
 
-    std::vector<std::uint8_t> blob(line);
-    blob.resize(kCachelineBytes + parityBytesPerLine(), 0);
+std::vector<std::uint8_t>
+EccEngine::encodeLine(const std::uint8_t *data64) const
+{
+    std::vector<std::uint8_t> blob(kCachelineBytes +
+                                       parityBytesPerLine(),
+                                   0);
+    encodeLineInto(data64, blob.data());
+    return blob;
+}
+
+void
+EccEngine::encodeLineInto(const std::uint8_t *data64,
+                          std::uint8_t *blob) const
+{
+    const std::uint8_t *line = data64;
+    std::memcpy(blob, line, kCachelineBytes);
 
     switch (scheme_) {
       case EccScheme::None:
@@ -104,47 +121,33 @@ EccEngine::encodeLine(const std::vector<std::uint8_t> &line) const
         break;
 
       case EccScheme::Ssc:
-        for (unsigned j = 0; j < 4; ++j) {
-            std::vector<std::uint8_t> data(line.begin() + 16 * j,
-                                           line.begin() + 16 * (j + 1));
-            auto cw = rs_->encode(data);
-            blob[64 + 2 * j] = cw[16];
-            blob[64 + 2 * j + 1] = cw[17];
-        }
+        for (unsigned j = 0; j < 4; ++j)
+            rs_->encodeParity(line + 16 * j, blob + 64 + 2 * j);
         break;
 
-      case EccScheme::Bamboo72: {
-        std::vector<std::uint8_t> data(line.begin(), line.end());
-        auto cw = rs_->encode(data);
-        for (unsigned p = 0; p < 8; ++p)
-            blob[64 + p] = cw[64 + p];
+      case EccScheme::Bamboo72:
+        rs_->encodeParity(line, blob + 64);
         break;
-      }
 
       case EccScheme::SscDsd:
-        for (unsigned j = 0; j < 2; ++j) {
-            std::vector<std::uint8_t> data(line.begin() + 32 * j,
-                                           line.begin() + 32 * (j + 1));
-            auto cw = rs_->encode(data);
-            for (unsigned p = 0; p < 4; ++p)
-                blob[64 + 4 * j + p] = cw[32 + p];
-        }
+        for (unsigned j = 0; j < 2; ++j)
+            rs_->encodeParity(line + 32 * j, blob + 64 + 4 * j);
         break;
 
       case EccScheme::Ssc32:
         for (unsigned j = 0; j < 2; ++j) {
             for (unsigned i = 0; i < 2; ++i) {
-                std::vector<std::uint8_t> data(16);
+                std::uint8_t data[16];
+                std::uint8_t parity[2];
                 for (unsigned s = 0; s < 16; ++s)
                     data[s] = line[32 * j + 2 * s + i];
-                auto cw = rs_->encode(data);
-                blob[64 + 4 * j + 2 * 0 + i] = cw[16];
-                blob[64 + 4 * j + 2 * 1 + i] = cw[17];
+                rs_->encodeParity(data, parity);
+                blob[64 + 4 * j + i] = parity[0];
+                blob[64 + 4 * j + 2 + i] = parity[1];
             }
         }
         break;
     }
-    return blob;
 }
 
 EccLineResult

@@ -89,12 +89,33 @@ class EccEngine
     std::vector<std::uint8_t> encodeLine(
         const std::vector<std::uint8_t> &line) const;
 
+    /** Encode 64 raw bytes (no intermediate vector at the caller). */
+    std::vector<std::uint8_t> encodeLine(
+        const std::uint8_t *data64) const;
+
+    /**
+     * Encode 64 raw bytes into a caller-provided blob of
+     * 64 + parityBytesPerLine() bytes, allocation-free. Every
+     * simulated write (writebacks, strided RMW, scrubs) lands here,
+     * so this path must not touch the heap.
+     */
+    void encodeLineInto(const std::uint8_t *data64,
+                        std::uint8_t *blob) const;
+
     /**
      * Decode a blob produced by encodeLine() in place (correcting
      * correctable errors) and report the outcome. On success the first
      * 64 bytes of `blob` are the corrected data.
      */
     EccLineResult decodeLine(std::vector<std::uint8_t> &blob) const;
+
+    /**
+     * Account a line the DataPath's clean fast path proved intact
+     * without decoding: exactly the counters a decodeLine() returning
+     * Clean would have bumped (linesDecoded only), so per-scheme stats
+     * are bit-identical with the fast path on or off.
+     */
+    void noteCleanLine() const { ++stats_.linesDecoded; }
 
     /**
      * Flip every bit this chip contributes to the line -- models a

@@ -1,6 +1,7 @@
 #include "src/ecc/reed_solomon.hh"
 
 #include <algorithm>
+#include <cstring>
 
 #include "src/common/logging.hh"
 
@@ -26,6 +27,80 @@ ReedSolomon::ReedSolomon(unsigned n, unsigned k)
     }
     sam_assert(generator_.size() == two_t + 1 && generator_[two_t] == 1,
                "generator polynomial must be monic of degree 2t");
+
+    // Sliced syndrome table: all 2t syndromes of every memory-ECC
+    // geometry (2t <= 8) pack into one 64-bit word, so the decode hot
+    // path computes S(x) with one table XOR per nonzero symbol. Wider
+    // codes (e.g. RS(255,223)) fall back to the generic Horner loop.
+    if (two_t <= 8) {
+        syndTable_.assign(std::size_t{n_} * 256, 0);
+        for (unsigned j = 0; j < n_; ++j) {
+            for (unsigned v = 1; v < 256; ++v) {
+                std::uint64_t packed = 0;
+                for (unsigned i = 0; i < two_t; ++i) {
+                    // Position j carries the coefficient of x^{n-1-j},
+                    // so its contribution to S_i = c(alpha^i) is
+                    // v * alpha^{i * (n-1-j)}.
+                    const GF256::Elem contrib = GF256::mul(
+                        static_cast<GF256::Elem>(v),
+                        GF256::alphaPow((i * (n_ - 1 - j)) % 255));
+                    packed |= std::uint64_t{contrib} << (8 * i);
+                }
+                syndTable_[std::size_t{j} * 256 + v] = packed;
+            }
+        }
+        // Sliced encoder table, same packing: the LFSR remainder fits
+        // one 64-bit word (byte b = rem[b], highest degree at byte 0),
+        // and absorbing one data symbol becomes shift + one table XOR
+        // instead of 2t GF multiplies.
+        encTable_.assign(256, 0);
+        for (unsigned v = 1; v < 256; ++v) {
+            std::uint64_t packed = 0;
+            for (unsigned i = 0; i < two_t; ++i) {
+                const GF256::Elem contrib =
+                    GF256::mul(static_cast<GF256::Elem>(v),
+                               generator_[i]);
+                packed |= std::uint64_t{contrib}
+                          << (8 * (two_t - 1 - i));
+            }
+            encTable_[v] = packed;
+        }
+    }
+}
+
+void
+ReedSolomon::encodeParity(const std::uint8_t *data,
+                          std::uint8_t *parity) const
+{
+    const unsigned two_t = n_ - k_;
+    sam_assert(two_t <= 64, "RS encodeParity: ", two_t,
+               " check symbols exceed the stack remainder buffer");
+    if (!encTable_.empty()) {
+        // Packed LFSR: byte b of `rem` is remainder coefficient
+        // rem[b] with the highest degree at byte 0.
+        std::uint64_t rem = 0;
+        for (unsigned j = 0; j < k_; ++j) {
+            const std::uint8_t coef =
+                data[j] ^ static_cast<std::uint8_t>(rem);
+            rem = (rem >> 8) ^ encTable_[coef];
+        }
+        for (unsigned b = 0; b < two_t; ++b)
+            parity[b] = static_cast<std::uint8_t>(rem >> (8 * b));
+        return;
+    }
+    // Synthetic division of m(x) * x^{2t} by g(x); rem is kept
+    // highest-degree-first so it lands in `parity` directly.
+    std::uint8_t rem[64] = {0};
+    for (unsigned j = 0; j < k_; ++j) {
+        const std::uint8_t coef = data[j] ^ rem[0];
+        std::memmove(rem, rem + 1, two_t - 1);
+        rem[two_t - 1] = 0;
+        if (coef != 0) {
+            for (unsigned i = 0; i < two_t; ++i)
+                rem[two_t - 1 - i] ^= GF256::mul(coef, generator_[i]);
+        }
+    }
+    std::memcpy(parity, rem, two_t);
 }
 
 std::vector<std::uint8_t>
@@ -34,22 +109,9 @@ ReedSolomon::encode(const std::vector<std::uint8_t> &data) const
     sam_assert(data.size() == k_, "RS encode: expected ", k_,
                " data symbols, got ", data.size());
 
-    const unsigned two_t = n_ - k_;
-    // Synthetic division of m(x) * x^{2t} by g(x); rem is kept
-    // highest-degree-first so it can be appended directly.
-    std::vector<std::uint8_t> rem(two_t, 0);
-    for (unsigned j = 0; j < k_; ++j) {
-        const std::uint8_t coef = data[j] ^ rem[0];
-        std::rotate(rem.begin(), rem.begin() + 1, rem.end());
-        rem[two_t - 1] = 0;
-        if (coef != 0) {
-            for (unsigned i = 0; i < two_t; ++i)
-                rem[two_t - 1 - i] ^= GF256::mul(coef, generator_[i]);
-        }
-    }
-
-    std::vector<std::uint8_t> codeword(data);
-    codeword.insert(codeword.end(), rem.begin(), rem.end());
+    std::vector<std::uint8_t> codeword(n_);
+    std::copy(data.begin(), data.end(), codeword.begin());
+    encodeParity(codeword.data(), codeword.data() + k_);
     return codeword;
 }
 
@@ -72,23 +134,40 @@ ReedSolomon::decode(std::vector<std::uint8_t> &codeword,
 
     const unsigned two_t = n_ - k_;
 
-    // Syndromes S_i = c(alpha^i): Horner over the codeword where position
-    // j carries the coefficient of x^{n-1-j}.
-    std::vector<std::uint8_t> synd(two_t, 0);
-    bool any_error = false;
-    for (unsigned i = 0; i < two_t; ++i) {
-        const GF256::Elem x = GF256::alphaPow(i);
-        GF256::Elem acc = 0;
-        for (unsigned j = 0; j < n_; ++j)
-            acc = GF256::add(GF256::mul(acc, x), codeword[j]);
-        synd[i] = acc;
-        any_error = any_error || acc != 0;
-    }
-
     DecodeResult result;
-    if (!any_error) {
-        result.status = DecodeStatus::Clean;
-        return result;
+    std::vector<std::uint8_t> synd(two_t, 0);
+    if (!syndTable_.empty()) {
+        // Syndromes S_i = c(alpha^i) via the sliced table: one 64-bit
+        // XOR per nonzero symbol, and a branch-free all-zero check that
+        // bails before any Berlekamp-Massey allocation.
+        std::uint64_t packed = 0;
+        for (unsigned j = 0; j < n_; ++j) {
+            const std::uint8_t v = codeword[j];
+            if (v != 0)
+                packed ^= syndTable_[std::size_t{j} * 256 + v];
+        }
+        if (packed == 0) {
+            result.status = DecodeStatus::Clean;
+            return result;
+        }
+        for (unsigned i = 0; i < two_t; ++i) {
+            synd[i] =
+                static_cast<std::uint8_t>((packed >> (8 * i)) & 0xff);
+        }
+    } else {
+        bool any = false;
+        for (unsigned i = 0; i < two_t; ++i) {
+            const GF256::Elem x = GF256::alphaPow(i);
+            GF256::Elem acc = 0;
+            for (unsigned j = 0; j < n_; ++j)
+                acc = GF256::add(GF256::mul(acc, x), codeword[j]);
+            synd[i] = acc;
+            any = any || acc != 0;
+        }
+        if (!any) {
+            result.status = DecodeStatus::Clean;
+            return result;
+        }
     }
 
     // Berlekamp-Massey: find the error locator polynomial Lambda(x).

@@ -65,6 +65,15 @@ class ReedSolomon
         const;
 
     /**
+     * Compute the (n - k) check symbols of `data` (k symbols) into
+     * `parity`, allocation-free. The hot encode path: a simulated
+     * write re-encodes every touched codeword, so this runs millions
+     * of times per campaign.
+     */
+    void encodeParity(const std::uint8_t *data,
+                      std::uint8_t *parity) const;
+
+    /**
      * Decode `codeword` (n symbols) in place, correcting up to t symbol
      * errors. If `max_correct` is less than t, the decoder refuses to
      * correct more than `max_correct` symbols and reports Detected
@@ -82,6 +91,22 @@ class ReedSolomon
     unsigned k_;
     /** Generator polynomial, low-order coefficient first, degree 2t. */
     std::vector<std::uint8_t> generator_;
+    /**
+     * Sliced syndrome table: entry [j * 256 + v] packs the
+     * contribution of symbol value v at codeword position j to all 2t
+     * syndromes, syndrome i in byte i (2t <= 8 for every supported
+     * code). Syndromes of a whole codeword are then one table XOR per
+     * nonzero symbol, so the all-zero-syndrome bail-out never touches
+     * Berlekamp-Massey.
+     */
+    std::vector<std::uint64_t> syndTable_;
+    /**
+     * Sliced encoder table: entry [v] packs v times each generator
+     * coefficient into the LFSR remainder layout (remainder byte b at
+     * bits 8b, highest degree at byte 0), so absorbing a data symbol
+     * is shift + one XOR. Built alongside syndTable_ when 2t <= 8.
+     */
+    std::vector<std::uint64_t> encTable_;
 };
 
 } // namespace sam

@@ -91,16 +91,18 @@ FaultInjector::tick(Cycle now, BackingStore &store, const EccEngine &ecc)
     }
 }
 
-void
+bool
 FaultInjector::beforeDecode(Addr line, std::vector<std::uint8_t> &blob,
                             const EccEngine &ecc)
 {
     (void)line;
+    bool touched = false;
     if (armedReads_ > 0) {
         for (std::size_t bit : armedBits_)
             EccEngine::flipBit(blob, bit);
         --armedReads_;
         ++stats_.busFaults;
+        touched = true;
     }
 
     switch (config_.model) {
@@ -113,14 +115,18 @@ FaultInjector::beforeDecode(Addr line, std::vector<std::uint8_t> &blob,
             ecc.corruptChipBits(blob, config_.stuckChip,
                                 config_.stuckBits, rng_);
             ++stats_.busFaults;
+            touched = true;
         }
         break;
 
       case FaultModel::Chipkill:
-        if (chipkillFired_)
+        if (chipkillFired_) {
             ecc.corruptChip(blob, config_.chipkillChip);
+            touched = true;
+        }
         break;
     }
+    return touched;
 }
 
 void

@@ -77,7 +77,7 @@ class FaultInjector final : public FaultInjectionHook
     // ----- FaultInjectionHook ---------------------------------------
     void tick(Cycle now, BackingStore &store,
               const EccEngine &ecc) override;
-    void beforeDecode(Addr line, std::vector<std::uint8_t> &blob,
+    bool beforeDecode(Addr line, std::vector<std::uint8_t> &blob,
                       const EccEngine &ecc) override;
 
     /**

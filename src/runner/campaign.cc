@@ -42,6 +42,7 @@ CampaignRunner::run(const std::vector<RunSpec> &specs)
             r.stats = std::move(stats);
             r.wallMs = std::chrono::duration<double, std::milli>(
                 t1 - t0).count();
+            r.records = spec.config.taRecords;
         });
     }
     pool_.run(std::move(tasks));
@@ -72,6 +73,13 @@ runResultJson(const RunResult &result)
     run.set("result_rows", s.result.rows);
     run.set("result_checksum", s.result.checksum);
     run.set("wall_ms", result.wallMs);
+    // Simulation throughput in records/second of host wall time: a
+    // perf-smoke metric, wall-clock-derived and therefore exempt from
+    // bit-identity and bench_diff comparison (like wall_ms).
+    run.set("throughput", result.wallMs > 0
+                              ? static_cast<double>(result.records) *
+                                    1e3 / result.wallMs
+                              : 0.0);
     // Per-class latency percentiles when the run collected telemetry.
     if (s.telemetry)
         run.set("latency_cycles", s.telemetry->latencyJson());

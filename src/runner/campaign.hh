@@ -49,6 +49,8 @@ struct RunResult
     RunStats stats;
     /** Host wall time of this run, milliseconds. */
     double wallMs = 0.0;
+    /** Table-A records the run scanned (throughput denominator). */
+    std::uint64_t records = 0;
 };
 
 /**

@@ -47,7 +47,7 @@ namespace sam {
 struct JournalHeader
 {
     std::string campaign;    ///< e.g. "fig12".
-    std::string scale;       ///< "quick" or "full".
+    std::string scale;       ///< "quick", "full", or "paper".
     bool verify = false;     ///< Runs check against the reference.
     bool telemetry = true;   ///< Runs carry latency histograms.
 };

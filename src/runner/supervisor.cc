@@ -103,6 +103,7 @@ executeSpec(const RunSpec &spec,
     r.stats = std::move(stats);
     r.wallMs =
         std::chrono::duration<double, std::milli>(t1 - t0).count();
+    r.records = spec.config.taRecords;
     return r;
 }
 

@@ -25,20 +25,32 @@ CorePort::CorePort(unsigned core_id, const CoreCacheConfig &cfg,
                  withSector(cfg, stride_unit).l2,
                  withSector(cfg, stride_unit).llc, *this)
 {
-    trace_.emplace_back();
 }
 
 void
-CorePort::record(AccessType type, std::vector<Addr> lines,
-                 unsigned sector)
+CorePort::record(AccessType type, std::size_t pool_offset,
+                 std::size_t count, unsigned sector)
 {
-    TraceEntry entry;
-    entry.type = type;
-    entry.lines = std::move(lines);
-    entry.sector = sector;
-    entry.gap = clock_ - lastRecord_;
+    trace_.append(type, sector, pool_offset, count,
+                  clock_ - lastRecord_);
     lastRecord_ = clock_;
-    trace_.back().push_back(std::move(entry));
+}
+
+void
+CorePort::recordLine(AccessType type, Addr line)
+{
+    const std::size_t offset = trace_.pool.size();
+    trace_.pool.push_back(line);
+    record(type, offset, 1, 0);
+}
+
+void
+CorePort::recordSpan(AccessType type, const GatherPlan &plan)
+{
+    const std::size_t offset = trace_.pool.size();
+    trace_.pool.insert(trace_.pool.end(), plan.lines.begin(),
+                       plan.lines.end());
+    record(type, offset, plan.lines.size(), plan.sector);
 }
 
 std::uint64_t
@@ -114,56 +126,55 @@ CorePort::compute(Cycle cycles)
 }
 
 void
-CorePort::recordScrubs(const ReadOutcome &outcome)
+CorePort::recordScrubs(const ReadFlags &flags)
 {
+    if (!flags.scrubbed)
+        return;
     // Demand scrubs are real timed writes: the corrected line goes back
     // over the bus, so the replay must charge their bandwidth/power.
-    for (Addr scrubbed : outcome.scrubbedLines)
-        record(AccessType::Write, {scrubbed}, 0);
+    for (Addr scrubbed : dataPath_.lastScrubbedLines())
+        recordLine(AccessType::Write, scrubbed);
 }
 
-std::vector<std::uint8_t>
-CorePort::fetchLine(Addr line)
+void
+CorePort::fetchLine(Addr line, std::uint8_t *out64)
 {
-    record(AccessType::Read, {line}, 0);
-    ReadOutcome outcome = dataPath_.readLine(line);
-    recordScrubs(outcome);
-    fetchPoisoned_ = outcome.poisoned;
-    return std::move(outcome.data);
+    recordLine(AccessType::Read, line);
+    const ReadFlags flags = dataPath_.readLineInto(line, out64);
+    recordScrubs(flags);
+    fetchPoisoned_ = flags.poisoned;
 }
 
-std::vector<std::uint8_t>
-CorePort::fetchStride(const GatherPlan &plan)
+void
+CorePort::fetchStride(const GatherPlan &plan, std::uint8_t *out64)
 {
-    record(AccessType::StrideRead, plan.lines, plan.sector);
-    ReadOutcome outcome =
-        dataPath_.strideRead(plan.lines, plan.sector, strideUnit_);
-    recordScrubs(outcome);
-    strideFetchPoison_ = outcome.poisonBits;
-    return std::move(outcome.data);
+    recordSpan(AccessType::StrideRead, plan);
+    const ReadFlags flags = dataPath_.strideReadInto(
+        plan.lines.data(), plan.lines.size(), plan.sector, strideUnit_,
+        out64);
+    recordScrubs(flags);
+    strideFetchPoison_ = flags.poisonBits;
 }
 
 void
 CorePort::writeback(const Writeback &wb)
 {
-    record(AccessType::Write, {wb.line}, 0);
+    recordLine(AccessType::Write, wb.line);
     dataPath_.writePartial(wb.line, wb.data, wb.dirtyMask, strideUnit_);
 }
 
 void
 CorePort::writeStride(const GatherPlan &plan, const std::uint8_t *line64)
 {
-    record(AccessType::StrideWrite, plan.lines, plan.sector);
-    dataPath_.strideWrite(plan.lines, plan.sector, strideUnit_,
-                          std::vector<std::uint8_t>(line64,
-                                                    line64 +
-                                                        kCachelineBytes));
+    recordSpan(AccessType::StrideWrite, plan);
+    dataPath_.strideWrite(plan.lines.data(), plan.lines.size(),
+                          plan.sector, strideUnit_, line64);
 }
 
 void
 CorePort::newEpoch()
 {
-    trace_.emplace_back();
+    trace_.beginEpoch();
 }
 
 } // namespace sam

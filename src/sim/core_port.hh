@@ -56,8 +56,8 @@ class CorePort : public MemPort, public MemBackend
     }
 
     // ----- MemBackend (cache memory side) ---------------------------
-    std::vector<std::uint8_t> fetchLine(Addr line) override;
-    std::vector<std::uint8_t> fetchStride(const GatherPlan &plan) override;
+    void fetchLine(Addr line, std::uint8_t *out64) override;
+    void fetchStride(const GatherPlan &plan, std::uint8_t *out64) override;
     void writeback(const Writeback &wb) override;
     void writeStride(const GatherPlan &plan,
                      const std::uint8_t *line64) override;
@@ -79,11 +79,18 @@ class CorePort : public MemPort, public MemBackend
     const CacheHierarchy &hierarchy() const { return hierarchy_; }
 
   private:
-    void record(AccessType type, std::vector<Addr> lines,
-                unsigned sector);
+    /** Append one entry whose lines are already in the trace pool. */
+    void record(AccessType type, std::size_t pool_offset,
+                std::size_t count, unsigned sector);
 
-    /** Record demand-scrub writebacks a read outcome triggered. */
-    void recordScrubs(const ReadOutcome &outcome);
+    /** Record a single-line entry (regular read/write). */
+    void recordLine(AccessType type, Addr line);
+
+    /** Record a stride entry over the plan's line list. */
+    void recordSpan(AccessType type, const GatherPlan &plan);
+
+    /** Record demand-scrub writebacks the last read triggered. */
+    void recordScrubs(const ReadFlags &flags);
 
     unsigned coreId_;
     unsigned strideUnit_;

@@ -83,10 +83,20 @@ System::tablesFor(LayoutKind layout)
     TablePair &tp = tables_[layout];
     const unsigned gather = kCachelineBytes / strideUnit_;
     if (!tp.ta || tp.dirty) {
+        // Table spacing: a power-of-two span that covers the larger
+        // table's physical footprint (2x leaves room for layout
+        // padding), never below the historical 1 GiB so the quick/full
+        // address streams are unchanged. Paper-scale tables (10M x
+        // 128 fields) spill past 1 GiB and land on a wider span.
+        const std::uint64_t need =
+            2 * std::max(taSchema().sizeBytes(), tbSchema().sizeBytes());
+        Addr span = Addr{1} << 30;
+        while (span < need)
+            span <<= 1;
         const Addr ta_base =
-            (Addr{layoutIndex(layout)} * 2 + 1) << 30;
+            (Addr{layoutIndex(layout)} * 2 + 1) * span;
         const Addr tb_base =
-            (Addr{layoutIndex(layout)} * 2 + 2) << 30;
+            (Addr{layoutIndex(layout)} * 2 + 2) * span;
         tp.ta = std::make_unique<Table>(taSchema(), ta_base, layout,
                                         gather, geom_);
         tp.tb = std::make_unique<Table>(tbSchema(), tb_base, layout,
@@ -185,7 +195,7 @@ System::runQuery(const Query &query)
 
     // ----- Statistics ------------------------------------------------
     const DeviceStats &ds = device.stats();
-    {
+    if (config_.collectStatsText) {
         std::ostringstream oss;
         StatGroup dev_group("device");
         ds.registerIn(dev_group);
@@ -287,7 +297,7 @@ System::replay(const std::vector<std::unique_ptr<CorePort>> &ports,
     for (unsigned c = 0; c < num_cores; ++c) {
         cores[c].trace = &ports[c]->trace();
         cores[c].window.reserve(config_.mshrsPerCore);
-        num_epochs = std::max(num_epochs, cores[c].trace->size());
+        num_epochs = std::max(num_epochs, cores[c].trace->numEpochs());
     }
 
     std::uint64_t next_id = 1;
@@ -297,23 +307,26 @@ System::replay(const std::vector<std::unique_ptr<CorePort>> &ports,
         // Barrier: all cores resume together after prior epoch traffic.
         for (auto &cs : cores) {
             cs.clock = std::max(cs.clock, max_done);
-            cs.idx = 0;
+            cs.idx = epoch < cs.trace->numEpochs()
+                         ? cs.trace->epochBegin(epoch)
+                         : 0;
             cs.window.clear();
         }
 
         auto issue_some = [&](unsigned c) -> bool {
             CoreState &cs = cores[c];
-            if (epoch >= cs.trace->size())
+            if (epoch >= cs.trace->numEpochs())
                 return false;
-            const auto &entries = (*cs.trace)[epoch];
+            const CoreTrace &trace = *cs.trace;
+            const std::size_t end = trace.epochEnd(epoch);
             bool issued = false;
             unsigned batch = 0;
-            while (cs.idx < entries.size() && batch < 32) {
+            while (cs.idx < end && batch < 32) {
                 if (controller.readQueueDepth() +
                         controller.writeQueueDepth() > 256) {
                     break; // backpressure
                 }
-                const TraceEntry &e = entries[cs.idx];
+                const TraceEntry &e = trace.entries[cs.idx];
                 Cycle t = cs.clock + e.gap;
                 const bool is_read = !isWrite(e.type);
                 if (is_read &&
@@ -337,10 +350,12 @@ System::replay(const std::vector<std::unique_ptr<CorePort>> &ports,
 
                 MemRequest req;
                 if (isStride(e.type)) {
-                    GatherPlan plan{e.lines, e.sector};
-                    req = model.strideRequest(e.type, plan, t, c);
+                    req = model.strideRequest(e.type, trace.lines(e),
+                                              e.lineCount, e.sector, t,
+                                              c);
                 } else {
-                    req = model.lineRequest(e.type, e.lines[0], t, c);
+                    req = model.lineRequest(e.type, trace.lines(e)[0],
+                                            t, c);
                 }
                 req.id = next_id++;
                 if (is_read)
@@ -381,8 +396,9 @@ System::replay(const std::vector<std::unique_ptr<CorePort>> &ports,
             if (!progress) {
                 bool all_issued = true;
                 for (unsigned c = 0; c < num_cores; ++c) {
-                    if (epoch < cores[c].trace->size() &&
-                        cores[c].idx < (*cores[c].trace)[epoch].size()) {
+                    if (epoch < cores[c].trace->numEpochs() &&
+                        cores[c].idx <
+                            cores[c].trace->epochEnd(epoch)) {
                         all_issued = false;
                     }
                 }

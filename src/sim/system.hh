@@ -80,6 +80,14 @@ struct SimConfig
      * the replay runs exactly as without the subsystem).
      */
     TelemetryConfig telemetry;
+
+    /**
+     * Build RunStats::statsText (the gem5-style counter dump). On by
+     * default for interactive use; campaigns turn it off -- the dump
+     * string-formats every counter of every run and none of it reaches
+     * the BENCH JSON.
+     */
+    bool collectStatsText = true;
 };
 
 /** Everything measured for one query run. */

@@ -2,6 +2,12 @@
  * @file
  * Memory trace captured during functional execution and replayed
  * through the memory controller for timing.
+ *
+ * The trace is arena-backed: all source-line addresses of all entries
+ * live in one shared pool and each fixed-size entry holds an (offset,
+ * count) span into it. Phase 1 appends to two flat vectors instead of
+ * allocating a std::vector per access, and phase 2 replays borrowed
+ * spans without copying line lists.
  */
 
 #ifndef SAM_SIM_TRACE_HH
@@ -10,26 +16,79 @@
 #include <cstdint>
 #include <vector>
 
-#include "src/common/gather.hh"
+#include "src/common/logging.hh"
 #include "src/common/types.hh"
 #include "src/controller/request.hh"
 
 namespace sam {
 
-/** One memory-bound event of a core's execution. */
+/** One memory-bound event of a core's execution (16 bytes). */
 struct TraceEntry
 {
     AccessType type = AccessType::Read;
-    /** Source lines: one for regular accesses, G for strides. */
-    std::vector<Addr> lines;
-    unsigned sector = 0;
+    /** Chunk sector of a stride access (0 for regular accesses). */
+    std::uint8_t sector = 0;
+    /** Source lines: 1 for regular accesses, G for strides. */
+    std::uint16_t lineCount = 0;
+    /** Start of this entry's lines in the trace's address pool. */
+    std::uint32_t lineOffset = 0;
     /** Core cycles of compute / cache-hit time since the previous
      *  entry. */
     Cycle gap = 0;
 };
 
-/** A core's trace, split into barrier-separated epochs. */
-using CoreTrace = std::vector<std::vector<TraceEntry>>;
+/**
+ * A core's trace, split into barrier-separated epochs. The trailing
+ * epoch is always open: epochEnds[e] is the entry index ending epoch e,
+ * and entries past the last recorded end form epoch epochEnds.size().
+ */
+struct CoreTrace
+{
+    std::vector<Addr> pool;           ///< All entries' line addresses.
+    std::vector<TraceEntry> entries;  ///< In record order.
+    std::vector<std::uint32_t> epochEnds;
+
+    std::size_t numEpochs() const { return epochEnds.size() + 1; }
+
+    std::size_t epochBegin(std::size_t e) const
+    {
+        return e == 0 ? 0 : epochEnds[e - 1];
+    }
+
+    std::size_t epochEnd(std::size_t e) const
+    {
+        return e < epochEnds.size() ? epochEnds[e] : entries.size();
+    }
+
+    /** Borrowed view of an entry's source-line addresses. */
+    const Addr *lines(const TraceEntry &entry) const
+    {
+        return pool.data() + entry.lineOffset;
+    }
+
+    /** Append one entry whose `count` lines start at pool[offset]. */
+    void append(AccessType type, unsigned sector, std::size_t offset,
+                std::size_t count, Cycle gap)
+    {
+        sam_assert(offset <= UINT32_MAX && count <= UINT16_MAX &&
+                       sector <= UINT8_MAX,
+                   "trace entry field overflow");
+        TraceEntry e;
+        e.type = type;
+        e.sector = static_cast<std::uint8_t>(sector);
+        e.lineCount = static_cast<std::uint16_t>(count);
+        e.lineOffset = static_cast<std::uint32_t>(offset);
+        e.gap = gap;
+        entries.push_back(e);
+    }
+
+    /** Close the current epoch and open a new one. */
+    void beginEpoch()
+    {
+        sam_assert(entries.size() <= UINT32_MAX, "trace too long");
+        epochEnds.push_back(static_cast<std::uint32_t>(entries.size()));
+    }
+};
 
 } // namespace sam
 

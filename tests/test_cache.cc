@@ -150,30 +150,30 @@ TEST(SectorCacheTest, FlushReturnsOnlyDirtyLines)
 class RecordingBackend : public MemBackend
 {
   public:
-    std::vector<std::uint8_t>
-    fetchLine(Addr line) override
+    void
+    fetchLine(Addr line, std::uint8_t *out64) override
     {
         ++fetches;
         auto it = memory.find(line);
         if (it != memory.end())
-            return it->second;
-        return std::vector<std::uint8_t>(kCachelineBytes, 0);
+            std::memcpy(out64, it->second.data(), kCachelineBytes);
+        else
+            std::memset(out64, 0, kCachelineBytes);
     }
 
-    std::vector<std::uint8_t>
-    fetchStride(const GatherPlan &plan) override
+    void
+    fetchStride(const GatherPlan &plan, std::uint8_t *out64) override
     {
         ++strideFetches;
-        std::vector<std::uint8_t> out(kCachelineBytes, 0);
         const unsigned unit =
             kCachelineBytes / static_cast<unsigned>(plan.lines.size());
+        std::uint8_t line[kCachelineBytes];
         for (std::size_t i = 0; i < plan.lines.size(); ++i) {
-            const auto line = fetchLine(plan.lines[i]);
+            fetchLine(plan.lines[i], line);
             --fetches; // internal
-            std::memcpy(out.data() + i * unit,
-                        line.data() + plan.sector * unit, unit);
+            std::memcpy(out64 + i * unit, line + plan.sector * unit,
+                        unit);
         }
-        return out;
     }
 
     void

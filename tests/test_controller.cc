@@ -12,6 +12,7 @@
 #include "src/common/random.hh"
 #include "src/controller/address_mapping.hh"
 #include "src/controller/controller.hh"
+#include "src/controller/request_queue.hh"
 #include "src/dram/data_path.hh"
 #include "src/dram/device.hh"
 
@@ -193,7 +194,7 @@ class ControllerTest : public ::testing::Test
         r.addr = line;
         r.arrival = arrival;
         r.id = nextId++;
-        r.gatherLines = {line};
+        r.setLine(line);
         r.device.addr = mapping.decompose(line);
         return r;
     }
@@ -325,7 +326,7 @@ TEST_F(ControllerTest, TimingOnlyModeSkipsData)
     MemRequest w;
     w.type = AccessType::Write;
     w.addr = 0x3040;
-    w.gatherLines = {0x3040};
+    w.setLine(0x3040);
     w.device.addr = mapping.decompose(0x3040);
     w.device.isWrite = true;
     dry.push(std::move(w));
@@ -347,7 +348,7 @@ TEST_F(ControllerTest, StrideRequestGathersFunctionally)
     r.addr = lines[0];
     r.sector = 1;
     r.strideUnit = 16;
-    r.gatherLines = lines;
+    r.setLines(lines.data(), lines.size());
     r.device.addr = mapping.decompose(lines[0]);
     r.device.mode = AccessMode::Stride;
     r.id = 99;
@@ -366,6 +367,69 @@ TEST_F(ControllerTest, ReadLatencyAccumulates)
     ctrl.push(readReq(0x5000, 0));
     ctrl.serviceNext();
     EXPECT_GT(ctrl.stats().totalReadLatency.value(), 0.0);
+}
+
+// The queue removes heap entries lazily and rebuilds its indexes once
+// stale entries outnumber live ones (RequestQueue::maybeCompact). Churn
+// through enough push/pop cycles to cross the rebuild budget
+// (2 * live + 64) many times over while the live backlog stays small,
+// and check the FR-FCFS pick order and size bookkeeping never drift.
+// With no open rows in the device, every pick is rule 2: oldest
+// insertion first.
+TEST_F(ControllerTest, RequestQueueCompactionKeepsFcfsOrder)
+{
+    RequestQueue q(geom);
+    bool row_hit = false;
+    std::uint64_t expect_id = 1;
+
+    // Sustained churn: grow the backlog to 96, then pop 64, for many
+    // rounds. Spread requests over distinct rows so the row buckets
+    // accumulate stale entries too.
+    for (unsigned round = 0; round < 32; ++round) {
+        for (unsigned i = 0; i < 96; ++i) {
+            const Addr line =
+                Addr{(round * 96 + i) % 1024} * geom.rowBytes +
+                (i % 8) * kCachelineBytes;
+            q.push(readReq(line, /*arrival=*/0));
+        }
+        for (unsigned i = 0; i < 64; ++i) {
+            ASSERT_FALSE(q.empty());
+            const MemRequest r = q.popBest(/*now=*/1, device, row_hit);
+            EXPECT_FALSE(row_hit);
+            ASSERT_EQ(r.id, expect_id++);
+        }
+    }
+    // 32 * (96 - 64) requests remain; drain them in insertion order.
+    EXPECT_EQ(q.size(), 32u * 32u);
+    while (!q.empty()) {
+        const MemRequest r = q.popBest(/*now=*/1, device, row_hit);
+        ASSERT_EQ(r.id, expect_id++);
+    }
+    EXPECT_EQ(expect_id, nextId);
+    EXPECT_EQ(q.size(), 0u);
+}
+
+// Same churn with future arrivals: requests promote from the pending
+// heap as the clock advances, so compaction also runs against a queue
+// whose eligible set is a moving subset of the backlog.
+TEST_F(ControllerTest, RequestQueueCompactionWithStaggeredArrivals)
+{
+    RequestQueue q(geom);
+    bool row_hit = false;
+    // 1024 requests arriving at cycles 0, 10, 20, ...; each pop runs
+    // at `now` just past its own request's arrival, so only a small
+    // arrived window is eligible at any pick.
+    for (unsigned i = 0; i < 1024; ++i) {
+        q.push(readReq(Addr{i % 256} * geom.rowBytes,
+                       /*arrival=*/Cycle{i} * 10));
+    }
+    std::uint64_t expect_id = nextId - 1024;
+    for (unsigned i = 0; i < 1024; ++i) {
+        const MemRequest r =
+            q.popBest(/*now=*/Cycle{i} * 10 + 1, device, row_hit);
+        ASSERT_EQ(r.id, expect_id++);
+    }
+    EXPECT_TRUE(q.empty());
 }
 
 } // namespace

@@ -160,7 +160,7 @@ TEST_F(DesignModelTest, RegularRequestIsSingleLine)
     DesignModel model(makeDesign(DesignKind::SamEn), mapping, 8);
     const MemRequest r =
         model.lineRequest(AccessType::Read, 0x4000, 10, 2);
-    EXPECT_EQ(r.gatherLines.size(), 1u);
+    EXPECT_EQ(r.gatherCount, 1u);
     EXPECT_EQ(r.device.mode, AccessMode::Regular);
     EXPECT_EQ(r.arrival, 10u);
     EXPECT_EQ(r.coreId, 2u);
@@ -178,7 +178,7 @@ TEST_F(DesignModelTest, SamStrideStaysInRowAndUsesStrideMode)
         model.strideRequest(AccessType::StrideRead, plan, 5, 0);
     EXPECT_EQ(r.device.mode, AccessMode::Stride);
     EXPECT_FALSE(r.device.columnActivate);
-    EXPECT_EQ(r.gatherLines.size(), 8u);
+    EXPECT_EQ(r.gatherCount, 8u);
     EXPECT_EQ(r.strideUnit, 8u);
 }
 

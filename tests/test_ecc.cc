@@ -373,6 +373,38 @@ TEST_P(EccEngineTest, EncodeDecodeRoundTrip)
     EXPECT_EQ(blob, line);
 }
 
+// The backing store materialises absent lines as zeroed blobs, and the
+// clean-read shortcut returns them without decoding. That is only
+// sound if the all-zero blob is a valid (clean) codeword under every
+// scheme -- pin it.
+TEST_P(EccEngineTest, AllZeroLineIsACleanCodeword)
+{
+    const EccEngine engine(GetParam());
+    const std::vector<std::uint8_t> zero(kCachelineBytes, 0);
+    auto blob = engine.encodeLine(zero);
+    for (const std::uint8_t b : blob)
+        EXPECT_EQ(b, 0u);
+    const auto r = engine.decodeLine(blob);
+    EXPECT_TRUE(r.clean);
+    EXPECT_FALSE(r.corrected);
+    EXPECT_FALSE(r.uncorrectable);
+}
+
+// The allocation-free encode used on the simulated write path must
+// produce byte-identical blobs to the allocating one.
+TEST_P(EccEngineTest, EncodeLineIntoMatchesEncodeLine)
+{
+    const EccEngine engine(GetParam());
+    Rng rng(47);
+    for (unsigned trial = 0; trial < 16; ++trial) {
+        const auto line = randomLine(rng);
+        const auto blob = engine.encodeLine(line);
+        std::vector<std::uint8_t> scratch(blob.size(), 0xff);
+        engine.encodeLineInto(line.data(), scratch.data());
+        EXPECT_EQ(scratch, blob);
+    }
+}
+
 TEST_P(EccEngineTest, SingleBitErrorHandled)
 {
     const EccEngine engine(GetParam());

@@ -13,6 +13,7 @@
 
 #include <algorithm>
 #include <string>
+#include <tuple>
 
 #include "src/dram/backing_store.hh"
 #include "src/dram/data_path.hh"
@@ -324,6 +325,142 @@ TEST(RasPipeline, IsolatedErrorIsScrubbedNotRetired)
     EXPECT_EQ(ras.stats().linesRetired.value(), 0u);
     EXPECT_EQ(ras.resolve(line), line);
 }
+
+// --------------------------------------------------------------------
+// Clean-line fast path: observationally equivalent to full decode
+// --------------------------------------------------------------------
+
+/**
+ * Differential check of the clean-line decode fast path: the same
+ * seeded fault-injection workload, once with the fast path enabled
+ * and once forced through the full decoder, must produce identical
+ * decoded bytes, poison masks, and per-scheme ECC counters.
+ */
+class FastPathDifferentialTest
+    : public ::testing::TestWithParam<std::tuple<EccScheme, FaultModel>>
+{
+  protected:
+    struct Observed
+    {
+        std::vector<std::uint8_t> bytes;
+        std::vector<std::uint32_t> flags;
+        EccStats pathStats;
+        EccEngineStats engineStats;
+        FaultStats faultStats;
+    };
+
+    static std::uint32_t packFlags(const ReadFlags &f)
+    {
+        return (f.corrected ? 1u : 0u) | (f.uncorrectable ? 2u : 0u) |
+               (f.poisoned ? 4u : 0u) | (f.scrubbed ? 8u : 0u) |
+               (f.retries << 4) | (f.poisonBits << 8);
+    }
+
+    static Observed runWorkload(EccScheme scheme, FaultModel model,
+                                bool fast_path)
+    {
+        DataPath dp(scheme);
+        dp.setCleanFastPath(fast_path);
+
+        FaultConfig fc;
+        fc.model = model;
+        fc.seed = 0x5EEDED;
+        fc.fitPerMcycle = 5000.0; // rates scaled up so faults fire
+        fc.stuckProbability = 0.3;
+        fc.chipkillAt = 5'000;
+        FaultInjector inj(fc);
+        dp.setFaultHook(&inj);
+
+        constexpr unsigned kLines = 64;
+        std::vector<std::uint8_t> line(kCachelineBytes);
+        for (unsigned i = 0; i < kLines; ++i) {
+            for (unsigned b = 0; b < kCachelineBytes; ++b)
+                line[b] = static_cast<std::uint8_t>(i * 7 + b);
+            dp.writeLine(i * kCachelineBytes, line);
+        }
+
+        Observed out;
+        std::uint8_t data[kCachelineBytes];
+        Addr gather[8];
+        for (unsigned step = 0; step < 400; ++step) {
+            dp.setNow(Cycle{step} * 100);
+            ReadFlags f;
+            if (step % 3 == 0) {
+                for (unsigned g = 0; g < 8; ++g)
+                    gather[g] = ((step * 5 + g * 3) % kLines) *
+                                kCachelineBytes;
+                f = dp.strideReadInto(gather, 8, step % 8, 8, data);
+            } else {
+                f = dp.readLineInto(
+                    ((step * 11) % kLines) * kCachelineBytes, data);
+            }
+            out.bytes.insert(out.bytes.end(), data,
+                             data + kCachelineBytes);
+            out.flags.push_back(packFlags(f));
+            if (step % 17 == 0) {
+                // Interleave writes so clean tags are re-earned after
+                // the injector has dirtied lines.
+                for (unsigned b = 0; b < kCachelineBytes; ++b)
+                    line[b] = static_cast<std::uint8_t>(step + b);
+                dp.writeLine(((step * 13) % kLines) * kCachelineBytes,
+                             line);
+            }
+        }
+        out.pathStats = dp.stats();
+        out.engineStats = dp.ecc().stats();
+        out.faultStats = inj.stats();
+        return out;
+    }
+};
+
+TEST_P(FastPathDifferentialTest, MatchesFullDecodeExactly)
+{
+    const auto [scheme, model] = GetParam();
+    const Observed fast = runWorkload(scheme, model, true);
+    const Observed slow = runWorkload(scheme, model, false);
+
+    EXPECT_EQ(fast.bytes, slow.bytes);
+    EXPECT_EQ(fast.flags, slow.flags);
+
+    EXPECT_EQ(fast.pathStats.linesChecked.value(),
+              slow.pathStats.linesChecked.value());
+    EXPECT_EQ(fast.pathStats.correctedLines.value(),
+              slow.pathStats.correctedLines.value());
+    EXPECT_EQ(fast.pathStats.correctedSymbols.value(),
+              slow.pathStats.correctedSymbols.value());
+    EXPECT_EQ(fast.pathStats.uncorrectable.value(),
+              slow.pathStats.uncorrectable.value());
+
+    EXPECT_EQ(fast.engineStats.linesDecoded.value(),
+              slow.engineStats.linesDecoded.value());
+    EXPECT_EQ(fast.engineStats.codewordsCorrected.value(),
+              slow.engineStats.codewordsCorrected.value());
+    EXPECT_EQ(fast.engineStats.codewordsDetected.value(),
+              slow.engineStats.codewordsDetected.value());
+    EXPECT_EQ(fast.engineStats.symbolsCorrected.value(),
+              slow.engineStats.symbolsCorrected.value());
+
+    // The injector's RNG draws are part of the deterministic replay
+    // surface, so both paths must consume them identically.
+    EXPECT_EQ(fast.faultStats.storedFlips.value(),
+              slow.faultStats.storedFlips.value());
+    EXPECT_EQ(fast.faultStats.busFaults.value(),
+              slow.faultStats.busFaults.value());
+    EXPECT_EQ(fast.faultStats.chipKills.value(),
+              slow.faultStats.chipKills.value());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemesAllModels, FastPathDifferentialTest,
+    ::testing::Combine(::testing::Values(EccScheme::None,
+                                         EccScheme::SecDed,
+                                         EccScheme::Ssc,
+                                         EccScheme::SscDsd,
+                                         EccScheme::Ssc32,
+                                         EccScheme::Bamboo72),
+                       ::testing::Values(FaultModel::Transient,
+                                         FaultModel::StuckAt,
+                                         FaultModel::Chipkill)));
 
 } // namespace
 } // namespace sam

@@ -292,11 +292,14 @@ TEST(SupervisorTest, ProcessModeMatchesThreadMode)
         EXPECT_DOUBLE_EQ(a.power.totalEnergyPj(),
                          b.power.totalEnergyPj());
         // Worker records round-trip the pipe byte-identically
-        // (wall_ms is measured in the child, so drop it).
+        // (wall_ms and the throughput derived from it are measured in
+        // the child, so drop both).
         Json a_rec = report.runs[i].record;
         Json b_rec = expect.runs[i].record;
         a_rec.set("wall_ms", 0.0);
         b_rec.set("wall_ms", 0.0);
+        a_rec.set("throughput", 0.0);
+        b_rec.set("throughput", 0.0);
         EXPECT_EQ(a_rec.dump(0), b_rec.dump(0));
     }
 }

@@ -50,10 +50,11 @@ def load_normalized(path):
     """BENCH document with wall-clock (and jobs) fields stripped."""
     with open(path, encoding="utf-8") as fh:
         doc = json.load(fh)
-    for key in ("wall_ms", "run_wall_ms_total", "jobs"):
+    for key in ("wall_ms", "run_wall_ms_total", "jobs", "throughput"):
         doc.pop(key, None)
     for row in doc.get("runs", []):
         row.pop("wall_ms", None)
+        row.pop("throughput", None)
     return doc
 
 

@@ -64,6 +64,8 @@ usage(int code)
         "                         value)\n"
         "  --out <dir>            output directory (default .)\n"
         "  --quick                reduced scale (same as SAM_QUICK=1)\n"
+        "  --scale <quick|full|paper>  benchmark scale; paper is the\n"
+        "                         source paper's 10M records per table\n"
         "  --verify               check results against the reference\n"
         "                         executor\n"
         "  --no-telemetry         drop the per-run latency histograms\n"
@@ -429,8 +431,15 @@ main(int argc, char **argv)
         else if (a == "--out")
             out_dir = next_arg(i, "--out");
         else if (a == "--quick") {
-            // Must precede the first (cached) quickMode() call.
-            setenv("SAM_QUICK", "1", 1);
+            // Must precede the first (cached) scaleMode() call.
+            setenv("SAM_SCALE", "quick", 1);
+        } else if (a == "--scale") {
+            const std::string s = next_arg(i, "--scale");
+            if (s != "quick" && s != "full" && s != "paper")
+                usageError("--scale wants quick, full, or paper, got "
+                           "'" + s + "'");
+            // Must precede the first (cached) scaleMode() call.
+            setenv("SAM_SCALE", s.c_str(), 1);
         } else if (a == "--verify")
             verify = true;
         else if (a == "--no-telemetry")
@@ -501,8 +510,7 @@ main(int argc, char **argv)
         usageError("--resume already names the journal; drop "
                    "--journal");
 
-    const std::string scale =
-        sam::bench::quickMode() ? "quick" : "full";
+    const std::string scale = sam::bench::scaleName();
     bool any_failed = false;
 
     try {
@@ -538,9 +546,12 @@ main(int argc, char **argv)
                 book = std::move(filtered);
             }
             // Latency histograms ride along in every run; the collector
-            // is passive, so cycles are identical either way.
+            // is passive, so cycles are identical either way. The
+            // gem5-style stats text never reaches the BENCH JSON, so
+            // campaigns skip formatting it.
             for (RunSpec &spec : book.specs) {
                 spec.config.telemetry.enabled = telemetry;
+                spec.config.collectStatsText = false;
                 if (ta_override != 0)
                     spec.config.taRecords = ta_override;
                 if (tb_override != 0)
@@ -642,6 +653,17 @@ main(int argc, char **argv)
             doc.set("verified", verify);
             doc.set("wall_ms", wall_ms);
             doc.set("run_wall_ms_total", run_ms);
+            // Campaign throughput in records/second of wall time --
+            // wall-derived, so exempt from bench_diff and resume
+            // bit-identity (like wall_ms).
+            std::uint64_t total_records = 0;
+            for (const RunSpec &spec : book.specs)
+                total_records += spec.config.taRecords;
+            doc.set("throughput",
+                    wall_ms > 0
+                        ? static_cast<double>(total_records) * 1e3 /
+                              wall_ms
+                        : 0.0);
             if (report.allDone() && only.empty())
                 doc.set("derived", def->derived(book));
             if (!report.allDone())

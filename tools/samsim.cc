@@ -47,6 +47,9 @@ usage(int code)
         "                         Bamboo-72, SEC-DED, none\n"
         "  --tech <DRAM|RRAM>     substrate override\n"
         "  --ta <n> --tb <n>      record counts (default 16384/16384)\n"
+        "  --scale <quick|full|paper>  table scale preset; paper is\n"
+        "                         the source paper's 10M records per\n"
+        "                         table (explicit --ta/--tb win)\n"
         "  --cores <n>            cores (default 4)\n"
         "  --mshrs <n>            outstanding misses/core (default 8)\n"
         "  --fail-chip <c>        inject a whole-chip failure\n"
@@ -251,6 +254,9 @@ main(int argc, char **argv)
     double sel = 0.25;
     int fail_chip = -1;
     unsigned jobs = 1;
+    std::string scale;
+    bool ta_given = false;
+    bool tb_given = false;
     bool compare = false;
     bool verify = true;
     bool stats = false;
@@ -285,12 +291,20 @@ main(int argc, char **argv)
         else if (a == "--sel")
             sel = parseFraction("--sel", next_arg(i, "--sel"), 0.0,
                                 1.0);
-        else if (a == "--ta")
+        else if (a == "--ta") {
             cfg.taRecords = parseCount("--ta", next_arg(i, "--ta"),
                                        16, 1ull << 32);
-        else if (a == "--tb")
+            ta_given = true;
+        } else if (a == "--tb") {
             cfg.tbRecords = parseCount("--tb", next_arg(i, "--tb"),
                                        16, 1ull << 32);
+            tb_given = true;
+        } else if (a == "--scale") {
+            scale = next_arg(i, "--scale");
+            if (scale != "quick" && scale != "full" && scale != "paper")
+                usageError("--scale wants quick, full, or paper, got "
+                           "'" + scale + "'");
+        }
         else if (a == "--cores")
             cfg.cores = static_cast<unsigned>(parseCount(
                 "--cores", next_arg(i, "--cores"), 1, 1024));
@@ -346,6 +360,24 @@ main(int argc, char **argv)
                 next_arg(i, "--telemetry-window"), 16, 1ull << 32);
         else
             usageError("unknown option '" + a + "' (try --help)");
+    }
+
+    // Scale presets fill in whatever --ta/--tb did not pin explicitly.
+    if (!scale.empty()) {
+        std::uint64_t ta = cfg.taRecords, tb = cfg.tbRecords;
+        if (scale == "quick") {
+            ta = 4096;
+            tb = 8192;
+        } else if (scale == "full") {
+            ta = 16384;
+            tb = 16384;
+        } else {
+            ta = tb = 10'000'000; // paper Table 2
+        }
+        if (!ta_given)
+            cfg.taRecords = ta;
+        if (!tb_given)
+            cfg.tbRecords = tb;
     }
 
     try {
