@@ -11,9 +11,12 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/cache/sector_cache.hh"
 #include "src/common/types.hh"
+#include "src/controller/request_queue.hh"
 #include "src/core/session.hh"
 #include "src/dram/data_path.hh"
+#include "src/ecc/ecc_engine.hh"
 #include "src/imdb/query.hh"
 #include "src/sim/trace.hh"
 
@@ -126,6 +129,125 @@ BM_SessionReplay(benchmark::State &state)
         static_cast<std::int64_t>(n * cfg.taRecords));
 }
 BENCHMARK(BM_SessionReplay)->Unit(benchmark::kMillisecond);
+
+/**
+ * EccEngine construction: with the shared CodecRegistry this is a map
+ * lookup, not a Reed-Solomon table build. Sessions, DataPaths, and
+ * table-encode workers all construct engines freely.
+ */
+void
+BM_EccEngineConstruct(benchmark::State &state)
+{
+    // Warm the registry so the bench measures the steady state, not
+    // the one-time table build.
+    { EccEngine warm(EccScheme::SscDsd); }
+    for (auto _ : state) {
+        EccEngine engine(EccScheme::SscDsd);
+        benchmark::DoNotOptimize(engine.parityBytesPerLine());
+    }
+}
+BENCHMARK(BM_EccEngineConstruct);
+
+/**
+ * Full Session construction against a warm TableCache: the per-design
+ * setup cost a campaign pays before every replay.
+ */
+void
+BM_SessionConstruct(benchmark::State &state)
+{
+    SimConfig cfg;
+    cfg.taRecords = 2048;
+    cfg.tbRecords = 8192;
+    cfg.collectStatsText = false;
+    auto tables = std::make_shared<TableCache>();
+    for (auto _ : state) {
+        Session session(cfg, tables);
+        benchmark::DoNotOptimize(&session);
+    }
+}
+BENCHMARK(BM_SessionConstruct);
+
+/**
+ * The sector-cache fill + extract pair on the arena-backed SoA
+ * layout: the per-chunk path of every stride fill and exclusive
+ * promotion, which must not allocate.
+ */
+void
+BM_SectorCacheFillExtract(benchmark::State &state)
+{
+    CacheParams params;
+    params.sectorBytes = 8;
+    SectorCache cache(params);
+    const unsigned kLines = 1024;
+    std::uint8_t chunk[kCachelineBytes];
+    for (unsigned i = 0; i < kCachelineBytes; ++i)
+        chunk[i] = static_cast<std::uint8_t>(i);
+    std::uint64_t n = 0;
+    for (auto _ : state) {
+        const Addr line = (n % kLines) * kCachelineBytes;
+        cache.fill(line, 0x0f, chunk, /*dirty=*/true);
+        auto wb = cache.extract(line);
+        benchmark::DoNotOptimize(wb->dirtyMask);
+        ++n;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SectorCacheFillExtract);
+
+/**
+ * FR-FCFS picks on a paper-scale geometry (256 banks) where most
+ * banks hold an open row but only a few have eligible row hits --
+ * the shape the hot-bank index targets (the former rule-1 scan was
+ * O(totalBanks) per pick).
+ */
+void
+BM_PopBestOpenRowHeavy(benchmark::State &state)
+{
+    Geometry geom;
+    geom.channels = 8;  // 8 x 2 ranks x 16 banks = 256 flat banks.
+    RequestQueue queue(geom);
+    const unsigned banks_per_rank = geom.banksPerRank();
+    const unsigned total_banks = geom.totalBanks();
+
+    // Every bank has a row open (a busy steady state); row 7 is the
+    // open row everywhere.
+    for (unsigned fb = 0; fb < total_banks; ++fb)
+        queue.noteRowOpened(fb, 7);
+
+    std::uint64_t id = 0;
+    auto makeReq = [&](unsigned fb, std::uint64_t row) {
+        MemRequest req;
+        req.id = ++id;
+        req.arrival = 0;
+        MappedAddr &a = req.device.addr;
+        a.channel = fb / (geom.ranks * banks_per_rank);
+        const unsigned in_channel = fb % (geom.ranks * banks_per_rank);
+        a.rank = in_channel / banks_per_rank;
+        const unsigned in_rank = in_channel % banks_per_rank;
+        a.bankGroup = in_rank / geom.banksPerGroup;
+        a.bank = in_rank % geom.banksPerGroup;
+        a.row = row;
+        return req;
+    };
+
+    // Backlog of 64 requests round-robin over the banks; 1 in 8 is a
+    // row hit, the rest target closed rows of open banks.
+    const unsigned kDepth = 64;
+    std::uint64_t n = 0;
+    for (unsigned i = 0; i < kDepth; ++i)
+        queue.push(makeReq(i * 37 % total_banks,
+                           i % 8 == 0 ? 7 : 1000 + i));
+    bool row_hit = false;
+    for (auto _ : state) {
+        const MemRequest req = queue.popBest(/*now=*/1, row_hit);
+        benchmark::DoNotOptimize(req.id);
+        ++n;
+        queue.push(makeReq(n * 37 % total_banks,
+                           n % 8 == 0 ? 7 : 1000 + n % 512));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_PopBestOpenRowHeavy);
 
 } // namespace
 

@@ -19,7 +19,7 @@
 #include "bench/bench_common.hh"
 #include "src/common/random.hh"
 #include "src/ecc/ecc_engine.hh"
-#include "src/runner/thread_pool.hh"
+#include "src/common/thread_pool.hh"
 
 using namespace sam;
 using namespace sam::bench;

@@ -48,23 +48,9 @@ CacheHierarchy::collect(Addr line, std::uint8_t &dirty_mask,
     std::uint8_t valid = 0;
     std::uint8_t poison = 0;
     dirty_mask = 0;
-    const unsigned sector_bytes = l1_.params().sectorBytes;
-    for (auto *cache : levels_) {
-        auto wb = cache->extract(line);
-        if (!wb)
-            continue;
-        for (unsigned s = 0; s < l1_.sectorsPerLine(); ++s) {
-            const std::uint8_t bit = static_cast<std::uint8_t>(1u << s);
-            if ((wb->validMask & bit) && !(valid & bit)) {
-                std::memcpy(data64 + s * sector_bytes,
-                            wb->data.data() + s * sector_bytes,
-                            sector_bytes);
-                valid |= bit;
-                poison |= wb->poisonMask & bit;
-            }
-        }
-        dirty_mask |= wb->dirtyMask;
-    }
+    // Probing top-down makes upper levels win on sector overlap.
+    for (auto *cache : levels_)
+        cache->extractMergeInto(line, data64, valid, dirty_mask, poison);
     if (poison_mask != nullptr)
         *poison_mask = poison;
     return valid;
@@ -84,10 +70,11 @@ CacheHierarchy::fullCoverMask(unsigned offset, unsigned bytes) const
 }
 
 HierResult
-CacheHierarchy::ensureLine(Addr line, std::uint8_t mask)
+CacheHierarchy::ensureLine(Addr line, std::uint8_t mask,
+                          unsigned from_lvl)
 {
     HierResult res;
-    for (unsigned lvl = 0; lvl < levels_.size(); ++lvl) {
+    for (unsigned lvl = from_lvl; lvl < levels_.size(); ++lvl) {
         if (levels_[lvl]->lookup(line, mask)) {
             res.delay = levels_[lvl]->params().hitLatency;
             if (lvl > 0) {
@@ -103,29 +90,23 @@ CacheHierarchy::ensureLine(Addr line, std::uint8_t mask)
         }
     }
 
-    // Full miss (or sector miss): fetch the whole line, overlaying any
-    // resident sectors (which may be dirtier than memory).
-    std::uint8_t cached[kCachelineBytes];
+    // Full miss (or sector miss): fetch the whole line, then overlay
+    // any resident sectors directly (which may be dirtier than
+    // memory). The caches issue no requests and draw no fault-model
+    // randomness, so merging after the fetch is equivalent to
+    // collecting first.
+    std::uint8_t merged[kCachelineBytes];
+    backend_.fetchLine(line, merged);
     std::uint8_t dirty = 0;
     std::uint8_t cached_poison = 0;
     const std::uint8_t cached_valid =
-        collect(line, dirty, cached, &cached_poison);
-
-    std::uint8_t merged[kCachelineBytes];
-    backend_.fetchLine(line, merged);
+        collect(line, dirty, merged, &cached_poison);
     // A poisoned fetch taints the fetched sectors; resident sectors
     // keep their own (possibly clean) state since they overlay the
     // fetched bytes.
     const std::uint8_t fetch_poison = backend_.lastFetchPoisoned()
         ? static_cast<std::uint8_t>(l1_.fullMask() & ~cached_valid)
         : 0;
-    const unsigned sector_bytes = l1_.params().sectorBytes;
-    for (unsigned s = 0; s < l1_.sectorsPerLine(); ++s) {
-        if (cached_valid & (1u << s)) {
-            std::memcpy(merged + s * sector_bytes,
-                        cached + s * sector_bytes, sector_bytes);
-        }
-    }
     fillLevel(0, line, l1_.fullMask(), merged, dirty,
               static_cast<std::uint8_t>(cached_poison | fetch_poison));
     res.delay = llc_.params().hitLatency;
@@ -139,7 +120,16 @@ CacheHierarchy::read(Addr addr, unsigned bytes, std::uint8_t *out)
     const Addr line = addr & ~Addr{kCachelineBytes - 1};
     const unsigned offset = static_cast<unsigned>(addr - line);
     const std::uint8_t mask = l1_.maskFor(offset, bytes);
-    HierResult res = ensureLine(line, mask);
+    // One fused probe covers the common case; readHit counted the L1
+    // miss otherwise, so the slow path resumes the search at L2.
+    bool poisoned = false;
+    if (l1_.readHit(line, mask, offset, bytes, out, poisoned)) {
+        HierResult res;
+        res.delay = l1_.params().hitLatency;
+        res.poisoned = poisoned;
+        return res;
+    }
+    HierResult res = ensureLine(line, mask, /*from_lvl=*/1);
     l1_.readBytes(line, offset, bytes, out);
     res.poisoned = (l1_.poisonMask(line) & mask) != 0;
     return res;
@@ -214,10 +204,11 @@ CacheHierarchy::strideRead(const GatherPlan &plan, unsigned unit,
         HierResult res{worst, false};
         for (unsigned i = 0; i < g; ++i) {
             for (auto *cache : levels_) {
-                if (cache->lookup(plan.lines[i], sector_bit)) {
-                    cache->readBytes(plan.lines[i], plan.sector * unit,
-                                     unit, out64 + i * unit);
-                    if (cache->poisonMask(plan.lines[i]) & sector_bit) {
+                bool poisoned = false;
+                if (cache->readHit(plan.lines[i], sector_bit,
+                                   plan.sector * unit, unit,
+                                   out64 + i * unit, poisoned)) {
+                    if (poisoned) {
                         res.poisoned = true;
                         res.poisonBits |= std::uint32_t{1} << i;
                     }

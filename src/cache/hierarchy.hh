@@ -131,8 +131,13 @@ class CacheHierarchy
     /** Sector mask fully covered by a byte span of a line. */
     std::uint8_t fullCoverMask(unsigned offset, unsigned bytes) const;
 
-    /** Ensure the `mask` sectors of `line` are resident in L1. */
-    HierResult ensureLine(Addr line, std::uint8_t mask);
+    /**
+     * Ensure the `mask` sectors of `line` are resident in L1.
+     * `from_lvl` skips levels the caller has already probed (and
+     * whose stats are therefore already counted) with a fused miss.
+     */
+    HierResult ensureLine(Addr line, std::uint8_t mask,
+                          unsigned from_lvl = 0);
 
     std::array<SectorCache *, 3> levels_;
     SectorCache l1_;

@@ -1,6 +1,7 @@
 #include "src/cache/sector_cache.hh"
 
 #include <algorithm>
+#include <bit>
 #include <cstring>
 
 #include "src/common/bitops.hh"
@@ -31,9 +32,22 @@ SectorCache::SectorCache(const CacheParams &params)
 
     const std::uint64_t lines = params.sizeBytes / kCachelineBytes;
     sam_assert(lines >= params.assoc, "cache smaller than one set");
+    sam_assert(params.assoc <= 64, "associativity above 64 unsupported");
     numSets_ = lines / params.assoc;
     sam_assert(isPowerOf2(numSets_), "set count must be a power of two");
-    sets_.resize(numSets_);
+
+    // Deliberately uninitialized (new[] of scalars): a way's metadata
+    // and slot bytes are written by fill() before anything reads them,
+    // and allocMask_ is what says a way exists.
+    const std::size_t ways = numSets_ * params_.assoc;
+    allocMask_.assign(numSets_, 0);
+    lines_.reset(new Addr[ways]);
+    validMask_.reset(new std::uint8_t[ways]);
+    dirtyMask_.reset(new std::uint8_t[ways]);
+    poisonMask_.reset(new std::uint8_t[ways]);
+    lru_.reset(new std::uint64_t[ways]);
+    stamp_.reset(new std::uint64_t[ways]);
+    arena_.reset(new std::uint8_t[ways * kCachelineBytes]);
 }
 
 std::uint8_t
@@ -55,41 +69,77 @@ SectorCache::setIndex(Addr line) const
     return (line / kCachelineBytes) & (numSets_ - 1);
 }
 
-SectorCache::Entry *
-SectorCache::find(Addr line)
+std::size_t
+SectorCache::findWay(Addr line) const
 {
-    for (auto &e : sets_[setIndex(line)]) {
-        if (e.line == line)
-            return &e;
+    const std::size_t set = setIndex(line);
+    const std::size_t base = set * params_.assoc;
+    for (std::uint64_t m = allocMask_[set]; m != 0; m &= m - 1) {
+        const std::size_t w =
+            base + static_cast<std::size_t>(std::countr_zero(m));
+        if (lines_[w] == line)
+            return w;
     }
-    return nullptr;
+    return kNoWay;
 }
 
-const SectorCache::Entry *
-SectorCache::find(Addr line) const
+Writeback
+SectorCache::makeWriteback(std::size_t way) const
 {
-    for (const auto &e : sets_[setIndex(line)]) {
-        if (e.line == line)
-            return &e;
-    }
-    return nullptr;
+    Writeback wb;
+    wb.line = lines_[way];
+    wb.dirtyMask = dirtyMask_[way];
+    wb.validMask = validMask_[way];
+    wb.poisonMask = poisonMask_[way];
+    std::memcpy(wb.data.data(), slotData(way), kCachelineBytes);
+    return wb;
+}
+
+void
+SectorCache::freeWay(std::size_t way)
+{
+    // Clearing the alloc bit is all it takes; the way's metadata is
+    // rewritten by the next fill() that claims it.
+    allocMask_[way / params_.assoc] &=
+        ~(std::uint64_t{1} << (way % params_.assoc));
 }
 
 bool
 SectorCache::lookup(Addr line, std::uint8_t mask)
 {
-    Entry *e = find(line);
-    if (e == nullptr) {
+    const std::size_t w = findWay(line);
+    if (w == kNoWay) {
         ++stats_.misses;
         return false;
     }
-    if ((e->validMask & mask) != mask) {
+    if ((validMask_[w] & mask) != mask) {
         ++stats_.misses;
         ++stats_.sectorMisses;
         return false;
     }
-    e->lru = ++lruClock_;
+    lru_[w] = ++lruClock_;
     ++stats_.hits;
+    return true;
+}
+
+bool
+SectorCache::readHit(Addr line, std::uint8_t mask, unsigned offset,
+                     unsigned bytes, std::uint8_t *out, bool &poisoned)
+{
+    const std::size_t w = findWay(line);
+    if (w == kNoWay) {
+        ++stats_.misses;
+        return false;
+    }
+    if ((validMask_[w] & mask) != mask) {
+        ++stats_.misses;
+        ++stats_.sectorMisses;
+        return false;
+    }
+    lru_[w] = ++lruClock_;
+    ++stats_.hits;
+    std::memcpy(out, slotData(w) + offset, bytes);
+    poisoned = (poisonMask_[w] & mask) != 0;
     return true;
 }
 
@@ -97,30 +147,30 @@ void
 SectorCache::readBytes(Addr line, unsigned offset, unsigned bytes,
                        std::uint8_t *out) const
 {
-    const Entry *e = find(line);
-    sam_assert(e != nullptr, "readBytes on absent line");
-    std::memcpy(out, e->data.data() + offset, bytes);
+    const std::size_t w = findWay(line);
+    sam_assert(w != kNoWay, "readBytes on absent line");
+    std::memcpy(out, slotData(w) + offset, bytes);
 }
 
 void
 SectorCache::writeBytes(Addr line, unsigned offset, unsigned bytes,
                         const std::uint8_t *src)
 {
-    Entry *e = find(line);
-    sam_assert(e != nullptr, "writeBytes on absent line");
-    std::memcpy(e->data.data() + offset, src, bytes);
+    const std::size_t w = findWay(line);
+    sam_assert(w != kNoWay, "writeBytes on absent line");
+    std::memcpy(slotData(w) + offset, src, bytes);
     const std::uint8_t mask = maskFor(offset, bytes);
-    e->dirtyMask |= mask;
-    e->validMask |= mask;
+    dirtyMask_[w] |= mask;
+    validMask_[w] |= mask;
     // A fully overwritten sector is sound again regardless of what the
     // memory read back; partially covered sectors keep their poison.
     for (unsigned s = 0; s < sectorsPerLine_; ++s) {
         const unsigned s_lo = s * params_.sectorBytes;
         const unsigned s_hi = s_lo + params_.sectorBytes;
         if (offset <= s_lo && offset + bytes >= s_hi)
-            e->poisonMask &= static_cast<std::uint8_t>(~(1u << s));
+            poisonMask_[w] &= static_cast<std::uint8_t>(~(1u << s));
     }
-    e->lru = ++lruClock_;
+    lru_[w] = ++lruClock_;
 }
 
 std::optional<Writeback>
@@ -129,101 +179,152 @@ SectorCache::fill(Addr line, std::uint8_t mask,
                   std::uint8_t poison_mask)
 {
     poison_mask &= mask;
-    Entry *e = find(line);
-    if (e != nullptr) {
-        // Merge into the resident line, sector by sector.
+    std::size_t w = findWay(line);
+    if (w != kNoWay) {
+        // Merge into the resident line, sector by sector (one copy
+        // when the mask covers the whole line).
+        if (mask == fullMask_) {
+            std::memcpy(slotData(w), data64, kCachelineBytes);
+        } else {
+            for (unsigned s = 0; s < sectorsPerLine_; ++s) {
+                if (mask & (1u << s)) {
+                    std::memcpy(slotData(w) + s * params_.sectorBytes,
+                                data64 + s * params_.sectorBytes,
+                                params_.sectorBytes);
+                }
+            }
+        }
+        validMask_[w] |= mask;
+        if (dirty)
+            dirtyMask_[w] |= mask;
+        poisonMask_[w] = static_cast<std::uint8_t>(
+            (poisonMask_[w] & ~mask) | poison_mask);
+        lru_[w] = ++lruClock_;
+        return std::nullopt;
+    }
+
+    // Allocate: the lowest free way if the set has one, else evict the
+    // LRU way (lruClock_ values are unique, so the victim is
+    // deterministic).
+    const std::size_t set = setIndex(line);
+    const std::size_t base = set * params_.assoc;
+    const std::uint64_t used = allocMask_[set];
+    const std::uint64_t all =
+        params_.assoc >= 64 ? ~std::uint64_t{0}
+                            : (std::uint64_t{1} << params_.assoc) - 1;
+    std::optional<Writeback> victim;
+    if (used != all) {
+        w = base + static_cast<std::size_t>(std::countr_zero(~used & all));
+    } else {
+        std::size_t lru_way = kNoWay;
+        for (std::uint64_t m = used; m != 0; m &= m - 1) {
+            const std::size_t i =
+                base + static_cast<std::size_t>(std::countr_zero(m));
+            if (lru_way == kNoWay || lru_[i] < lru_[lru_way])
+                lru_way = i;
+        }
+        ++stats_.evictions;
+        if (dirtyMask_[lru_way] != 0) {
+            ++stats_.dirtyEvictions;
+            victim = makeWriteback(lru_way);
+        }
+        w = lru_way;
+    }
+
+    allocMask_[set] |= std::uint64_t{1} << (w - base);
+    lines_[w] = line;
+    validMask_[w] = mask;
+    dirtyMask_[w] = dirty ? mask : 0;
+    poisonMask_[w] = poison_mask;
+    lru_[w] = ++lruClock_;
+    stamp_[w] = lru_[w];
+    // Full-mask fills (the line-access common case) skip the zero
+    // backdrop: every byte is incoming.
+    if (mask == fullMask_) {
+        std::memcpy(slotData(w), data64, kCachelineBytes);
+    } else {
+        // Invalid sectors read as zero if a writeback exposes them.
+        std::memset(slotData(w), 0, kCachelineBytes);
         for (unsigned s = 0; s < sectorsPerLine_; ++s) {
             if (mask & (1u << s)) {
-                std::memcpy(e->data.data() + s * params_.sectorBytes,
+                std::memcpy(slotData(w) + s * params_.sectorBytes,
                             data64 + s * params_.sectorBytes,
                             params_.sectorBytes);
             }
         }
-        e->validMask |= mask;
-        if (dirty)
-            e->dirtyMask |= mask;
-        e->poisonMask = static_cast<std::uint8_t>(
-            (e->poisonMask & ~mask) | poison_mask);
-        e->lru = ++lruClock_;
-        return std::nullopt;
     }
-
-    auto &set = sets_[setIndex(line)];
-    std::optional<Writeback> victim;
-    if (set.size() >= params_.assoc) {
-        auto lru_it = std::min_element(
-            set.begin(), set.end(),
-            [](const Entry &a, const Entry &b) { return a.lru < b.lru; });
-        ++stats_.evictions;
-        if (lru_it->dirtyMask != 0) {
-            ++stats_.dirtyEvictions;
-            victim = Writeback{lru_it->line, lru_it->dirtyMask,
-                               lru_it->validMask, std::move(lru_it->data),
-                               lru_it->poisonMask};
-        }
-        set.erase(lru_it);
-    }
-
-    Entry fresh;
-    fresh.line = line;
-    fresh.validMask = mask;
-    fresh.dirtyMask = dirty ? mask : 0;
-    fresh.poisonMask = poison_mask;
-    fresh.lru = ++lruClock_;
-    fresh.data.resize(kCachelineBytes);
-    for (unsigned s = 0; s < sectorsPerLine_; ++s) {
-        if (mask & (1u << s)) {
-            std::memcpy(fresh.data.data() + s * params_.sectorBytes,
-                        data64 + s * params_.sectorBytes,
-                        params_.sectorBytes);
-        }
-    }
-    set.push_back(std::move(fresh));
     return victim;
 }
 
 std::optional<Writeback>
 SectorCache::extract(Addr line)
 {
-    auto &set = sets_[setIndex(line)];
-    for (auto it = set.begin(); it != set.end(); ++it) {
-        if (it->line == line) {
-            Writeback wb{it->line, it->dirtyMask, it->validMask,
-                         std::move(it->data), it->poisonMask};
-            set.erase(it);
-            return wb;
+    const std::size_t w = findWay(line);
+    if (w == kNoWay)
+        return std::nullopt;
+    Writeback wb = makeWriteback(w);
+    freeWay(w);
+    return wb;
+}
+
+bool
+SectorCache::extractMergeInto(Addr line, std::uint8_t *data64,
+                              std::uint8_t &valid, std::uint8_t &dirty,
+                              std::uint8_t &poison)
+{
+    const std::size_t w = findWay(line);
+    if (w == kNoWay)
+        return false;
+    const std::uint8_t fresh =
+        static_cast<std::uint8_t>(validMask_[w] & ~valid);
+    for (unsigned s = 0; s < sectorsPerLine_; ++s) {
+        if (fresh & (1u << s)) {
+            std::memcpy(data64 + s * params_.sectorBytes,
+                        slotData(w) + s * params_.sectorBytes,
+                        params_.sectorBytes);
         }
     }
-    return std::nullopt;
+    valid |= fresh;
+    poison |= static_cast<std::uint8_t>(poisonMask_[w] & fresh);
+    dirty |= dirtyMask_[w];
+    freeWay(w);
+    return true;
 }
 
 std::uint8_t
 SectorCache::poisonMask(Addr line) const
 {
-    const Entry *e = find(line);
-    return e != nullptr ? e->poisonMask : 0;
+    const std::size_t w = findWay(line);
+    return w != kNoWay ? poisonMask_[w] : 0;
 }
 
 void
 SectorCache::flush(std::vector<Writeback> &out)
 {
-    for (auto &set : sets_) {
-        for (auto &e : set) {
-            if (e.dirtyMask != 0) {
-                out.push_back(Writeback{e.line, e.dirtyMask, e.validMask,
-                                        std::move(e.data),
-                                        e.poisonMask});
-            }
+    std::size_t order[64];
+    for (std::size_t set = 0; set < numSets_; ++set) {
+        const std::size_t base = set * params_.assoc;
+        std::size_t n = 0;
+        for (std::uint64_t m = allocMask_[set]; m != 0; m &= m - 1)
+            order[n++] =
+                base + static_cast<std::size_t>(std::countr_zero(m));
+        // Drain in allocation order, as the vector layout did.
+        std::sort(order, order + n, [this](std::size_t a, std::size_t b) {
+            return stamp_[a] < stamp_[b];
+        });
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::size_t w = order[i];
+            if (dirtyMask_[w] != 0)
+                out.push_back(makeWriteback(w));
         }
-        set.clear();
+        allocMask_[set] = 0;
     }
 }
 
 void
 SectorCache::clear()
 {
-    for (auto &set : sets_)
-        set.clear();
+    std::fill(allocMask_.begin(), allocMask_.end(), 0);
 }
 
 } // namespace sam

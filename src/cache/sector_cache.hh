@@ -9,7 +9,9 @@
 #ifndef SAM_CACHE_SECTOR_CACHE_HH
 #define SAM_CACHE_SECTOR_CACHE_HH
 
+#include <array>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -35,7 +37,9 @@ struct Writeback
     Addr line = 0;
     std::uint8_t dirtyMask = 0;
     std::uint8_t validMask = 0;
-    std::vector<std::uint8_t> data;  ///< 64B (garbage in invalid sectors).
+    /** 64B (zero in never-valid sectors). Fixed-size so producing a
+     *  writeback never allocates. */
+    std::array<std::uint8_t, kCachelineBytes> data;
     /** Sectors whose data is RAS-poisoned (uncorrectable memory). */
     std::uint8_t poisonMask = 0;
 };
@@ -75,6 +79,16 @@ class SectorCache
      */
     bool lookup(Addr line, std::uint8_t mask);
 
+    /**
+     * Fused lookup + readBytes + poison probe: one tag search instead
+     * of three. On a hit (all `mask` sectors valid) copies bytes
+     * [offset, offset + bytes) into `out`, reports whether any `mask`
+     * sector is poisoned, and updates LRU; stats are counted exactly
+     * as lookup() would, hit or miss.
+     */
+    bool readHit(Addr line, std::uint8_t mask, unsigned offset,
+                 unsigned bytes, std::uint8_t *out, bool &poisoned);
+
     /** Read bytes from a resident line (must be valid per lookup). */
     void readBytes(Addr line, unsigned offset, unsigned bytes,
                    std::uint8_t *out) const;
@@ -105,6 +119,18 @@ class SectorCache
     /** Remove `line` (for exclusive-hierarchy promotion). */
     std::optional<Writeback> extract(Addr line);
 
+    /**
+     * Remove `line` and merge it into a collect buffer in place: each
+     * resident sector not already set in `valid` is copied into
+     * `data64` and its poison bit accumulated; `dirty` picks up the
+     * whole line's dirty mask. Equivalent to extract() followed by a
+     * sector merge, without staging the bytes through a Writeback.
+     * Returns false (buffers untouched) when the line is absent.
+     */
+    bool extractMergeInto(Addr line, std::uint8_t *data64,
+                          std::uint8_t &valid, std::uint8_t &dirty,
+                          std::uint8_t &poison);
+
     /** Drain every line; dirty ones are appended to `out`. */
     void flush(std::vector<Writeback> &out);
 
@@ -114,25 +140,50 @@ class SectorCache
     const CacheStats &stats() const { return stats_; }
 
   private:
-    struct Entry
-    {
-        Addr line = kInvalidAddr;
-        std::uint8_t validMask = 0;
-        std::uint8_t dirtyMask = 0;
-        std::uint8_t poisonMask = 0;
-        std::uint64_t lru = 0;
-        std::vector<std::uint8_t> data;
-    };
+    /** Way slots are flat SoA arrays indexed set * assoc + way; a
+     *  set's occupied ways are the set bits of its allocMask_ word.
+     *  Cache data lives in one contiguous arena (64B per way), so
+     *  fill / extract / flush are memcpy-only -- no per-entry heap
+     *  traffic. */
+    static constexpr std::size_t kNoWay = ~std::size_t{0};
 
     std::size_t setIndex(Addr line) const;
-    Entry *find(Addr line);
-    const Entry *find(Addr line) const;
+    std::size_t findWay(Addr line) const;
+    std::uint8_t *slotData(std::size_t way)
+    {
+        return arena_.get() + way * kCachelineBytes;
+    }
+    const std::uint8_t *slotData(std::size_t way) const
+    {
+        return arena_.get() + way * kCachelineBytes;
+    }
+    Writeback makeWriteback(std::size_t way) const;
+    void freeWay(std::size_t way);
 
     CacheParams params_;
     unsigned sectorsPerLine_;
     std::uint8_t fullMask_;
     std::size_t numSets_;
-    std::vector<std::vector<Entry>> sets_;
+    /**
+     * One bit per way of each set: which ways hold a line. This is
+     * the only per-way state zeroed at construction -- every other
+     * array below is allocated uninitialized and written at fill
+     * before it is read, so building a cold cache costs O(sets), not
+     * O(capacity). Systems are constructed per replayed design point,
+     * which made eager multi-MB zeroing a measurable setup cost.
+     */
+    std::vector<std::uint64_t> allocMask_;
+    std::unique_ptr<Addr[]> lines_;
+    std::unique_ptr<std::uint8_t[]> validMask_;
+    std::unique_ptr<std::uint8_t[]> dirtyMask_;
+    std::unique_ptr<std::uint8_t[]> poisonMask_;
+    std::unique_ptr<std::uint64_t[]> lru_;
+    /** Allocation stamp per way: flush() drains a set's ways in stamp
+     *  order, reproducing the insertion-ordered drain of the previous
+     *  vector-of-entries layout (drain writebacks are timed requests,
+     *  so their order is observable). */
+    std::unique_ptr<std::uint64_t[]> stamp_;
+    std::unique_ptr<std::uint8_t[]> arena_;
     std::uint64_t lruClock_ = 0;
     CacheStats stats_;
 };

@@ -1,4 +1,4 @@
-#include "src/runner/thread_pool.hh"
+#include "src/common/thread_pool.hh"
 
 #include <algorithm>
 

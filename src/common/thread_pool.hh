@@ -16,8 +16,8 @@
  * clang's -Wthread-safety proves the discipline at compile time.
  */
 
-#ifndef SAM_RUNNER_THREAD_POOL_HH
-#define SAM_RUNNER_THREAD_POOL_HH
+#ifndef SAM_COMMON_THREAD_POOL_HH
+#define SAM_COMMON_THREAD_POOL_HH
 
 #include <condition_variable>
 #include <cstddef>
@@ -88,4 +88,4 @@ class ThreadPool
 
 } // namespace sam
 
-#endif // SAM_RUNNER_THREAD_POOL_HH
+#endif // SAM_COMMON_THREAD_POOL_HH

@@ -49,6 +49,26 @@ MemoryController::MemoryController(Device &device, DataPath &data_path,
       params_(params), functional_(functional),
       readQ_(device.geometry()), writeQ_(device.geometry())
 {
+    device_.addRowListener(this);
+}
+
+MemoryController::~MemoryController()
+{
+    device_.removeRowListener(this);
+}
+
+void
+MemoryController::rowOpened(std::size_t flat_bank, std::uint64_t row)
+{
+    readQ_.noteRowOpened(flat_bank, row);
+    writeQ_.noteRowOpened(flat_bank, row);
+}
+
+void
+MemoryController::rowClosed(std::size_t flat_bank)
+{
+    readQ_.noteRowClosed(flat_bank);
+    writeQ_.noteRowClosed(flat_bank);
 }
 
 void
@@ -171,7 +191,7 @@ MemoryController::serviceNext()
 
     RequestQueue &q = serve_write ? writeQ_ : readQ_;
     bool row_hit_pick = false;
-    MemRequest req = q.popBest(now_, device_, row_hit_pick);
+    MemRequest req = q.popBest(now_, row_hit_pick);
     if (row_hit_pick)
         ++stats_.frRowHitPicks;
     else

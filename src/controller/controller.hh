@@ -53,8 +53,12 @@ struct ControllerStats
  * FR-FCFS, issues it to the device, performs the functional transfer,
  * and returns the completion. The internal clock advances to each
  * serviced request's issue time.
+ *
+ * The controller registers as the device's RowStateListener and
+ * forwards row open/close transitions to both queues, which keep an
+ * incremental open-row index for rule-1 picks.
  */
-class MemoryController
+class MemoryController : public RowStateListener
 {
   public:
     /**
@@ -67,6 +71,13 @@ class MemoryController
                      const AddressMapping &mapping,
                      ControllerParams params = {},
                      bool functional = true);
+    ~MemoryController() override;
+
+    MemoryController(const MemoryController &) = delete;
+    MemoryController &operator=(const MemoryController &) = delete;
+
+    void rowOpened(std::size_t flat_bank, std::uint64_t row) override;
+    void rowClosed(std::size_t flat_bank) override;
 
     /** Enqueue a request (arrival time already set by the producer). */
     void push(MemRequest req);

@@ -7,21 +7,33 @@ namespace sam {
 RequestQueue::RequestQueue(const Geometry &geom)
     : geom_(geom)
 {
-    bankAddrs_.reserve(geom_.totalBanks());
-    for (unsigned ch = 0; ch < geom_.channels; ++ch) {
-        for (unsigned rk = 0; rk < geom_.ranks; ++rk) {
-            for (unsigned bg = 0; bg < geom_.bankGroups; ++bg) {
-                for (unsigned b = 0; b < geom_.banksPerGroup; ++b) {
-                    MappedAddr a;
-                    a.channel = ch;
-                    a.rank = rk;
-                    a.bankGroup = bg;
-                    a.bank = b;
-                    bankAddrs_.push_back(a);
-                }
-            }
-        }
+    openRow_.assign(geom_.totalBanks(), kNoRow);
+    bankEligible_.assign(geom_.totalBanks(), 0);
+    inHot_.assign(geom_.totalBanks(), 0);
+}
+
+void
+RequestQueue::maybeHot(std::size_t flat_bank)
+{
+    if (openRow_[flat_bank] != kNoRow && bankEligible_[flat_bank] > 0 &&
+        !inHot_[flat_bank]) {
+        inHot_[flat_bank] = 1;
+        hotBanks_.push_back(static_cast<std::uint32_t>(flat_bank));
     }
+}
+
+void
+RequestQueue::noteRowOpened(std::size_t flat_bank, std::uint64_t row)
+{
+    openRow_[flat_bank] = row;
+    maybeHot(flat_bank);
+}
+
+void
+RequestQueue::noteRowClosed(std::size_t flat_bank)
+{
+    // The hot-list entry, if any, is pruned lazily on the next pick.
+    openRow_[flat_bank] = kNoRow;
 }
 
 void
@@ -53,10 +65,14 @@ RequestQueue::promote(Cycle now)
         Slot &s = slots_[idx];
         if (s.state == SlotState::Pending && s.seq == seq) {
             s.state = SlotState::Eligible;
+            s.flatBank = static_cast<std::uint32_t>(
+                s.req.device.addr.flatBank(geom_));
             eligible_.push({seq, idx});
             rowBuckets_[bucketKey(s.req.device.addr)].push({seq, idx});
             ++bucketEntries_;
             ++eligibleLive_;
+            ++bankEligible_[s.flatBank];
+            maybeHot(s.flatBank);
         }
         pending_.pop();
     }
@@ -67,8 +83,10 @@ RequestQueue::take(std::uint32_t slot_idx)
 {
     Slot &s = slots_[slot_idx];
     sam_assert(s.state != SlotState::Free, "taking a free slot");
-    if (s.state == SlotState::Eligible)
+    if (s.state == SlotState::Eligible) {
         --eligibleLive_;
+        --bankEligible_[s.flatBank];
+    }
     s.state = SlotState::Free;
     freeSlots_.push_back(slot_idx);
     --live_;
@@ -105,36 +123,43 @@ RequestQueue::maybeCompact()
 }
 
 MemRequest
-RequestQueue::popBest(Cycle now, const Device &device, bool &row_hit_pick)
+RequestQueue::popBest(Cycle now, bool &row_hit_pick)
 {
     sam_assert(live_ > 0, "popBest on an empty queue");
     promote(now);
 
     // Rule 1: oldest arrived request hitting an open row. Probe only
-    // the (bank, open row) buckets -- a constant number of lookups.
+    // the hot banks (open row AND eligible requests), pruning entries
+    // that stopped qualifying since they were added. Probe order does
+    // not matter: the pick is the min seq over all candidates.
     std::uint64_t best_seq = ~std::uint64_t{0};
     std::uint32_t best_slot = 0;
-    for (const MappedAddr &bank_addr : bankAddrs_) {
-        if (!device.rowOpen(bank_addr))
-            continue;
-        MappedAddr probe = bank_addr;
-        probe.row = device.openRow(bank_addr);
-        auto it = rowBuckets_.find(bucketKey(probe));
-        if (it == rowBuckets_.end())
-            continue;
-        MinHeap<SeqEntry> &heap = it->second;
-        while (!heap.empty() && stale(heap.top(), SlotState::Eligible)) {
-            heap.pop();
-            --bucketEntries_;
-        }
-        if (heap.empty()) {
-            rowBuckets_.erase(it);
+    for (std::size_t i = 0; i < hotBanks_.size();) {
+        const std::uint32_t fb = hotBanks_[i];
+        if (openRow_[fb] == kNoRow || bankEligible_[fb] == 0) {
+            inHot_[fb] = 0;
+            hotBanks_[i] = hotBanks_.back();
+            hotBanks_.pop_back();
             continue;
         }
-        if (heap.top().first < best_seq) {
-            best_seq = heap.top().first;
-            best_slot = heap.top().second;
+        const std::uint64_t key =
+            (static_cast<std::uint64_t>(fb) << 40) | openRow_[fb];
+        auto it = rowBuckets_.find(key);
+        if (it != rowBuckets_.end()) {
+            MinHeap<SeqEntry> &heap = it->second;
+            while (!heap.empty() &&
+                   stale(heap.top(), SlotState::Eligible)) {
+                heap.pop();
+                --bucketEntries_;
+            }
+            if (heap.empty()) {
+                rowBuckets_.erase(it);
+            } else if (heap.top().first < best_seq) {
+                best_seq = heap.top().first;
+                best_slot = heap.top().second;
+            }
         }
+        ++i;
     }
     if (best_seq != ~std::uint64_t{0}) {
         row_hit_pick = true;

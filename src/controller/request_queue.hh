@@ -13,6 +13,15 @@
  *    insertion sequence -- the row-hit candidates, probed only for
  *    banks whose open row matches.
  *
+ * Rule 1 no longer scans every bank of the geometry: the queue keeps
+ * its own open-row image per flat bank, fed by the Device's
+ * RowStateListener transitions (the controller forwards them), plus a
+ * per-bank eligible-request count. A "hot" list holds the banks that
+ * are both open and have eligible requests; a pick probes only those,
+ * lazily dropping banks that stopped qualifying. A paper-scale fig15
+ * sweep has hundreds of banks of which a handful are hot at any time,
+ * so this is the difference between O(totalBanks) and O(hot) per pick.
+ *
  * Eligibility is monotone (the controller clock never runs backwards),
  * so a request moves pending -> eligible exactly once. Heap entries
  * are removed lazily: a pick invalidates the request's entries in the
@@ -52,12 +61,16 @@ class RequestQueue
 
     /**
      * Remove and return the FR-FCFS-best request given the scheduling
-     * clock `now` and the device's current bank state. `row_hit_pick`
-     * reports whether rule 1 (open-row hit) selected the request.
-     * The queue must be non-empty.
+     * clock `now` and the open-row image maintained through
+     * noteRowOpened()/noteRowClosed(). `row_hit_pick` reports whether
+     * rule 1 (open-row hit) selected the request. The queue must be
+     * non-empty.
      */
-    MemRequest popBest(Cycle now, const Device &device,
-                       bool &row_hit_pick);
+    MemRequest popBest(Cycle now, bool &row_hit_pick);
+
+    /** Row-state transitions forwarded from the Device's listener. */
+    void noteRowOpened(std::size_t flat_bank, std::uint64_t row);
+    void noteRowClosed(std::size_t flat_bank);
 
   private:
     enum class SlotState : std::uint8_t { Free, Pending, Eligible };
@@ -66,6 +79,9 @@ class RequestQueue
     {
         MemRequest req;
         std::uint64_t seq = 0;
+        /** Flat bank of the request; cached at promotion so take()
+         *  can decrement the bank's eligible count. */
+        std::uint32_t flatBank = 0;
         SlotState state = SlotState::Free;
     };
 
@@ -99,8 +115,13 @@ class RequestQueue
     /** Rebuild the arrived indexes once stale entries dominate. */
     void maybeCompact();
 
+    /** Add the bank to the hot list if it qualifies and is absent. */
+    void maybeHot(std::size_t flat_bank);
+
+    /** Sentinel for a bank with no open row. */
+    static constexpr std::uint64_t kNoRow = ~std::uint64_t{0};
+
     Geometry geom_;
-    std::vector<MappedAddr> bankAddrs_;  ///< One probe address per bank.
 
     std::vector<Slot> slots_;
     std::vector<std::uint32_t> freeSlots_;
@@ -112,6 +133,15 @@ class RequestQueue
     MinHeap<SeqEntry> eligible_;
     std::unordered_map<std::uint64_t, MinHeap<SeqEntry>> rowBuckets_;
     std::size_t bucketEntries_ = 0;
+
+    /** Open row per flat bank (kNoRow when closed). */
+    std::vector<std::uint64_t> openRow_;
+    /** Eligible (arrived, un-picked) requests per flat bank. */
+    std::vector<std::uint32_t> bankEligible_;
+    /** Banks that were open with eligible requests when last touched;
+     *  membership flag + unordered list, pruned lazily in popBest. */
+    std::vector<std::uint8_t> inHot_;
+    std::vector<std::uint32_t> hotBanks_;
 };
 
 } // namespace sam

@@ -40,6 +40,38 @@ StoreSnapshot::append(Addr addr, const std::uint8_t *blob_bytes,
 }
 
 std::size_t
+StoreSnapshot::appendDenseRows(Addr base, std::size_t count)
+{
+    sam_assert(blobBytes > 0, "append before blobBytes is set");
+    sam_assert(base % kCachelineBytes == 0, "unaligned dense base");
+    if (count == 0)
+        return addrs.size();
+    const std::size_t first = addrs.size();
+    if (dense_) {
+        if (!extents_.empty() &&
+            base == extents_.back().base +
+                        extents_.back().count * kCachelineBytes) {
+            extents_.back().count += count;
+        } else if (extents_.empty() ||
+                   base > extents_.back().base +
+                              extents_.back().count * kCachelineBytes) {
+            extents_.push_back(Extent{base, count, first});
+        } else {
+            panic("appendDenseRows out of ascending order");
+        }
+    } else {
+        for (std::size_t i = 0; i < count; ++i)
+            index_.emplace(base + i * kCachelineBytes, first + i);
+    }
+    addrs.reserve(first + count);
+    for (std::size_t i = 0; i < count; ++i)
+        addrs.push_back(base + i * kCachelineBytes);
+    clean.resize(first + count, true);
+    arena.resize((first + count) * blobBytes, 0);
+    return first;
+}
+
+std::size_t
 StoreSnapshot::find(Addr addr) const
 {
     if (dense_) {

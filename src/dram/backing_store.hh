@@ -83,6 +83,24 @@ struct StoreSnapshot
     void append(Addr addr, const std::uint8_t *blob_bytes,
                 bool is_clean);
 
+    /**
+     * Append `count` consecutive clean lines starting at `base` in one
+     * step, zero-filling their arena slots, and return the first slot.
+     * The bulk path behind parallel table encode: the snapshot's
+     * address/extent structure is laid out up front, then worker
+     * threads encode directly into the slots via mutableBlob() --
+     * byte-identical to count ascending append() calls regardless of
+     * how the slot range is divided among threads. Same ordering
+     * contract as append(): `base` must not precede the last extent.
+     */
+    std::size_t appendDenseRows(Addr base, std::size_t count);
+
+    /** Mutable blob bytes of `slot` (parallel snapshot construction). */
+    std::uint8_t *mutableBlob(std::size_t slot)
+    {
+        return arena.data() + slot * blobBytes;
+    }
+
     /** Slot of `addr`, or npos if absent. */
     std::size_t find(Addr addr) const;
 

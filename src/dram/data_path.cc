@@ -21,7 +21,7 @@ EccStats::registerIn(StatGroup &group) const
 
 DataPath::DataPath(EccScheme scheme)
     : ecc_(scheme),
-      store_(kCachelineBytes + EccEngine(scheme).parityBytesPerLine())
+      store_(kCachelineBytes + EccEngine::parityBytesFor(scheme))
 {
 }
 
@@ -252,11 +252,9 @@ DataPath::strideWrite(const std::vector<Addr> &line_addrs, unsigned sector,
 }
 
 void
-DataPath::writePartial(Addr line_addr,
-                       const std::vector<std::uint8_t> &data,
+DataPath::writePartial(Addr line_addr, const std::uint8_t *data64,
                        std::uint8_t sector_mask, unsigned sector_bytes)
 {
-    sam_assert(data.size() >= kCachelineBytes, "short partial write");
     sam_assert(sector_bytes > 0 && kCachelineBytes % sector_bytes == 0,
                "bad sector size");
     std::uint8_t line[kCachelineBytes];
@@ -265,7 +263,7 @@ DataPath::writePartial(Addr line_addr,
     for (unsigned s = 0; s < sectors; ++s) {
         if (sector_mask & (1u << s)) {
             std::memcpy(line + s * sector_bytes,
-                        data.data() + s * sector_bytes, sector_bytes);
+                        data64 + s * sector_bytes, sector_bytes);
         }
     }
     encodeScratch_.resize(store_.blobBytes());

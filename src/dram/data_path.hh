@@ -123,9 +123,10 @@ class DataPath
 
     /**
      * Partial line write (a sector-cache writeback with only some
-     * sectors dirty): read-modify-write the masked sectors.
+     * sectors dirty): read-modify-write the masked sectors. `data64`
+     * is a full 64B line image.
      */
-    void writePartial(Addr line_addr, const std::vector<std::uint8_t> &data,
+    void writePartial(Addr line_addr, const std::uint8_t *data64,
                       std::uint8_t sector_mask, unsigned sector_bytes);
 
     /**

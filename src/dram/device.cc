@@ -89,6 +89,32 @@ Device::emit(CmdKind kind, Cycle at, const MappedAddr &addr,
         entry.second(cmd);
 }
 
+void
+Device::addRowListener(RowStateListener *listener)
+{
+    sam_assert(listener != nullptr, "row listener must be non-null");
+    for (RowStateListener *l : rowListeners_) {
+        if (l == listener)
+            panic("row-state listener attached twice");
+    }
+    rowListeners_.push_back(listener);
+    for (std::size_t fb = 0; fb < banks_.size(); ++fb) {
+        if (banks_[fb].rowOpen)
+            listener->rowOpened(fb, banks_[fb].row);
+    }
+}
+
+void
+Device::removeRowListener(RowStateListener *listener)
+{
+    for (auto it = rowListeners_.begin(); it != rowListeners_.end(); ++it) {
+        if (*it == listener) {
+            rowListeners_.erase(it);
+            return;
+        }
+    }
+}
+
 Device::BankState &
 Device::bank(const MappedAddr &a)
 {
@@ -151,6 +177,8 @@ Device::applyRefresh(RankState &rank_state, unsigned channel,
             pre_addr.row = bs.row;
             emit(CmdKind::Pre, bs.preReady, pre_addr);
             bs.rowOpen = false;
+            for (RowStateListener *l : rowListeners_)
+                l->rowClosed(rank_id * geom_.banksPerRank() + b);
             ref_start = std::max(ref_start, bs.preReady + timing_.tRP);
         }
         const Cycle ref_end = ref_start + timing_.tRFC;
@@ -221,6 +249,8 @@ Device::access(const DeviceAccess &acc, Cycle earliest)
         rs.groupActReady[a.bankGroup] = act_at + timing_.tRRD_L;
         bs.rowOpen = true;
         bs.row = a.row;
+        for (RowStateListener *l : rowListeners_)
+            l->rowOpened(a.flatBank(geom_), a.row);
         bs.preReady = act_at + timing_.tRAS;
         bs.casReady = std::max(bs.casReady, act_at + timing_.tRCD);
         cas_earliest = act_at + timing_.tRCD;

@@ -86,6 +86,22 @@ struct DeviceStats
 };
 
 /**
+ * Observer of bank row-buffer transitions. The scheduler attaches one
+ * to maintain an incremental open-row index: probing only banks that
+ * are open (and have eligible requests) instead of scanning every
+ * bank's state on each FR-FCFS pick. An open->open transition (row
+ * miss on an open bank) is reported as a single rowOpened() with the
+ * new row -- no intervening rowClosed().
+ */
+class RowStateListener
+{
+  public:
+    virtual ~RowStateListener() = default;
+    virtual void rowOpened(std::size_t flat_bank, std::uint64_t row) = 0;
+    virtual void rowClosed(std::size_t flat_bank) = 0;
+};
+
+/**
  * The memory device shared by one channel. Not thread-safe; owned by the
  * channel's controller.
  */
@@ -139,6 +155,19 @@ class Device
 
     /** Number of attached command observers. */
     std::size_t commandObservers() const { return cmdObservers_.size(); }
+
+    /**
+     * Attach a row-state listener, replaying the current open rows to
+     * it so a late attach starts consistent. Several may be attached
+     * (each controller sharing the device keeps its own index).
+     * Attaching the same listener twice is a programming error and
+     * panics (always-on check, like addCommandObserver: double
+     * notifications would desynchronise the scheduler's index).
+     */
+    void addRowListener(RowStateListener *listener);
+
+    /** Detach counterpart of addRowListener (no-op if absent). */
+    void removeRowListener(RowStateListener *listener);
 
     const DeviceStats &stats() const { return stats_; }
     DeviceStats &stats() { return stats_; }
@@ -202,6 +231,7 @@ class Device
     DeviceStats stats_;
     TraceHook traceHook_;
     std::vector<std::pair<const void *, CommandObserver>> cmdObservers_;
+    std::vector<RowStateListener *> rowListeners_;
 };
 
 } // namespace sam

@@ -1,0 +1,40 @@
+#include "src/ecc/codec_registry.hh"
+
+#include <map>
+#include <utility>
+
+#include "src/common/thread_annotations.hh"
+
+namespace sam {
+
+namespace {
+
+Mutex registryMutex;
+/**
+ * Shared codecs by (n, k). Never erased: pointers handed out by
+ * reedSolomon() stay valid for the life of the process. Keyed map
+ * (no iteration), so hash/address order never becomes observable.
+ */
+std::map<std::pair<unsigned, unsigned>,
+         std::unique_ptr<const ReedSolomon>>
+    codecs SAM_GUARDED_BY(registryMutex);
+
+} // namespace
+
+const ReedSolomon &
+CodecRegistry::reedSolomon(unsigned n, unsigned k)
+{
+    MutexLock lock(registryMutex);
+    auto &slot = codecs[{n, k}];
+    if (!slot)
+        slot = makePrivate(n, k);
+    return *slot;
+}
+
+std::unique_ptr<const ReedSolomon>
+CodecRegistry::makePrivate(unsigned n, unsigned k)
+{
+    return std::make_unique<const ReedSolomon>(n, k);
+}
+
+} // namespace sam

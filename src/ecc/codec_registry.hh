@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Process-wide registry of immutable ECC codecs.
+ *
+ * Constructing a ReedSolomon builds its generator polynomial plus the
+ * sliced syndrome and encoder tables -- thousands of GF(2^8)
+ * multiplies. The tables depend only on (n, k), and a codec is
+ * immutable after construction (encode/decode are const and carry no
+ * state), so one instance per (n, k) can serve every EccEngine in the
+ * process, across threads. Before the registry this construction ran
+ * once per Session (EccEngine is a by-value member of DataPath) and
+ * was ~32% of a quick-scale replay; a fig15 sweep paid it hundreds of
+ * times per campaign.
+ *
+ * GF256's log/antilog tables are already a function-local static
+ * shared the same way; this registry extends the once-per-process
+ * discipline to the per-(n, k) ReedSolomon state.
+ *
+ * The samlint check `sam-codec-construction` enforces that codecs are
+ * only constructed here (reference semantics everywhere else).
+ * makePrivate() is the sanctioned seam for tests that need a freshly
+ * constructed codec to differentiate against the shared one.
+ */
+
+#ifndef SAM_ECC_CODEC_REGISTRY_HH
+#define SAM_ECC_CODEC_REGISTRY_HH
+
+#include <memory>
+
+#include "src/ecc/reed_solomon.hh"
+
+namespace sam {
+
+class CodecRegistry
+{
+  public:
+    /**
+     * The shared immutable RS(n, k) codec, constructed on first use
+     * and alive for the rest of the process. Thread-safe.
+     */
+    static const ReedSolomon &reedSolomon(unsigned n, unsigned k);
+
+    /**
+     * A freshly constructed private RS(n, k) codec, bypassing the
+     * shared instance. Test seam: differential tests pin the shared
+     * codec's output byte-identical to an independent construction.
+     */
+    static std::unique_ptr<const ReedSolomon> makePrivate(unsigned n,
+                                                          unsigned k);
+};
+
+} // namespace sam
+
+#endif // SAM_ECC_CODEC_REGISTRY_HH

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "src/common/logging.hh"
+#include "src/ecc/codec_registry.hh"
 #include "src/ecc/secded.hh"
 
 namespace sam {
@@ -44,30 +45,51 @@ EccEngineStats::registerIn(StatGroup &group) const
                      "symbols/bits repaired in total");
 }
 
+namespace {
+
+/** RS (n, k) of `scheme`, or (0, 0) for the non-RS schemes. */
+std::pair<unsigned, unsigned>
+rsParamsFor(EccScheme scheme)
+{
+    switch (scheme) {
+      case EccScheme::Ssc:
+      case EccScheme::Ssc32:
+        return {18, 16};
+      case EccScheme::SscDsd:
+        return {36, 32};
+      case EccScheme::Bamboo72:
+        return {72, 64};
+      case EccScheme::SecDed:
+      case EccScheme::None:
+        return {0, 0};
+    }
+    panic("unknown EccScheme");
+}
+
+} // namespace
+
 EccEngine::EccEngine(EccScheme scheme)
     : scheme_(scheme)
 {
-    switch (scheme_) {
-      case EccScheme::Ssc:
-      case EccScheme::Ssc32:
-        rs_.emplace(18, 16);
-        break;
-      case EccScheme::SscDsd:
-        rs_.emplace(36, 32);
-        break;
-      case EccScheme::Bamboo72:
-        rs_.emplace(72, 64);
-        break;
-      case EccScheme::SecDed:
-      case EccScheme::None:
-        break;
+    const auto [n, k] = rsParamsFor(scheme_);
+    if (n != 0)
+        rs_ = &CodecRegistry::reedSolomon(n, k);
+}
+
+EccEngine::EccEngine(EccScheme scheme, PrivateCodec)
+    : scheme_(scheme)
+{
+    const auto [n, k] = rsParamsFor(scheme_);
+    if (n != 0) {
+        ownedRs_ = CodecRegistry::makePrivate(n, k);
+        rs_ = ownedRs_.get();
     }
 }
 
 unsigned
 EccEngine::parityBytesPerLine() const
 {
-    return scheme_ == EccScheme::None ? 0 : 8;
+    return parityBytesFor(scheme_);
 }
 
 unsigned

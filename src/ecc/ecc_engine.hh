@@ -27,7 +27,7 @@
 #define SAM_ECC_ECC_ENGINE_HH
 
 #include <cstdint>
-#include <optional>
+#include <memory>
 #include <vector>
 
 #include "src/common/random.hh"
@@ -65,16 +65,39 @@ struct EccLineResult
 /**
  * Encoder/decoder for one rank's ECC scheme. Stateless apart from
  * statistics; safe to share across banks of the same rank.
+ *
+ * The Reed-Solomon codec behind the RS schemes is borrowed from the
+ * process-wide CodecRegistry, so constructing an engine is cheap (no
+ * table building) -- a fresh engine per Session/DataPath/worker is
+ * the intended usage.
  */
 class EccEngine
 {
   public:
+    /** Tag selecting a privately constructed codec (test seam). */
+    struct PrivateCodec
+    {
+    };
+
     explicit EccEngine(EccScheme scheme);
+
+    /**
+     * Engine whose codec is constructed privately instead of borrowed
+     * from the CodecRegistry. Differential tests use this to pin the
+     * shared codec byte- and stats-identical to an independent build.
+     */
+    EccEngine(EccScheme scheme, PrivateCodec);
 
     EccScheme scheme() const { return scheme_; }
 
     /** Parity bytes appended to each 64B line (0 or 8). */
     unsigned parityBytesPerLine() const;
+
+    /** parityBytesPerLine() without constructing an engine. */
+    static unsigned parityBytesFor(EccScheme scheme)
+    {
+        return scheme == EccScheme::None ? 0 : 8;
+    }
 
     /** Total chips in the rank (data + parity) for injection purposes. */
     unsigned numChips() const;
@@ -147,7 +170,10 @@ class EccEngine
     std::vector<std::size_t> chipBits(unsigned chip) const;
 
     EccScheme scheme_;
-    std::optional<ReedSolomon> rs_;
+    /** Shared immutable codec (CodecRegistry), or ownedRs_.get(). */
+    const ReedSolomon *rs_ = nullptr;
+    /** Non-null only for the PrivateCodec test seam. */
+    std::unique_ptr<const ReedSolomon> ownedRs_;
     /** Mutable: decodeLine() is logically const w.r.t. the codec. */
     mutable EccEngineStats stats_;
 };

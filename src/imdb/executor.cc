@@ -1,5 +1,6 @@
 #include "src/imdb/executor.hh"
 
+#include <array>
 #include <cmath>
 #include <map>
 #include <set>
@@ -12,7 +13,7 @@ namespace sam {
 namespace {
 
 std::uint64_t
-extract64(const std::vector<std::uint8_t> &bytes, unsigned offset)
+extract64(const std::uint8_t *bytes, unsigned offset)
 {
     std::uint64_t v = 0;
     for (int i = 7; i >= 0; --i)
@@ -189,10 +190,10 @@ class CoreExec
     {
         if (env_.useStride && sequential && t.strideUsable()) {
             const std::uint64_t group = rec / t.gather();
-            LineCache &lc = lineCache_[{&t, f}];
+            LineCache &lc = lineCacheFor(t, f);
             if (lc.group != group || !lc.valid) {
-                lc.plan = t.gatherPlan(group, f, env_.strideUnit);
-                lc.line = port_.strideLoad(lc.plan);
+                t.gatherPlanInto(group, f, env_.strideUnit, lc.plan);
+                port_.strideLoadInto(lc.plan, lc.line.data());
                 lc.poisonBits = port_.strideLoadPoisonBits();
                 lc.group = group;
                 lc.valid = true;
@@ -203,7 +204,7 @@ class CoreExec
             const unsigned off =
                 chunk * env_.strideUnit +
                 (f * TableSchema::kFieldBytes) % env_.strideUnit;
-            return extract64(lc.line, off);
+            return extract64(lc.line.data(), off);
         }
         const std::uint64_t v = port_.load(t.fieldAddr(rec, f), 8);
         lastPoisoned_ = port_.lastAccessPoisoned();
@@ -247,16 +248,36 @@ class CoreExec
     struct LineCache
     {
         GatherPlan plan;
-        std::vector<std::uint8_t> line;
+        std::array<std::uint8_t, kCachelineBytes> line;
         std::uint64_t group = ~std::uint64_t{0};
         bool valid = false;
         /** Poison bits of the gathered chunks (bit i = chunk i). */
         std::uint32_t poisonBits = 0;
     };
 
+    /** One register per (table, field) a query touches: a handful of
+     *  entries, so a linear scan beats a tree per field read. */
+    struct LineCacheEntry
+    {
+        const Table *table;
+        unsigned field;
+        LineCache lc;
+    };
+
+    LineCache &
+    lineCacheFor(const Table &t, unsigned f)
+    {
+        for (auto &e : lineCache_) {
+            if (e.table == &t && e.field == f)
+                return e.lc;
+        }
+        lineCache_.push_back({&t, f, {}});
+        return lineCache_.back().lc;
+    }
+
     ExecEnv &env_;
     MemPort &port_;
-    std::map<std::pair<const Table *, unsigned>, LineCache> lineCache_;
+    std::vector<LineCacheEntry> lineCache_;
     bool lastPoisoned_ = false;
     std::uint32_t lastStridePoison_ = 0;
 };

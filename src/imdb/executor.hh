@@ -11,6 +11,7 @@
 #ifndef SAM_IMDB_EXECUTOR_HH
 #define SAM_IMDB_EXECUTOR_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -45,6 +46,17 @@ class MemPort
     /** Strided load (sload): returns the gathered 64B line. */
     virtual std::vector<std::uint8_t> strideLoad(
         const GatherPlan &plan) = 0;
+
+    /**
+     * strideLoad() into a caller-owned 64B buffer, so scan loops can
+     * hold their gather registers without per-group allocation.
+     */
+    virtual void strideLoadInto(const GatherPlan &plan,
+                                std::uint8_t *out64)
+    {
+        const std::vector<std::uint8_t> line = strideLoad(plan);
+        std::copy(line.begin(), line.end(), out64);
+    }
 
     /** Strided store (sstore): scatter a 64B line of chunks. */
     virtual void strideStore(const GatherPlan &plan,

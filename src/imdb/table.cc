@@ -184,12 +184,21 @@ GatherPlan
 Table::gatherPlan(std::uint64_t group, unsigned field,
                   unsigned unit) const
 {
+    GatherPlan plan;
+    gatherPlanInto(group, field, unit, plan);
+    return plan;
+}
+
+void
+Table::gatherPlanInto(std::uint64_t group, unsigned field,
+                      unsigned unit, GatherPlan &plan) const
+{
     sam_assert(strideUsable(), "layout does not support stride access");
     sam_assert(group < numGroups(), "group out of range");
     const unsigned chunk_byte =
         (field * TableSchema::kFieldBytes / unit) * unit;
 
-    GatherPlan plan;
+    plan.lines.clear();
     plan.lines.reserve(gather_);
     for (unsigned i = 0; i < gather_; ++i) {
         const std::uint64_t rec = group * gather_ + i;
@@ -202,7 +211,6 @@ Table::gatherPlan(std::uint64_t group, unsigned field,
             plan.sector = static_cast<unsigned>(
                 (a % kCachelineBytes) / unit);
     }
-    return plan;
 }
 
 std::uint64_t
@@ -224,91 +232,98 @@ Table::footprintBytes() const
     }
 }
 
+bool
+Table::slotOwner(std::uint64_t off, std::uint64_t &rec,
+                 unsigned &field) const
+{
+    const unsigned rec_bytes = schema_.recordBytes();
+    switch (layout_) {
+      case LayoutKind::RowStore:
+      case LayoutKind::SamAligned:
+        rec = off / rec_bytes;
+        field = static_cast<unsigned>((off % rec_bytes) /
+                                      TableSchema::kFieldBytes);
+        return rec < schema_.numRecords;
+
+      case LayoutKind::ColumnStore: {
+        field = static_cast<unsigned>(off / colSpan());
+        const std::uint64_t in_col = off % colSpan();
+        rec = in_col / TableSchema::kFieldBytes;
+        return field < schema_.numFields &&
+               rec < schema_.numRecords;
+      }
+
+      case LayoutKind::VerticalGroup: {
+        const std::uint64_t slots_per_row = rowBytes_ / rec_bytes;
+        const std::uint64_t row = off >> vgRowShift_;
+        const std::uint64_t bank_sel =
+            (off >> vgBankShift_) & (vgBanks_ - 1);
+        const std::uint64_t within = off % rowBytes_;
+        const std::uint64_t col_slot = within / rec_bytes;
+        const std::uint64_t band = row / vgSpan_;
+        const std::uint64_t row_in = row % vgSpan_;
+        const std::uint64_t slot_idx =
+            band * slots_per_row + col_slot;
+        const std::uint64_t run = slot_idx * vgBanks_ + bank_sel;
+        rec = run * vgSpan_ + row_in;
+        field = static_cast<unsigned>(
+            (within % rec_bytes) / TableSchema::kFieldBytes);
+        return rec < schema_.numRecords;
+      }
+
+      case LayoutKind::GsSegmented: {
+        if (rec_bytes < kCachelineBytes) {
+            rec = off / rec_bytes;
+            field = static_cast<unsigned>(
+                (off % rec_bytes) / TableSchema::kFieldBytes);
+            return rec < schema_.numRecords;
+        }
+        const std::uint64_t group_bytes =
+            static_cast<std::uint64_t>(gather_) * rec_bytes;
+        const std::uint64_t g = off / group_bytes;
+        const std::uint64_t r = off % group_bytes;
+        const std::uint64_t line_idx = r / kCachelineBytes;
+        const unsigned within =
+            static_cast<unsigned>(r % kCachelineBytes);
+        const std::uint64_t seg = line_idx / gather_;
+        const unsigned i = static_cast<unsigned>(line_idx % gather_);
+        rec = g * gather_ + i;
+        field = static_cast<unsigned>(
+            (seg * kCachelineBytes + within) /
+            TableSchema::kFieldBytes);
+        return rec < schema_.numRecords &&
+               field < schema_.numFields;
+      }
+    }
+    panic("unknown LayoutKind");
+}
+
+void
+Table::buildLine(std::uint64_t off, std::uint8_t *line64) const
+{
+    // Build the line by inverting the layout: find the (record, field)
+    // word occupying every 8B slot.
+    for (unsigned w = 0; w < kCachelineBytes / 8; ++w) {
+        std::uint64_t rec = 0;
+        unsigned field = 0;
+        std::uint64_t value = 0;
+        if (slotOwner(off + w * 8, rec, field))
+            value = fieldValue(rec, field);
+        for (unsigned b = 0; b < 8; ++b) {
+            line64[w * 8 + b] =
+                static_cast<std::uint8_t>((value >> (8 * b)) & 0xff);
+        }
+    }
+}
+
 void
 Table::materialize(DataPath &data_path) const
 {
-    // Build each line by inverting the layout: find the (record, field)
-    // word occupying every 8B slot.
-    const unsigned rec_bytes = schema_.recordBytes();
     const std::uint64_t footprint = footprintBytes();
     std::vector<std::uint8_t> line(kCachelineBytes);
-
-    auto slot_owner = [&](std::uint64_t off, std::uint64_t &rec,
-                          unsigned &field) -> bool {
-        switch (layout_) {
-          case LayoutKind::RowStore:
-          case LayoutKind::SamAligned:
-            rec = off / rec_bytes;
-            field = static_cast<unsigned>((off % rec_bytes) /
-                                          TableSchema::kFieldBytes);
-            return rec < schema_.numRecords;
-
-          case LayoutKind::ColumnStore: {
-            field = static_cast<unsigned>(off / colSpan());
-            const std::uint64_t in_col = off % colSpan();
-            rec = in_col / TableSchema::kFieldBytes;
-            return field < schema_.numFields &&
-                   rec < schema_.numRecords;
-          }
-
-          case LayoutKind::VerticalGroup: {
-            const std::uint64_t slots_per_row = rowBytes_ / rec_bytes;
-            const std::uint64_t row = off >> vgRowShift_;
-            const std::uint64_t bank_sel =
-                (off >> vgBankShift_) & (vgBanks_ - 1);
-            const std::uint64_t within = off % rowBytes_;
-            const std::uint64_t col_slot = within / rec_bytes;
-            const std::uint64_t band = row / vgSpan_;
-            const std::uint64_t row_in = row % vgSpan_;
-            const std::uint64_t slot_idx =
-                band * slots_per_row + col_slot;
-            const std::uint64_t run = slot_idx * vgBanks_ + bank_sel;
-            rec = run * vgSpan_ + row_in;
-            field = static_cast<unsigned>(
-                (within % rec_bytes) / TableSchema::kFieldBytes);
-            return rec < schema_.numRecords;
-          }
-
-          case LayoutKind::GsSegmented: {
-            if (rec_bytes < kCachelineBytes) {
-                rec = off / rec_bytes;
-                field = static_cast<unsigned>(
-                    (off % rec_bytes) / TableSchema::kFieldBytes);
-                return rec < schema_.numRecords;
-            }
-            const std::uint64_t group_bytes =
-                static_cast<std::uint64_t>(gather_) * rec_bytes;
-            const std::uint64_t g = off / group_bytes;
-            const std::uint64_t r = off % group_bytes;
-            const std::uint64_t line_idx = r / kCachelineBytes;
-            const unsigned within =
-                static_cast<unsigned>(r % kCachelineBytes);
-            const std::uint64_t seg = line_idx / gather_;
-            const unsigned i = static_cast<unsigned>(line_idx % gather_);
-            rec = g * gather_ + i;
-            field = static_cast<unsigned>(
-                (seg * kCachelineBytes + within) /
-                TableSchema::kFieldBytes);
-            return rec < schema_.numRecords &&
-                   field < schema_.numFields;
-          }
-        }
-        panic("unknown LayoutKind");
-    };
-
     for (std::uint64_t off = 0; off < footprint;
          off += kCachelineBytes) {
-        for (unsigned w = 0; w < kCachelineBytes / 8; ++w) {
-            std::uint64_t rec = 0;
-            unsigned field = 0;
-            std::uint64_t value = 0;
-            if (slot_owner(off + w * 8, rec, field))
-                value = fieldValue(rec, field);
-            for (unsigned b = 0; b < 8; ++b) {
-                line[w * 8 + b] =
-                    static_cast<std::uint8_t>((value >> (8 * b)) & 0xff);
-            }
-        }
+        buildLine(off, line.data());
         data_path.writeLine(base_ + off, line);
     }
 }

@@ -93,6 +93,11 @@ class Table
     GatherPlan gatherPlan(std::uint64_t group, unsigned field,
                           unsigned unit) const;
 
+    /** gatherPlan() into a caller-owned plan, reusing its capacity so
+     *  per-group replanning in scan loops stays allocation-free. */
+    void gatherPlanInto(std::uint64_t group, unsigned field,
+                        unsigned unit, GatherPlan &plan) const;
+
     /** Total physical footprint (bytes, including group padding). */
     std::uint64_t footprintBytes() const;
 
@@ -115,7 +120,19 @@ class Table
     /** Write every record into the functional memory. */
     void materialize(DataPath &data_path) const;
 
+    /**
+     * Compose the 64B line at byte offset `off` from the table base
+     * (layout inversion + deterministic field values). Pure function
+     * of (schema, layout, off): safe to call from several threads at
+     * once, which is how TableCache parallelises cold builds.
+     */
+    void buildLine(std::uint64_t off, std::uint8_t *line64) const;
+
   private:
+    /** Find the (record, field) word occupying the 8B slot at `off`;
+     *  false when the slot is padding. */
+    bool slotOwner(std::uint64_t off, std::uint64_t &rec,
+                   unsigned &field) const;
     TableSchema schema_;
     Addr base_;
     LayoutKind layout_;

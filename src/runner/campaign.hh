@@ -23,7 +23,7 @@
 
 #include "src/common/json.hh"
 #include "src/imdb/query.hh"
-#include "src/runner/thread_pool.hh"
+#include "src/common/thread_pool.hh"
 #include "src/sim/system.hh"
 #include "src/sim/table_cache.hh"
 

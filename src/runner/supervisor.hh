@@ -45,7 +45,7 @@
 #include "src/runner/campaign.hh"
 #include "src/runner/chaos.hh"
 #include "src/runner/journal.hh"
-#include "src/runner/thread_pool.hh"
+#include "src/common/thread_pool.hh"
 #include "src/sim/table_cache.hh"
 
 namespace sam {

@@ -99,13 +99,18 @@ CorePort::storeStream(Addr addr, std::uint64_t value, unsigned bytes)
 std::vector<std::uint8_t>
 CorePort::strideLoad(const GatherPlan &plan)
 {
-    dataPath_.setNow(clock_);
     std::vector<std::uint8_t> out(kCachelineBytes);
-    const HierResult r =
-        hierarchy_.strideRead(plan, strideUnit_, out.data());
+    strideLoadInto(plan, out.data());
+    return out;
+}
+
+void
+CorePort::strideLoadInto(const GatherPlan &plan, std::uint8_t *out64)
+{
+    dataPath_.setNow(clock_);
+    const HierResult r = hierarchy_.strideRead(plan, strideUnit_, out64);
     strideLoadPoison_ = r.poisonBits;
     clock_ += r.delay;
-    return out;
 }
 
 void
@@ -160,7 +165,8 @@ void
 CorePort::writeback(const Writeback &wb)
 {
     recordLine(AccessType::Write, wb.line);
-    dataPath_.writePartial(wb.line, wb.data, wb.dirtyMask, strideUnit_);
+    dataPath_.writePartial(wb.line, wb.data.data(), wb.dirtyMask,
+                           strideUnit_);
 }
 
 void

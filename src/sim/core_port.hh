@@ -46,6 +46,8 @@ class CorePort : public MemPort, public MemBackend
     void storeStream(Addr addr, std::uint64_t value,
                      unsigned bytes) override;
     std::vector<std::uint8_t> strideLoad(const GatherPlan &plan) override;
+    void strideLoadInto(const GatherPlan &plan,
+                        std::uint8_t *out64) override;
     void strideStore(const GatherPlan &plan,
                      const std::vector<std::uint8_t> &line) override;
     void compute(Cycle cycles) override;

@@ -284,9 +284,9 @@ System::replay(const std::vector<std::unique_ptr<CorePort>> &ports,
         std::size_t idx = 0;
         Cycle clock = 0;
         /**
-         * In-flight reads in issue order. MSHR-sized and flat: the
-         * retire scan and the completion match walk a handful of
-         * contiguous entries instead of churning per-epoch hash maps.
+         * In-flight reads, unordered. MSHR-sized and flat: the retire
+         * scan and the completion match walk a handful of contiguous
+         * entries instead of churning per-epoch hash maps.
          */
         std::vector<Mshr> window;
     };
@@ -343,8 +343,12 @@ System::replay(const std::vector<std::unique_ptr<CorePort>> &ports,
                     }
                     if (best_i == cs.window.size())
                         break; // stalled on outstanding misses
-                    cs.window.erase(cs.window.begin() +
-                                    static_cast<std::ptrdiff_t>(best_i));
+                    // Swap-with-back: MSHR slots are unordered (the
+                    // scan above picks by completion time, entries
+                    // match completions by id), so the O(n) mid-vector
+                    // erase was pure overhead.
+                    cs.window[best_i] = cs.window.back();
+                    cs.window.pop_back();
                     t = std::max(t, best);
                 }
 

@@ -1,9 +1,89 @@
 #include "src/sim/table_cache.hh"
 
+#include <algorithm>
+
 #include "src/common/logging.hh"
-#include "src/dram/data_path.hh"
+#include "src/common/thread_pool.hh"
+#include "src/ecc/ecc_engine.hh"
 
 namespace sam {
+
+namespace {
+
+/** Encode lines [first, last) of `table` into consecutive snapshot
+ *  slots starting at `slot0 + first`. Each call uses its own
+ *  registry-backed EccEngine, so chunks are thread-independent. */
+void
+encodeRange(const Table &table, EccScheme ecc, StoreSnapshot &snap,
+            std::size_t slot0, std::size_t first, std::size_t last)
+{
+    EccEngine engine(ecc);
+    std::uint8_t line[kCachelineBytes];
+    for (std::size_t i = first; i < last; ++i) {
+        table.buildLine(i * kCachelineBytes, line);
+        engine.encodeLineInto(line, snap.mutableBlob(slot0 + i));
+    }
+}
+
+} // namespace
+
+TableCache::TableCache(unsigned build_threads)
+    : buildThreads_(build_threads ? build_threads
+                                  : ThreadPool::defaultWorkers())
+{
+}
+
+TableCache::~TableCache() = default;
+
+StoreSnapshot
+TableCache::buildSnapshot(const Table &ta, const Table &tb, EccScheme ecc)
+{
+    // Lay out the slot structure up front (ta fully, then tb, both in
+    // ascending address order -- exactly the insertion order direct
+    // materialization through a DataPath would produce), then encode
+    // each line independently into its slot.
+    StoreSnapshot snap;
+    snap.blobBytes = kCachelineBytes + EccEngine::parityBytesFor(ecc);
+    sam_assert(ta.footprintBytes() % kCachelineBytes == 0 &&
+                   tb.footprintBytes() % kCachelineBytes == 0,
+               "table footprint not line-aligned");
+    const std::size_t ta_lines = ta.footprintBytes() / kCachelineBytes;
+    const std::size_t tb_lines = tb.footprintBytes() / kCachelineBytes;
+    const std::size_t ta_slot0 = snap.appendDenseRows(ta.base(), ta_lines);
+    const std::size_t tb_slot0 = snap.appendDenseRows(tb.base(), tb_lines);
+
+    // Small builds are not worth the fan-out overhead.
+    constexpr std::size_t kMinParallelLines = 1 << 14;
+    const std::size_t total = ta_lines + tb_lines;
+    if (buildThreads_ <= 1 || total < kMinParallelLines) {
+        encodeRange(ta, ecc, snap, ta_slot0, 0, ta_lines);
+        encodeRange(tb, ecc, snap, tb_slot0, 0, tb_lines);
+        return snap;
+    }
+
+    // Chunk each table's line range; every chunk writes a disjoint
+    // slot range, so the result is byte-identical at any thread count.
+    const std::size_t chunk =
+        std::max<std::size_t>(4096, total / (8 * buildThreads_));
+    std::vector<std::function<void()>> tasks;
+    auto chunkTable = [&](const Table &t, std::size_t slot0,
+                          std::size_t lines) {
+        for (std::size_t first = 0; first < lines; first += chunk) {
+            const std::size_t last = std::min(lines, first + chunk);
+            tasks.push_back([&t, ecc, &snap, slot0, first, last] {
+                encodeRange(t, ecc, snap, slot0, first, last);
+            });
+        }
+    };
+    chunkTable(ta, ta_slot0, ta_lines);
+    chunkTable(tb, tb_slot0, tb_lines);
+
+    MutexLock pool_lock(poolMutex_);
+    if (!pool_)
+        pool_ = std::make_unique<ThreadPool>(buildThreads_);
+    pool_->run(std::move(tasks));
+    return snap;
+}
 
 std::shared_ptr<const StoreSnapshot>
 TableCache::materialized(const Table &ta, const Table &tb, EccScheme ecc)
@@ -31,13 +111,8 @@ TableCache::materialized(const Table &ta, const Table &tb, EccScheme ecc)
         return entry->snap;
     }
     ++misses_;
-    // Encode into a scratch data path with no RAS/fault hooks: the
-    // pristine bytes are what every system starts from.
-    DataPath scratch(ecc);
-    ta.materialize(scratch);
-    tb.materialize(scratch);
     entry->snap = std::make_shared<const StoreSnapshot>(
-        scratch.store().snapshot());
+        buildSnapshot(ta, tb, ecc));
     return entry->snap;
 }
 

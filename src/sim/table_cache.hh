@@ -31,9 +31,21 @@
 
 namespace sam {
 
+class ThreadPool;
+
 class TableCache
 {
   public:
+    /**
+     * @param build_threads Worker threads for cold table encodes
+     *        (0 picks the host's core count, 1 builds serially). The
+     *        encoded bytes are identical at any thread count: the
+     *        snapshot's slot layout is fixed up front and workers
+     *        encode disjoint line ranges in place.
+     */
+    explicit TableCache(unsigned build_threads = 0);
+    ~TableCache();
+
     /**
      * The materialized contents of `ta` and `tb` under `ecc`, encoding
      * them on first touch. The snapshot lists lines in materialization
@@ -59,10 +71,22 @@ class TableCache
         std::shared_ptr<const StoreSnapshot> snap SAM_GUARDED_BY(build);
     };
 
+    /** Encode both tables into a fresh snapshot (the cold path). */
+    StoreSnapshot buildSnapshot(const Table &ta, const Table &tb,
+                                EccScheme ecc);
+
     Mutex mutex_;
     std::map<Key, std::shared_ptr<Entry>> entries_ SAM_GUARDED_BY(mutex_);
     std::atomic<std::uint64_t> hits_{0};
     std::atomic<std::uint64_t> misses_{0};
+
+    unsigned buildThreads_;
+    /** Lazily created on the first parallel cold build and held across
+     *  run() (ThreadPool::run is not reentrant and not concurrently
+     *  callable, so simultaneous cold builds of different keys
+     *  serialize here -- each still encodes with all workers). */
+    Mutex poolMutex_;
+    std::unique_ptr<ThreadPool> pool_ SAM_GUARDED_BY(poolMutex_);
 };
 
 } // namespace sam

@@ -394,7 +394,7 @@ TEST_F(ControllerTest, RequestQueueCompactionKeepsFcfsOrder)
         }
         for (unsigned i = 0; i < 64; ++i) {
             ASSERT_FALSE(q.empty());
-            const MemRequest r = q.popBest(/*now=*/1, device, row_hit);
+            const MemRequest r = q.popBest(/*now=*/1, row_hit);
             EXPECT_FALSE(row_hit);
             ASSERT_EQ(r.id, expect_id++);
         }
@@ -402,7 +402,7 @@ TEST_F(ControllerTest, RequestQueueCompactionKeepsFcfsOrder)
     // 32 * (96 - 64) requests remain; drain them in insertion order.
     EXPECT_EQ(q.size(), 32u * 32u);
     while (!q.empty()) {
-        const MemRequest r = q.popBest(/*now=*/1, device, row_hit);
+        const MemRequest r = q.popBest(/*now=*/1, row_hit);
         ASSERT_EQ(r.id, expect_id++);
     }
     EXPECT_EQ(expect_id, nextId);
@@ -426,7 +426,7 @@ TEST_F(ControllerTest, RequestQueueCompactionWithStaggeredArrivals)
     std::uint64_t expect_id = nextId - 1024;
     for (unsigned i = 0; i < 1024; ++i) {
         const MemRequest r =
-            q.popBest(/*now=*/Cycle{i} * 10 + 1, device, row_hit);
+            q.popBest(/*now=*/Cycle{i} * 10 + 1, row_hit);
         ASSERT_EQ(r.id, expect_id++);
     }
     EXPECT_TRUE(q.empty());

@@ -421,6 +421,76 @@ TEST_P(EccEngineTest, SingleBitErrorHandled)
     EXPECT_EQ(blob, line);
 }
 
+// Differential oracle for the shared CodecRegistry: an engine borrowing
+// the process-wide codec must be byte- and stats-identical to one that
+// builds its codec privately, across clean, correctable, and
+// uncorrectable inputs. Any divergence here means the registry handed
+// out the wrong (n, k) or shared mutable codec state.
+TEST_P(EccEngineTest, RegistryCodecMatchesPrivateCodec)
+{
+    const EccEngine shared(GetParam());
+    const EccEngine private_(GetParam(), EccEngine::PrivateCodec{});
+    Rng rng(101);
+    for (unsigned trial = 0; trial < 24; ++trial) {
+        const auto line = randomLine(rng);
+        auto blobA = shared.encodeLine(line);
+        auto blobB = private_.encodeLine(line);
+        ASSERT_EQ(blobA, blobB);
+
+        if (shared.scheme() != EccScheme::None) {
+            // Same fault into both copies: a single flipped bit, a
+            // whole-chip failure, or two chip failures, cycling so
+            // every scheme sees clean, corrected, and (for the weaker
+            // codes) uncorrectable outcomes.
+            switch (trial % 3) {
+            case 0:
+                EccEngine::flipBit(blobA, (trial * 37) % (64 * 8));
+                EccEngine::flipBit(blobB, (trial * 37) % (64 * 8));
+                break;
+            case 1:
+                shared.corruptChip(blobA, trial % shared.numChips());
+                private_.corruptChip(blobB, trial % shared.numChips());
+                break;
+            case 2:
+                shared.corruptChip(blobA, 2);
+                shared.corruptChip(blobA, 9);
+                private_.corruptChip(blobB, 2);
+                private_.corruptChip(blobB, 9);
+                break;
+            }
+        }
+
+        const EccLineResult ra = shared.decodeLine(blobA);
+        const EccLineResult rb = private_.decodeLine(blobB);
+        EXPECT_EQ(ra.clean, rb.clean);
+        EXPECT_EQ(ra.corrected, rb.corrected);
+        EXPECT_EQ(ra.uncorrectable, rb.uncorrectable);
+        EXPECT_EQ(ra.symbolsCorrected, rb.symbolsCorrected);
+        EXPECT_EQ(blobA, blobB);
+    }
+
+    EXPECT_EQ(shared.stats().linesDecoded.value(),
+              private_.stats().linesDecoded.value());
+    EXPECT_EQ(shared.stats().codewordsCorrected.value(),
+              private_.stats().codewordsCorrected.value());
+    EXPECT_EQ(shared.stats().codewordsDetected.value(),
+              private_.stats().codewordsDetected.value());
+    EXPECT_EQ(shared.stats().symbolsCorrected.value(),
+              private_.stats().symbolsCorrected.value());
+}
+
+// The registry hands back the same immutable codec on every call, so
+// repeated engine construction is allocation-light and two engines for
+// one scheme encode identically by construction.
+TEST(EccEngine, RepeatedConstructionSharesBytes)
+{
+    Rng rng(7);
+    const auto line = randomLine(rng);
+    const EccEngine a(EccScheme::Bamboo72);
+    const EccEngine b(EccScheme::Bamboo72);
+    EXPECT_EQ(a.encodeLine(line), b.encodeLine(line));
+}
+
 INSTANTIATE_TEST_SUITE_P(
     AllSchemes, EccEngineTest,
     ::testing::Values(EccScheme::None, EccScheme::SecDed, EccScheme::Ssc,

@@ -13,7 +13,7 @@
 #include "src/common/json.hh"
 #include "src/core/session.hh"
 #include "src/runner/campaign.hh"
-#include "src/runner/thread_pool.hh"
+#include "src/common/thread_pool.hh"
 
 namespace sam {
 namespace {
@@ -285,6 +285,31 @@ TEST(SessionTest, SessionsSharingACacheEncodeOnce)
     EXPECT_EQ(cache->misses(), misses);
     EXPECT_EQ(a.cycles, b.cycles);
     EXPECT_EQ(a.statsText, b.statsText);
+}
+
+TEST(TableCacheTest, ColdBuildBytesIdenticalAtAnyThreadCount)
+{
+    // Large enough (>= 2^14 lines total) that the 8-thread cache takes
+    // the parallel encode path rather than the small-build serial
+    // fallback; the snapshots must still match the serial build bit
+    // for bit.
+    const Geometry geom;
+    const TableSchema sa{"Ta", 16, 8192};  // 1 MiB
+    const TableSchema sb{"Tb", 8, 4096};   // 256 KiB
+    const Table ta(sa, Addr{1} << 30, LayoutKind::SamAligned, 8, geom);
+    const Table tb(sb, ta.base() + ta.footprintBytes(),
+                   LayoutKind::SamAligned, 8, geom);
+
+    TableCache serial(1);
+    TableCache parallel(8);
+    const auto a = serial.materialized(ta, tb, EccScheme::SscDsd);
+    const auto b = parallel.materialized(ta, tb, EccScheme::SscDsd);
+
+    ASSERT_EQ(a->size(), b->size());
+    EXPECT_EQ(a->blobBytes, b->blobBytes);
+    EXPECT_EQ(a->addrs, b->addrs);
+    EXPECT_EQ(a->clean, b->clean);
+    EXPECT_EQ(a->arena, b->arena);
 }
 
 // ----- Json ----------------------------------------------------------

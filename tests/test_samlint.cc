@@ -139,6 +139,27 @@ TEST(SamLintLocking, AnnotatedWrappersAreClean)
         runOn({lexFixture("locking_ok.cc")}, "sam-locking").empty());
 }
 
+TEST(SamLintCodec, FlagsDirectConstructionAndOwnership)
+{
+    const auto fs = runOn({lexFixture("codec_bad.cc")},
+                          "sam-codec-construction");
+    // Global instance, optional<> member, unique_ptr<> member, local,
+    // make_unique, and a GF256 instance declaration.
+    ASSERT_EQ(fs.size(), 6u);
+    EXPECT_EQ(checksIn(fs),
+              std::set<std::string>{"sam-codec-construction"});
+    EXPECT_NE(fs[0].message.find("CodecRegistry::reedSolomon"),
+              std::string::npos);
+    EXPECT_NE(fs.back().message.find("GF256"), std::string::npos);
+}
+
+TEST(SamLintCodec, BorrowedReferencesAndForwardDeclsAreClean)
+{
+    EXPECT_TRUE(runOn({lexFixture("codec_ok.cc")},
+                      "sam-codec-construction")
+                    .empty());
+}
+
 TEST(SamLintLexer, NolintSuppressesOnlyNamedCheckOnTargetLine)
 {
     const SourceFile f = samlint::lexString(

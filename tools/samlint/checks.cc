@@ -14,6 +14,7 @@ const char *const kDeterminism = "sam-determinism";
 const char *const kCycle = "sam-cycle-accounting";
 const char *const kObserver = "sam-observer-discipline";
 const char *const kLocking = "sam-locking";
+const char *const kCodec = "sam-codec-construction";
 
 bool
 startsWith(const std::string &s, const std::string &prefix)
@@ -428,12 +429,68 @@ checkLocking(const SourceFile &f, Emit out)
     }
 }
 
+// --- sam-codec-construction --------------------------------------------
+
+/** Files allowed to construct or own codecs directly: the registry
+ *  itself, the codec implementations, and the EccEngine (whose
+ *  PrivateCodec test seam owns one by design). */
+bool
+codecConstructionAllowed(const std::string &path)
+{
+    return startsWith(path, "src/ecc/codec_registry") ||
+           startsWith(path, "src/ecc/reed_solomon") ||
+           startsWith(path, "src/ecc/gf256") ||
+           startsWith(path, "src/ecc/ecc_engine");
+}
+
+void
+checkCodecConstruction(const SourceFile &f, Emit out)
+{
+    if (codecConstructionAllowed(f.path))
+        return;
+    const auto &t = f.tokens;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        const std::string &s = t[i].text;
+        if (s == "ReedSolomon") {
+            // Reference/pointer use and forward declarations are fine;
+            // anything else (ReedSolomon rs(18, 16), by-value member,
+            // optional<ReedSolomon>, make_unique<ReedSolomon>)
+            // rebuilds the generator and syndrome tables -- the cost
+            // the shared CodecRegistry exists to pay once.
+            const std::string &next = tok(f, i + 1);
+            const std::string &prev = tok(f, i - 1);
+            if (next == "&" || next == "*")
+                continue;
+            if (prev == "class" || prev == "struct")
+                continue;
+            emit(out, f, t[i].line, kCodec,
+                 "direct ReedSolomon construction or ownership; "
+                 "borrow the shared immutable codec via "
+                 "CodecRegistry::reedSolomon(n, k) "
+                 "(src/ecc/codec_registry.hh)");
+        } else if (s == "GF256") {
+            // GF256::mul(...) etc. is fine (tables are a function-local
+            // static); `GF256 gf;` would build a private instance.
+            const std::string &next = tok(f, i + 1);
+            if (next == ":" || next == "&" || next == "*")
+                continue;
+            const std::string &prev = tok(f, i - 1);
+            if (prev == "class" || prev == "struct")
+                continue;
+            emit(out, f, t[i].line, kCodec,
+                 "GF256 instance declaration; use the shared "
+                 "function-local-static tables through GF256's "
+                 "static interface");
+        }
+    }
+}
+
 } // namespace
 
 std::vector<std::string>
 allCheckNames()
 {
-    return {kDeterminism, kCycle, kObserver, kLocking};
+    return {kDeterminism, kCycle, kObserver, kLocking, kCodec};
 }
 
 std::vector<Finding>
@@ -458,6 +515,8 @@ runChecks(const std::vector<SourceFile> &files, const LintOptions &opt)
             checkObserverDiscipline(f, out);
         if (enabled(kLocking))
             checkLocking(f, out);
+        if (enabled(kCodec))
+            checkCodecConstruction(f, out);
     }
     std::stable_sort(out.begin(), out.end(),
                      [](const Finding &a, const Finding &b) {

@@ -30,6 +30,15 @@
  *   (src/common/thread_annotations.hh) so the locking discipline stays
  *   visible to clang's -Wthread-safety analysis.
  *
+ * sam-codec-construction
+ *   Constructing or owning a ReedSolomon outside the codec layer
+ *   (src/ecc/{codec_registry,reed_solomon,gf256,ecc_engine}) rebuilds
+ *   its generator/syndrome tables per instance; borrow the shared
+ *   immutable codec with CodecRegistry::reedSolomon(n, k) instead.
+ *   Reference/pointer uses and forward declarations are fine. GF256
+ *   instance declarations are flagged the same way (its tables are
+ *   already a shared function-local static).
+ *
  * All checks honor // NOLINT(check) and // NOLINTNEXTLINE(check).
  */
 

@@ -1,0 +1,22 @@
+// Fixture: direct codec construction outside the codec layer.
+#include <memory>
+#include <optional>
+
+#include "src/ecc/reed_solomon.hh"
+
+ReedSolomon globalCodec(18, 16);
+
+struct Holder
+{
+    std::optional<ReedSolomon> maybe;
+    std::unique_ptr<ReedSolomon> owned;
+};
+
+int
+buildPrivately()
+{
+    ReedSolomon rs(36, 32);
+    auto heap = std::make_unique<ReedSolomon>(72, 64);
+    GF256 gf;
+    return static_cast<int>(rs.n()) + static_cast<int>(heap->n());
+}

@@ -1,0 +1,13 @@
+// Fixture: borrowed codecs and qualified static GF256 use are fine.
+#include "src/ecc/codec_registry.hh"
+
+class ReedSolomon;
+
+int
+borrowShared(const ReedSolomon *fallback)
+{
+    const ReedSolomon &rs = CodecRegistry::reedSolomon(18, 16);
+    const ReedSolomon *active = fallback ? fallback : &rs;
+    (void)active;
+    return static_cast<int>(GF256::mul(3, 7));
+}
