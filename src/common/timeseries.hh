@@ -84,10 +84,24 @@ class WindowSeries
         // Windows are appended in order; samples mostly arrive nearly
         // sorted in time, so scanning back a few entries finds the slot.
         if (windows_.empty() || idx > windows_.back().index) {
-            windows_.push_back(SeriesWindow{idx, 0.0, 0, 0.0});
-            while (windows_.size() > maxWindows_) {
-                windows_.pop_front();
-                ++evicted_;
+            // Zero-fill any skipped span so a clock that jumps over a
+            // stall window leaves the same window sequence a ticking
+            // clock would: explicit idle windows, not holes. The fill
+            // is capacity-bounded -- a jump wider than maxWindows
+            // materializes only the trailing maxWindows windows and
+            // counts the rest straight into evicted_.
+            std::uint64_t next =
+                windows_.empty() ? idx : windows_.back().index + 1;
+            if (idx - next + 1 > maxWindows_) {
+                evicted_ += idx - next + 1 - maxWindows_;
+                next = idx + 1 - maxWindows_;
+            }
+            for (; next <= idx; ++next) {
+                windows_.push_back(SeriesWindow{next, 0.0, 0, 0.0});
+                while (windows_.size() > maxWindows_) {
+                    windows_.pop_front();
+                    ++evicted_;
+                }
             }
             return windows_.back();
         }

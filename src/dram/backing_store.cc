@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "src/common/logging.hh"
+#include "src/ecc/ecc_engine.hh"
 
 namespace sam {
 
@@ -93,6 +94,20 @@ StoreSnapshot::find(Addr addr) const
     return it != index_.end() ? it->second : npos;
 }
 
+void
+BackingStore::materializeBlob(const StoreSnapshot &layer,
+                              std::size_t slot, std::uint8_t *dst) const
+{
+    const std::uint8_t *src = layer.blob(slot);
+    if (!layer.lazyParity || blobBytes_ <= kCachelineBytes) {
+        std::memcpy(dst, src, blobBytes_);
+        return;
+    }
+    sam_assert(parityEcc_ != nullptr,
+               "lazy-parity layer line touched with no parity encoder");
+    parityEcc_->encodeLineInto(src, dst);
+}
+
 const BackingStore::OverlayLine *
 BackingStore::findOverlay(Addr addr) const
 {
@@ -135,8 +150,9 @@ BackingStore::readLine(Addr line_addr) const
     }
     std::size_t slot = 0;
     if (const StoreSnapshot *layer = findLayer(line_addr, slot)) {
-        const std::uint8_t *p = layer->blob(slot);
-        return std::vector<std::uint8_t>(p, p + blobBytes_);
+        std::vector<std::uint8_t> blob(blobBytes_);
+        materializeBlob(*layer, slot, blob.data());
+        return blob;
     }
     return std::vector<std::uint8_t>(blobBytes_, 0);
 }
@@ -149,8 +165,11 @@ BackingStore::refLine(Addr line_addr) const
     if (const OverlayLine *o = findOverlay(line_addr))
         return LineRef{arena_.data() + o->offset, o->clean};
     std::size_t slot = 0;
-    if (const StoreSnapshot *layer = findLayer(line_addr, slot))
-        return LineRef{layer->blob(slot), layer->clean[slot]};
+    if (const StoreSnapshot *layer = findLayer(line_addr, slot)) {
+        return LineRef{layer->blob(slot), layer->clean[slot],
+                       layer->lazyParity &&
+                           blobBytes_ > kCachelineBytes};
+    }
     return LineRef{};
 }
 
@@ -202,13 +221,10 @@ BackingStore::corruptLine(Addr line_addr,
         // Copy-on-write into the overlay: the current blob may be
         // shared with a table snapshot installed into other systems.
         const std::size_t offset = arena_.size();
+        arena_.resize(offset + blobBytes_, 0);
         std::size_t slot = 0;
-        if (const StoreSnapshot *layer = findLayer(line_addr, slot)) {
-            const std::uint8_t *base = layer->blob(slot);
-            arena_.insert(arena_.end(), base, base + blobBytes_);
-        } else {
-            arena_.resize(offset + blobBytes_, 0);
-        }
+        if (const StoreSnapshot *layer = findLayer(line_addr, slot))
+            materializeBlob(*layer, slot, arena_.data() + offset);
         it = overlay_.emplace(line_addr, OverlayLine{offset, false})
                  .first;
         overlayAll_.push_back(line_addr);
@@ -252,13 +268,18 @@ BackingStore::snapshot() const
     snap.addrs.reserve(n);
     snap.clean.reserve(n);
     snap.arena.reserve(n * blobBytes_);
+    std::vector<std::uint8_t> scratch(blobBytes_);
     for (const auto &layer : layers_) {
         for (std::size_t i = 0; i < layer->size(); ++i) {
             const Addr addr = layer->addrs[i];
-            if (const OverlayLine *o = findOverlay(addr))
+            if (const OverlayLine *o = findOverlay(addr)) {
                 snap.append(addr, arena_.data() + o->offset, o->clean);
-            else
-                snap.append(addr, layer->blob(i), layer->clean[i]);
+            } else {
+                // Captures always carry real parity, even when the
+                // layer deferred it.
+                materializeBlob(*layer, i, scratch.data());
+                snap.append(addr, scratch.data(), layer->clean[i]);
+            }
         }
     }
     for (Addr addr : overlayOrder_) {

@@ -33,6 +33,8 @@
 
 namespace sam {
 
+class EccEngine;
+
 /** One stored line's encoded bytes (data + parity). */
 using Blob = std::vector<std::uint8_t>;
 using BlobPtr = std::shared_ptr<const Blob>;
@@ -70,6 +72,16 @@ struct StoreSnapshot
     std::vector<bool> clean;
     /** Stored bytes per line (data + parity); set before appending. */
     unsigned blobBytes = 0;
+    /**
+     * Slots hold real data bytes but zero-filled parity: the builder
+     * skipped the ECC encode (the dominant table-materialization cost)
+     * because almost no line's parity is ever observed. Consumers that
+     * do need the full codeword (fault corruption, decode under
+     * injection, snapshot capture) reconstruct it on demand through the
+     * owning store's parity encoder -- the encoder is deterministic, so
+     * the reconstructed bytes are identical to an eager encode.
+     */
+    bool lazyParity = false;
     /** Blob bytes of every slot, blobBytes apiece. */
     std::vector<std::uint8_t> arena;
 
@@ -130,6 +142,13 @@ class BackingStore
     {
         const std::uint8_t *data = nullptr;
         bool clean = true;
+        /**
+         * The parity bytes of `data` are zero placeholders from a
+         * lazy-parity snapshot layer; the first 64 data bytes are
+         * real. Callers that consume the full codeword must re-encode
+         * from the data bytes instead of trusting the tail.
+         */
+        bool lazyParity = false;
     };
 
     /** @param blob_bytes Stored bytes per 64B line (data + parity). */
@@ -197,6 +216,15 @@ class BackingStore
      */
     void install(std::shared_ptr<const StoreSnapshot> snap);
 
+    /**
+     * Encoder used to reconstruct the parity of lazy-parity layer
+     * lines on demand (readLine, corruptLine, snapshot). The pointer
+     * is borrowed; the DataPath that owns this store installs its own
+     * engine and outlives it. Required before any lazy-parity snapshot
+     * line is materialized.
+     */
+    void setParityEncoder(const EccEngine *ecc) { parityEcc_ = ecc; }
+
   private:
     /** An overlay line's blob plus its clean tag. */
     struct OverlayLine
@@ -206,6 +234,13 @@ class BackingStore
         bool clean = false;
     };
 
+    /**
+     * Write the full codeword of a layer line into `dst` (blobBytes_
+     * bytes), re-encoding the parity if the layer is lazy.
+     */
+    void materializeBlob(const StoreSnapshot &layer, std::size_t slot,
+                         std::uint8_t *dst) const;
+
     /** The overlay line for `addr`, or null if untouched. */
     const OverlayLine *findOverlay(Addr addr) const;
     /** The layer slot for `addr`, or null if no layer holds it. */
@@ -213,6 +248,8 @@ class BackingStore
     bool inAnyLayer(Addr addr) const;
 
     unsigned blobBytes_;
+    /** Borrowed parity encoder for lazy-parity layers (may be null). */
+    const EccEngine *parityEcc_ = nullptr;
     /** Immutable shared base layers, oldest first. */
     std::vector<std::shared_ptr<const StoreSnapshot>> layers_;
     /** Lines written (or corrupted) in this store; checked first. */

@@ -23,6 +23,10 @@ DataPath::DataPath(EccScheme scheme)
     : ecc_(scheme),
       store_(kCachelineBytes + EccEngine::parityBytesFor(scheme))
 {
+    // Lets the store reconstruct the parity of lazy-parity table
+    // snapshots on demand (DataPath is non-movable, so the borrowed
+    // engine pointer stays valid for the store's lifetime).
+    store_.setParityEncoder(&ecc_);
 }
 
 Addr
@@ -62,10 +66,16 @@ DataPath::fetchInto(Addr line_addr, std::uint8_t *out64, bool rmw)
     unsigned attempt = 0;
     for (;;) {
         blobScratch_.resize(blob_bytes);
-        if (ref.data)
+        if (ref.data && ref.lazyParity) {
+            // Lazy-parity snapshot line: the stored tail is a zero
+            // placeholder, so rebuild the full codeword from the data
+            // bytes before anything inspects or corrupts it.
+            ecc_.encodeLineInto(ref.data, blobScratch_.data());
+        } else if (ref.data) {
             std::memcpy(blobScratch_.data(), ref.data, blob_bytes);
-        else
+        } else {
             std::memset(blobScratch_.data(), 0, blob_bytes);
+        }
         for (unsigned chip : failedChips_)
             ecc_.corruptChip(blobScratch_, chip);
         bool touched = false;

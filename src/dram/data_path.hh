@@ -74,6 +74,10 @@ class DataPath
   public:
     explicit DataPath(EccScheme scheme);
 
+    /** Non-movable: the store borrows a pointer to ecc_ (see ctor). */
+    DataPath(const DataPath &) = delete;
+    DataPath &operator=(const DataPath &) = delete;
+
     const EccEngine &ecc() const { return ecc_; }
     EccScheme scheme() const { return ecc_.scheme(); }
 

@@ -298,20 +298,66 @@ Table::slotOwner(std::uint64_t off, std::uint64_t &rec,
     panic("unknown LayoutKind");
 }
 
+namespace {
+
+inline void
+putWord(std::uint8_t *line64, unsigned w, std::uint64_t value)
+{
+    for (unsigned b = 0; b < 8; ++b) {
+        line64[w * 8 + b] =
+            static_cast<std::uint8_t>((value >> (8 * b)) & 0xff);
+    }
+}
+
+} // namespace
+
 void
 Table::buildLine(std::uint64_t off, std::uint8_t *line64) const
 {
-    // Build the line by inverting the layout: find the (record, field)
-    // word occupying every 8B slot.
-    for (unsigned w = 0; w < kCachelineBytes / 8; ++w) {
+    // Invert the layout: find the (record, field) word occupying every
+    // 8B slot. Calling slotOwner() per word costs two integer
+    // divisions each -- the hot loop of table materialization -- so
+    // exploit how every layout arranges a 64B-aligned line:
+    //   - ColumnStore: the line lies inside one field column (colSpan
+    //     is a multiple of the row size), records advancing one per
+    //     word;
+    //   - every other layout: the line is a run of record segments of
+    //     min(recordBytes, 64) bytes, fields advancing one per word
+    //     within each segment.
+    // One slotOwner() call per column/segment pins the rest down.
+    sam_assert(off % kCachelineBytes == 0, "unaligned line build");
+    constexpr unsigned kWords = kCachelineBytes / 8;
+    const unsigned rec_bytes = schema_.recordBytes();
+
+    if (layout_ == LayoutKind::ColumnStore) {
         std::uint64_t rec = 0;
         unsigned field = 0;
-        std::uint64_t value = 0;
-        if (slotOwner(off + w * 8, rec, field))
-            value = fieldValue(rec, field);
-        for (unsigned b = 0; b < 8; ++b) {
-            line64[w * 8 + b] =
-                static_cast<std::uint8_t>((value >> (8 * b)) & 0xff);
+        slotOwner(off, rec, field);
+        const bool field_ok = field < schema_.numFields;
+        for (unsigned w = 0; w < kWords; ++w) {
+            const std::uint64_t r = rec + w;
+            putWord(line64, w,
+                    field_ok && r < schema_.numRecords
+                        ? fieldValue(r, field)
+                        : 0);
+        }
+        return;
+    }
+
+    const unsigned seg_words =
+        std::min(rec_bytes, unsigned{kCachelineBytes}) / 8;
+    for (unsigned w = 0; w < kWords;) {
+        std::uint64_t rec = 0;
+        unsigned field = 0;
+        const bool valid = slotOwner(off + w * 8, rec, field);
+        for (unsigned k = 0; k < seg_words; ++k, ++w) {
+            // field + k stays in range for the intra-record layouts by
+            // construction; the bound only bites for GS-segmented
+            // lines, matching slotOwner()'s own check.
+            putWord(line64, w,
+                    valid && field + k < schema_.numFields
+                        ? fieldValue(rec, field + k)
+                        : 0);
         }
     }
 }

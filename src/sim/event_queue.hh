@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Deterministic next-event queue for the replay engines.
+ *
+ * A min-heap over `(cycle, source, seq)`: earliest cycle first, ties
+ * broken by the numeric source id, remaining ties by insertion
+ * sequence. Every field of the ordering key is a plain integer chosen
+ * by the pusher -- never a pointer, never a hash -- so two runs that
+ * push the same events pop them in the same order, which is what lets
+ * the event engine stay bit-identical to the step engine.
+ *
+ * Sources publish their earliest actionable cycle (a bank's next-ready
+ * time, a rank's refresh deadline, an MSHR retirement, a core's
+ * stall-release point) and the engine advances by jumping to the queue
+ * minimum instead of ticking through the stall window.
+ */
+
+#ifndef SAM_SIM_EVENT_QUEUE_HH
+#define SAM_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "src/common/logging.hh"
+#include "src/common/types.hh"
+
+namespace sam {
+
+class EventQueue
+{
+  public:
+    struct Event
+    {
+        Cycle cycle = 0;
+        /** Publisher id (core, bank, rank -- the pusher's namespace). */
+        std::uint32_t source = 0;
+        /** Insertion sequence; the deterministic last-resort tie-break. */
+        std::uint64_t seq = 0;
+    };
+
+    /** Publish `source`'s earliest actionable cycle. */
+    void
+    push(Cycle cycle, std::uint32_t source)
+    {
+        heap_.push(Event{cycle, source, nextSeq_++});
+    }
+
+    bool empty() const { return heap_.empty(); }
+    std::size_t size() const { return heap_.size(); }
+
+    /** The earliest event without removing it. Queue must be non-empty. */
+    const Event &
+    peek() const
+    {
+        sam_assert(!heap_.empty(), "peek on empty EventQueue");
+        return heap_.top();
+    }
+
+    /** Remove and return the earliest event. Queue must be non-empty. */
+    Event
+    pop()
+    {
+        sam_assert(!heap_.empty(), "pop on empty EventQueue");
+        const Event e = heap_.top();
+        heap_.pop();
+        return e;
+    }
+
+    /** Total events ever pushed (equals the next insertion seq). */
+    std::uint64_t pushed() const { return nextSeq_; }
+
+  private:
+    /**
+     * Strict-weak order for the min-heap: later (cycle, source, seq)
+     * sorts as "less" so the top is the minimum. The key is all three
+     * integers -- no pointer or hash participates in the ordering.
+     */
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.cycle != b.cycle)
+                return a.cycle > b.cycle;
+            if (a.source != b.source)
+                return a.source > b.source;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> heap_;
+    std::uint64_t nextSeq_ = 0;
+};
+
+} // namespace sam
+
+#endif // SAM_SIM_EVENT_QUEUE_HH

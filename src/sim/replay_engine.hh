@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The two trace-replay engines of phase 2.
+ *
+ * `replayStep` is the original round-walking loop: every round polls
+ * every core for issue opportunities (in core-id order) and then
+ * services one request. `replayEvent` replays the same round structure
+ * through an EventQueue of stall-release events, so blocked cores are
+ * never polled and serve-only spans run without touching the core
+ * array at all.
+ *
+ * Both engines are command-stream identical by construction: the
+ * per-round "issue in core-id order, then serve one" discipline fixes
+ * the RequestQueue insertion sequence, which FR-FCFS uses for
+ * tie-breaking, so any reordering would change scheduling picks. The
+ * event engine therefore skips work the step engine provably wastes
+ * (polls of cores whose block condition cannot have cleared) instead
+ * of reordering work. The cross-engine differential harness
+ * (tests/test_engine_diff.cc) pins the equivalence command-by-command.
+ */
+
+#ifndef SAM_SIM_REPLAY_ENGINE_HH
+#define SAM_SIM_REPLAY_ENGINE_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/types.hh"
+#include "src/controller/controller.hh"
+#include "src/designs/design_model.hh"
+#include "src/sim/core_port.hh"
+
+namespace sam {
+
+/** Which phase-2 replay loop drives the controller. */
+enum class ReplayEngineKind
+{
+    Step,   ///< Original loop: poll every core every round.
+    Event,  ///< EventQueue-driven: skip blocked cores, jump stalls.
+};
+
+const std::string &replayEngineName(ReplayEngineKind kind);
+
+/** Parse "step"/"event"; fatal on anything else. */
+ReplayEngineKind parseReplayEngine(const std::string &name);
+
+/** The original step-walking replay loop (kept behind --engine=step). */
+Cycle replayStep(const std::vector<std::unique_ptr<CorePort>> &ports,
+                 MemoryController &controller, DesignModel &model,
+                 unsigned mshrs_per_core);
+
+/** The EventQueue-driven replay loop (the default engine). */
+Cycle replayEvent(const std::vector<std::unique_ptr<CorePort>> &ports,
+                  MemoryController &controller, DesignModel &model,
+                  unsigned mshrs_per_core);
+
+} // namespace sam
+
+#endif // SAM_SIM_REPLAY_ENGINE_HH

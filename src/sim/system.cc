@@ -183,7 +183,7 @@ System::runQuery(const Query &query)
         telemetry->attach(device);
         controller.setTelemetry(telemetry.get());
     }
-    rs.cycles = replay(ports, device, controller, model);
+    rs.cycles = replay(ports, controller, model);
     if (checker) {
         rs.checkedCommands = checker->commandCount();
         if (!checker->clean())
@@ -267,156 +267,13 @@ System::runQuery(const Query &query)
 
 Cycle
 System::replay(const std::vector<std::unique_ptr<CorePort>> &ports,
-               Device &device, MemoryController &controller,
-               DesignModel &model)
+               MemoryController &controller, DesignModel &model)
 {
-    (void)device;
-    // One in-flight read of a core's MSHR window. `done` stays
-    // kInvalidCycle until the completion arrives.
-    struct Mshr
-    {
-        std::uint64_t id = 0;
-        Cycle done = kInvalidCycle;
-    };
-    struct CoreState
-    {
-        const CoreTrace *trace = nullptr;
-        std::size_t idx = 0;
-        Cycle clock = 0;
-        /**
-         * In-flight reads, unordered. MSHR-sized and flat: the retire
-         * scan and the completion match walk a handful of contiguous
-         * entries instead of churning per-epoch hash maps.
-         */
-        std::vector<Mshr> window;
-    };
-
-    const unsigned num_cores = static_cast<unsigned>(ports.size());
-    std::vector<CoreState> cores(num_cores);
-    std::size_t num_epochs = 0;
-    for (unsigned c = 0; c < num_cores; ++c) {
-        cores[c].trace = &ports[c]->trace();
-        cores[c].window.reserve(config_.mshrsPerCore);
-        num_epochs = std::max(num_epochs, cores[c].trace->numEpochs());
+    if (config_.engine == ReplayEngineKind::Step) {
+        return replayStep(ports, controller, model,
+                          config_.mshrsPerCore);
     }
-
-    std::uint64_t next_id = 1;
-    Cycle max_done = 0;
-
-    for (std::size_t epoch = 0; epoch < num_epochs; ++epoch) {
-        // Barrier: all cores resume together after prior epoch traffic.
-        for (auto &cs : cores) {
-            cs.clock = std::max(cs.clock, max_done);
-            cs.idx = epoch < cs.trace->numEpochs()
-                         ? cs.trace->epochBegin(epoch)
-                         : 0;
-            cs.window.clear();
-        }
-
-        auto issue_some = [&](unsigned c) -> bool {
-            CoreState &cs = cores[c];
-            if (epoch >= cs.trace->numEpochs())
-                return false;
-            const CoreTrace &trace = *cs.trace;
-            const std::size_t end = trace.epochEnd(epoch);
-            bool issued = false;
-            unsigned batch = 0;
-            while (cs.idx < end && batch < 32) {
-                if (controller.readQueueDepth() +
-                        controller.writeQueueDepth() > 256) {
-                    break; // backpressure
-                }
-                const TraceEntry &e = trace.entries[cs.idx];
-                Cycle t = cs.clock + e.gap;
-                const bool is_read = !isWrite(e.type);
-                if (is_read &&
-                    cs.window.size() >= config_.mshrsPerCore) {
-                    // Retire the earliest *known* completion; stall if
-                    // none of the in-flight reads has been served yet.
-                    Cycle best = kInvalidCycle;
-                    std::size_t best_i = cs.window.size();
-                    for (std::size_t i = 0; i < cs.window.size(); ++i) {
-                        if (cs.window[i].done < best) {
-                            best = cs.window[i].done;
-                            best_i = i;
-                        }
-                    }
-                    if (best_i == cs.window.size())
-                        break; // stalled on outstanding misses
-                    // Swap-with-back: MSHR slots are unordered (the
-                    // scan above picks by completion time, entries
-                    // match completions by id), so the O(n) mid-vector
-                    // erase was pure overhead.
-                    cs.window[best_i] = cs.window.back();
-                    cs.window.pop_back();
-                    t = std::max(t, best);
-                }
-
-                MemRequest req;
-                if (isStride(e.type)) {
-                    req = model.strideRequest(e.type, trace.lines(e),
-                                              e.lineCount, e.sector, t,
-                                              c);
-                } else {
-                    req = model.lineRequest(e.type, trace.lines(e)[0],
-                                            t, c);
-                }
-                req.id = next_id++;
-                if (is_read)
-                    cs.window.push_back({req.id, kInvalidCycle});
-                controller.push(std::move(req));
-                cs.clock = t;
-                ++cs.idx;
-                issued = true;
-                ++batch;
-            }
-            return issued;
-        };
-
-        while (true) {
-            bool progress = false;
-            for (unsigned c = 0; c < num_cores; ++c)
-                progress = issue_some(c) || progress;
-
-            if (auto comp = controller.serviceNext()) {
-                max_done = std::max(max_done, comp->done);
-                if (comp->isRead) {
-                    sam_assert(comp->coreId < num_cores,
-                               "orphan completion");
-                    CoreState &cs = cores[comp->coreId];
-                    bool matched = false;
-                    for (Mshr &m : cs.window) {
-                        if (m.id == comp->id) {
-                            m.done = comp->done;
-                            matched = true;
-                            break;
-                        }
-                    }
-                    sam_assert(matched, "orphan completion");
-                }
-                progress = true;
-            }
-
-            if (!progress) {
-                bool all_issued = true;
-                for (unsigned c = 0; c < num_cores; ++c) {
-                    if (epoch < cores[c].trace->numEpochs() &&
-                        cores[c].idx <
-                            cores[c].trace->epochEnd(epoch)) {
-                        all_issued = false;
-                    }
-                }
-                sam_assert(all_issued || controller.hasPending(),
-                           "replay deadlock");
-                if (all_issued && !controller.hasPending())
-                    break;
-            }
-        }
-
-        for (const auto &cs : cores)
-            max_done = std::max(max_done, cs.clock);
-    }
-    return max_done;
+    return replayEvent(ports, controller, model, config_.mshrsPerCore);
 }
 
 } // namespace sam

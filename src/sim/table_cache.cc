@@ -10,19 +10,17 @@ namespace sam {
 
 namespace {
 
-/** Encode lines [first, last) of `table` into consecutive snapshot
- *  slots starting at `slot0 + first`. Each call uses its own
- *  registry-backed EccEngine, so chunks are thread-independent. */
+/** Build the data bytes of lines [first, last) of `table` directly
+ *  into consecutive snapshot slots starting at `slot0 + first`. The
+ *  parity tail of each slot stays zero: the snapshot is lazy-parity,
+ *  so the ECC encode -- the dominant materialization cost -- is
+ *  deferred to the rare consumer that actually observes a codeword. */
 void
-encodeRange(const Table &table, EccScheme ecc, StoreSnapshot &snap,
-            std::size_t slot0, std::size_t first, std::size_t last)
+buildRange(const Table &table, StoreSnapshot &snap, std::size_t slot0,
+           std::size_t first, std::size_t last)
 {
-    EccEngine engine(ecc);
-    std::uint8_t line[kCachelineBytes];
-    for (std::size_t i = first; i < last; ++i) {
-        table.buildLine(i * kCachelineBytes, line);
-        engine.encodeLineInto(line, snap.mutableBlob(slot0 + i));
-    }
+    for (std::size_t i = first; i < last; ++i)
+        table.buildLine(i * kCachelineBytes, snap.mutableBlob(slot0 + i));
 }
 
 } // namespace
@@ -36,14 +34,18 @@ TableCache::TableCache(unsigned build_threads)
 TableCache::~TableCache() = default;
 
 StoreSnapshot
-TableCache::buildSnapshot(const Table &ta, const Table &tb, EccScheme ecc)
+TableCache::buildSnapshot(const Table &ta, const Table &tb,
+                          unsigned parity_bytes)
 {
     // Lay out the slot structure up front (ta fully, then tb, both in
     // ascending address order -- exactly the insertion order direct
-    // materialization through a DataPath would produce), then encode
-    // each line independently into its slot.
+    // materialization through a DataPath would produce), then build
+    // each line's data bytes independently into its slot. Parity stays
+    // zero-filled: the snapshot is marked lazy-parity and the
+    // installing store reconstructs codewords on demand.
     StoreSnapshot snap;
-    snap.blobBytes = kCachelineBytes + EccEngine::parityBytesFor(ecc);
+    snap.blobBytes = kCachelineBytes + parity_bytes;
+    snap.lazyParity = parity_bytes > 0;
     sam_assert(ta.footprintBytes() % kCachelineBytes == 0 &&
                    tb.footprintBytes() % kCachelineBytes == 0,
                "table footprint not line-aligned");
@@ -56,8 +58,8 @@ TableCache::buildSnapshot(const Table &ta, const Table &tb, EccScheme ecc)
     constexpr std::size_t kMinParallelLines = 1 << 14;
     const std::size_t total = ta_lines + tb_lines;
     if (buildThreads_ <= 1 || total < kMinParallelLines) {
-        encodeRange(ta, ecc, snap, ta_slot0, 0, ta_lines);
-        encodeRange(tb, ecc, snap, tb_slot0, 0, tb_lines);
+        buildRange(ta, snap, ta_slot0, 0, ta_lines);
+        buildRange(tb, snap, tb_slot0, 0, tb_lines);
         return snap;
     }
 
@@ -70,8 +72,8 @@ TableCache::buildSnapshot(const Table &ta, const Table &tb, EccScheme ecc)
                           std::size_t lines) {
         for (std::size_t first = 0; first < lines; first += chunk) {
             const std::size_t last = std::min(lines, first + chunk);
-            tasks.push_back([&t, ecc, &snap, slot0, first, last] {
-                encodeRange(t, ecc, snap, slot0, first, last);
+            tasks.push_back([&t, &snap, slot0, first, last] {
+                buildRange(t, snap, slot0, first, last);
             });
         }
     };
@@ -90,7 +92,12 @@ TableCache::materialized(const Table &ta, const Table &tb, EccScheme ecc)
 {
     sam_assert(ta.layout() == tb.layout(),
                "table pair with mixed layouts");
-    const Key key{ta.layout(),          ecc,
+    // Lazy-parity snapshots hold only data bytes, so the cached blobs
+    // depend on the parity *size* (slot stride), not the ECC scheme:
+    // every chipkill scheme with the same parity footprint shares one
+    // build.
+    const unsigned parity_bytes = EccEngine::parityBytesFor(ecc);
+    const Key key{ta.layout(),          parity_bytes,
                   ta.gather(),          ta.base(),
                   ta.schema().numRecords, ta.schema().numFields,
                   tb.base(),            tb.schema().numRecords,
@@ -112,7 +119,7 @@ TableCache::materialized(const Table &ta, const Table &tb, EccScheme ecc)
     }
     ++misses_;
     entry->snap = std::make_shared<const StoreSnapshot>(
-        buildSnapshot(ta, tb, ecc));
+        buildSnapshot(ta, tb, parity_bytes));
     return entry->snap;
 }
 

@@ -2,12 +2,17 @@
  * @file
  * Process-wide cache of materialized benchmark tables.
  *
- * Materializing a table pair ECC-encodes every record line through the
- * Reed-Solomon encoder -- the dominant setup cost of building a
- * simulated system. The encoded bytes depend only on (schema, layout,
- * base address, gather factor, ECC scheme), not on the design being
- * simulated, so a campaign running many designs and sweep points can
- * encode each distinct table pair once and share the immutable blobs.
+ * Materializing a table pair builds every record line's data bytes --
+ * historically it also ECC-encoded them, the dominant setup cost of
+ * building a simulated system. Snapshots are now lazy-parity
+ * (StoreSnapshot::lazyParity): slots hold real data but zero parity,
+ * and the installing BackingStore reconstructs codewords on demand for
+ * the rare consumers that observe one (fault corruption, decode under
+ * injection, capture). The built bytes depend only on (schema, layout,
+ * base address, gather factor, parity footprint), not on the design or
+ * even the concrete ECC scheme, so a campaign running many designs and
+ * sweep points builds each distinct table pair once and shares the
+ * immutable blobs across all chipkill schemes alike.
  *
  * Thread-safe: campaign workers share one cache. A key is materialized
  * under its own entry lock, so concurrent first touches of different
@@ -60,8 +65,13 @@ class TableCache
     std::uint64_t misses() const { return misses_.load(); }
 
   private:
-    /** Everything the encoded bytes depend on. */
-    using Key = std::tuple<LayoutKind, EccScheme, unsigned, // gather
+    /**
+     * Everything the built bytes depend on. Snapshots are lazy-parity
+     * (data bytes only), so the second component is the parity byte
+     * footprint rather than the ECC scheme -- all schemes with the
+     * same slot stride share one build.
+     */
+    using Key = std::tuple<LayoutKind, unsigned, unsigned,  // parity, gather
                            Addr, std::uint64_t, unsigned,   // ta
                            Addr, std::uint64_t, unsigned>;  // tb
 
@@ -71,9 +81,9 @@ class TableCache
         std::shared_ptr<const StoreSnapshot> snap SAM_GUARDED_BY(build);
     };
 
-    /** Encode both tables into a fresh snapshot (the cold path). */
+    /** Build both tables into a fresh lazy-parity snapshot (cold path). */
     StoreSnapshot buildSnapshot(const Table &ta, const Table &tb,
-                                EccScheme ecc);
+                                unsigned parity_bytes);
 
     Mutex mutex_;
     std::map<Key, std::shared_ptr<Entry>> entries_ SAM_GUARDED_BY(mutex_);

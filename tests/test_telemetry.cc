@@ -159,13 +159,33 @@ TEST(WindowSeries, AggregatesSamplesIntoWindows)
     EXPECT_EQ(s.windowCycles(), 100u);
 }
 
-TEST(WindowSeries, SparseWindowsAreNotMaterialized)
+TEST(WindowSeries, SkippedSpansAreZeroFilled)
+{
+    // A clock that jumps over a stall window must leave explicit idle
+    // windows behind, not holes: the event engine's skipped spans have
+    // to read the same as the step engine ticking through them.
+    WindowSeries s(10, 16);
+    s.add(5, 1.0);
+    s.add(95, 1.0); // window 9; windows 1..8 materialize as zeros
+    ASSERT_EQ(s.size(), 10u);
+    for (std::size_t i = 1; i < 9; ++i) {
+        EXPECT_EQ(s.window(i).index, i);
+        EXPECT_EQ(s.window(i).count, 0u);
+        EXPECT_DOUBLE_EQ(s.window(i).sum, 0.0);
+    }
+    EXPECT_EQ(s.window(9).count, 1u);
+}
+
+TEST(WindowSeries, WideSkipMaterializesOnlyRetainedWindows)
 {
     WindowSeries s(10, 16);
     s.add(5, 1.0);
-    s.add(995, 1.0); // window 99; 0..98 stay absent
-    EXPECT_EQ(s.size(), 2u);
-    EXPECT_EQ(s.window(1).index, 99u);
+    s.add(995, 1.0); // window 99; only 84..99 fit the capacity
+    EXPECT_EQ(s.size(), 16u);
+    EXPECT_EQ(s.window(0).index, 84u);
+    EXPECT_EQ(s.window(15).index, 99u);
+    // Window 0 plus zero-fills 1..83 were evicted.
+    EXPECT_EQ(s.evicted(), 84u);
 }
 
 TEST(WindowSeries, OutOfOrderWithinRetainedRangeIsAccepted)
@@ -174,13 +194,15 @@ TEST(WindowSeries, OutOfOrderWithinRetainedRangeIsAccepted)
     s.add(5, 1.0);  // window 0
     s.add(95, 1.0); // window 9
     s.add(7, 2.0);  // window 0 again -- retained, so accepted
-    ASSERT_EQ(s.size(), 2u);
+    ASSERT_EQ(s.size(), 10u);
     EXPECT_EQ(s.window(0).index, 0u);
     EXPECT_DOUBLE_EQ(s.window(0).sum, 3.0);
     EXPECT_EQ(s.droppedOld(), 0u);
 
-    // But a sample older than the series' oldest-ever window is
-    // dropped: windows are never created behind the front.
+    // But a sample older than the series' first-ever window is
+    // dropped: windows are never created behind the front (zero-fill
+    // only covers spans between samples, not the span before the
+    // first).
     WindowSeries late(10, 16);
     late.add(95, 1.0);
     late.add(5, 2.0);
